@@ -1,0 +1,75 @@
+// Command drivesim runs the full cross-country measurement campaign — the
+// LA → Boston drive with three test phones, three handover-loggers, static
+// city baselines, and the four killer apps — and writes the consolidated
+// dataset as CSV files.
+//
+// Usage:
+//
+//	drivesim [-seed N] [-km N] [-out DIR] [-quick] [-video SEC] [-gaming SEC]
+//
+// With no flags it reproduces the paper's full methodology (about a minute
+// of wall time); -quick runs network tests only over the first 200 km.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"wheels/internal/analysis"
+	"wheels/internal/campaign"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("drivesim: ")
+	var (
+		seed    = flag.Int64("seed", 23, "campaign random seed")
+		km      = flag.Float64("km", 0, "truncate the campaign to the first N km (0 = full trip)")
+		out     = flag.String("out", "dataset", "output directory for the CSV dataset")
+		quick   = flag.Bool("quick", false, "network tests only, first 200 km")
+		video   = flag.Float64("video", 180, "video session length in seconds")
+		gaming  = flag.Float64("gaming", 60, "gaming session length in seconds")
+		gz      = flag.Bool("gzip", false, "write the dataset gzip-compressed (.csv.gz)")
+		rawDir  = flag.String("rawlogs", "", "also write raw XCAL + app log files per bulk test into this directory")
+		verbose = flag.Bool("v", false, "print per-day progress")
+	)
+	flag.Parse()
+
+	cfg := campaign.DefaultConfig(*seed)
+	cfg.KmLimit = *km
+	cfg.VideoSec = *video
+	cfg.GamingSec = *gaming
+	cfg.RawLogDir = *rawDir
+	if *quick {
+		cfg = campaign.QuickConfig(*seed, 200)
+	}
+	if *verbose {
+		cfg.Progress = func(day int, km, totalKm float64) {
+			fmt.Fprintf(os.Stderr, "  day %d: %.0f/%.0f km\n", day, km, totalKm)
+		}
+	}
+
+	c := campaign.New(cfg)
+	fmt.Fprintf(os.Stderr, "simulating %s over %.0f km (seed %d)...\n",
+		describe(cfg), c.Route.LengthKm(), cfg.Seed)
+	ds := c.Run()
+
+	save := ds.Save
+	if *gz {
+		save = ds.SaveCompressed
+	}
+	if err := save(*out); err != nil {
+		log.Fatalf("saving dataset: %v", err)
+	}
+	fmt.Println(analysis.ComputeTable1(ds, c.Route.LengthKm(), c.Route.States(), len(c.Route.Cities)).Render())
+	fmt.Printf("dataset written to %s\n", *out)
+}
+
+func describe(cfg campaign.Config) string {
+	if !cfg.EnableApps {
+		return "network tests"
+	}
+	return "full campaign (network + apps + passive + static)"
+}

@@ -1,0 +1,49 @@
+// Command whatif replays the campaign's recorded network traces through
+// the application models under counterfactual scenarios — double
+// bandwidth, halved RTT, edge servers everywhere, no outages — to
+// quantify the paper's §8 recommendations without re-running the radio
+// simulation.
+//
+// Usage:
+//
+//	whatif -data DIR          # replay a saved dataset
+//	whatif -seed 23 -km 800   # simulate a campaign first, then replay
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"wheels/internal/campaign"
+	"wheels/internal/dataset"
+	"wheels/internal/replay"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("whatif: ")
+	var (
+		data   = flag.String("data", "", "dataset directory written by drivesim (empty = simulate)")
+		seed   = flag.Int64("seed", 23, "seed when simulating")
+		km     = flag.Float64("km", 800, "route km when simulating (0 = full trip)")
+		video  = flag.Float64("video", 60, "replayed video session length, seconds")
+		gaming = flag.Float64("gaming", 30, "replayed gaming session length, seconds")
+	)
+	flag.Parse()
+
+	var ds *dataset.Dataset
+	var err error
+	if *data != "" {
+		ds, err = dataset.Load(*data)
+		if err != nil {
+			log.Fatalf("loading dataset: %v", err)
+		}
+	} else {
+		cfg := campaign.QuickConfig(*seed, *km)
+		fmt.Fprintf(os.Stderr, "simulating network tests (seed %d, %.0f km)...\n", *seed, *km)
+		ds = campaign.New(cfg).Run()
+	}
+	fmt.Println(replay.WhatIf(ds, *video, *gaming))
+}

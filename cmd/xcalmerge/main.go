@@ -1,0 +1,136 @@
+// Command xcalmerge demonstrates the paper's C2 log-synchronization
+// pipeline end to end: it generates a realistic pair of raw logs — an XCAL
+// .drm file whose name carries an unlabeled local timestamp and whose rows
+// are stamped in EDT, plus an application log in the phone's local time with
+// no zone indicator — then reconstructs UTC from the route context, matches
+// the app log to its XCAL file, and joins the samples into consolidated
+// rows. It also shows what happens when the timezone context is wrong.
+//
+// Usage:
+//
+//	xcalmerge [-dir DIR]
+//
+// Files are written under DIR (default: a temporary directory).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"wheels/internal/radio"
+	"wheels/internal/xcal"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xcalmerge: ")
+	dir := flag.String("dir", "", "directory for the demo log files (default: temp dir)")
+	flag.Parse()
+
+	if *dir == "" {
+		tmp, err := os.MkdirTemp("", "xcalmerge")
+		if err != nil {
+			log.Fatal(err)
+		}
+		*dir = tmp
+	}
+
+	// The scenario: a 30 s downlink test in Denver (Mountain time, UTC-6)
+	// on 2022-08-10 starting 11:30:15 local.
+	const offsetHours = -6
+	start := time.Date(2022, 8, 10, 17, 30, 15, 0, time.UTC)
+
+	// 1. The XCAL Solo writes its .drm file.
+	drm := &xcal.Log{Op: radio.Verizon, Test: "bulk-dl"}
+	for i := 0; i < 6; i++ {
+		ts := start.Add(time.Duration(i) * 500 * time.Millisecond)
+		drm.KPIs = append(drm.KPIs, xcal.KPIEntry{
+			TimeUTC: ts, Tech: radio.NRMid, RSRPdBm: -98 - float64(i),
+			SINRdB: 14 - float64(i), MCS: 20 - i, BLER: 0.08, CCDown: 2, CCUp: 1, MPH: 63,
+		})
+	}
+	drm.Signals = append(drm.Signals, xcal.SignalEvent{
+		TimeUTC: start.Add(1200 * time.Millisecond), FromTech: radio.NRMid, ToTech: radio.LTEA,
+		FromCell: "V-5G-mid-118", ToCell: "V-LTE-A-67", DurMs: 53,
+	})
+	drmName := xcal.Filename(radio.Verizon, "bulk-dl", start, offsetHours)
+	if err := writeFile(filepath.Join(*dir, drmName), func(f *os.File) error {
+		return xcal.WriteLog(f, drm)
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The throughput app logs its 500 ms samples in LOCAL time with no
+	// zone indicator.
+	var appEntries []xcal.AppEntry
+	for i := 0; i < 6; i++ {
+		appEntries = append(appEntries, xcal.AppEntry{
+			TimeUTC: start.Add(time.Duration(i)*500*time.Millisecond + 40*time.Millisecond),
+			Value:   float64(30+5*i) * 1e6,
+		})
+	}
+	appName := "app_throughput_dl.log"
+	if err := writeFile(filepath.Join(*dir, appName), func(f *os.File) error {
+		return xcal.WriteAppLog(f, appEntries, xcal.AppLocalNoZone, offsetHours)
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("raw logs written to %s:\n  %s\n  %s\n\n", *dir, drmName, appName)
+
+	// 3. Post-processing: parse both files, reconstruct UTC, match, join.
+	appFile, err := os.Open(filepath.Join(*dir, appName))
+	if err != nil {
+		log.Fatal(err)
+	}
+	parsedApp, err := xcal.ParseAppLog(appFile, xcal.AppLocalNoZone, offsetHours)
+	appFile.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := xcal.MatchFile(parsedApp[0].TimeUTC, drmName, offsetHours, 2*time.Minute); err != nil {
+		log.Fatalf("file matching: %v", err)
+	}
+	drmFile, err := os.Open(filepath.Join(*dir, drmName))
+	if err != nil {
+		log.Fatal(err)
+	}
+	parsedDrm, err := xcal.ParseLog(drmFile)
+	drmFile.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := xcal.Sync(parsedApp, parsedDrm.KPIs)
+	fmt.Printf("synchronized %d/%d app samples with XCAL KPI rows (%d unmatched):\n",
+		len(res.Rows), len(parsedApp), res.Unmatched)
+	for _, r := range res.Rows {
+		fmt.Printf("  %s  %6.1f Mbps  %-8s RSRP=%6.1f MCS=%2d CA=%d\n",
+			r.TimeUTC.Format("15:04:05.000"), r.AppValue/1e6, r.KPI.Tech, r.KPI.RSRPdBm, r.KPI.MCS, r.KPI.CCDown)
+	}
+
+	// 4. The failure mode the C2 software guards against: interpreting the
+	// local timestamps with the wrong timezone (here: Eastern instead of
+	// Mountain) shifts everything by two hours and nothing matches.
+	fmt.Println("\nwith the WRONG timezone context (-4 instead of -6):")
+	if err := xcal.MatchFile(parsedApp[0].TimeUTC, drmName, -4, 2*time.Minute); err != nil {
+		fmt.Printf("  detected: %v\n", err)
+	} else {
+		log.Fatal("wrong-timezone match unexpectedly succeeded")
+	}
+}
+
+func writeFile(path string, fill func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,14 @@
+// Package wheels is a full Go reproduction of the measurement system behind
+// "Performance of Cellular Networks on the Wheels" (ACM IMC 2023; replicated
+// at IMC 2025): a cross-continental drive-test campaign over the three major
+// US carriers, rebuilt as a deterministic simulation — route and drive
+// trace, per-operator radio deployments, PHY and RAN models, TCP CUBIC
+// transport, the XCAL-style cross-layer logging pipeline, four "5G killer"
+// applications, and the analysis that regenerates every figure and table in
+// the paper.
+//
+// Start with cmd/drivesim to produce a dataset, cmd/figures to regenerate
+// the paper's figures from it, and bench_test.go for the per-figure
+// benchmark harness. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package wheels

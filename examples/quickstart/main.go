@@ -1,0 +1,44 @@
+// Quickstart: simulate the first stretch of the LA → Boston measurement
+// campaign and print the headline results — technology coverage and the
+// static-vs-driving performance gap.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"wheels/internal/analysis"
+	"wheels/internal/campaign"
+	"wheels/internal/radio"
+)
+
+func main() {
+	// A reduced campaign: first 300 km out of Los Angeles, network tests
+	// plus static baselines, seeded for reproducibility.
+	cfg := campaign.DefaultConfig(23)
+	cfg.KmLimit = 300
+	cfg.EnableApps = false
+	cfg.EnablePassive = false
+
+	c := campaign.New(cfg)
+	fmt.Printf("Driving the first %.0f km of the %.0f km route...\n\n",
+		cfg.KmLimit, c.Route.LengthKm())
+	ds := c.Run()
+
+	fmt.Println(analysis.ComputeFig2a(ds).Render())
+
+	f3 := analysis.ComputeFig3(ds)
+	fmt.Println("Static vs driving (downlink medians):")
+	for _, op := range radio.Operators() {
+		st := f3.StaticThr[op][radio.Downlink]
+		dr := f3.DrivingThr[op][radio.Downlink]
+		fmt.Printf("  %-9s static %7.0f Mbps -> driving %6.1f Mbps (%.0f%% of samples below 5 Mbps)\n",
+			op, st.Median(), dr.Median(), 100*f3.FracBelow5Mbps(op, radio.Downlink))
+	}
+	fmt.Println("\nDriving RTT medians:")
+	for _, op := range radio.Operators() {
+		fmt.Printf("  %-9s %5.0f ms (static: %4.0f ms)\n",
+			op, f3.DrivingRTT[op].Median(), f3.StaticRTT[op].Median())
+	}
+}

@@ -1,0 +1,3 @@
+module wheels
+
+go 1.22

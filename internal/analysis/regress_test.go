@@ -1,0 +1,284 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"wheels/internal/dataset"
+	"wheels/internal/radio"
+	"wheels/internal/sim"
+)
+
+func TestOLSRecoversKnownModel(t *testing.T) {
+	// y = 2 + 3*x1 - 0.5*x2, exactly.
+	var y, x1, x2 []float64
+	rng := sim.NewRNG(5).Stream("ols")
+	for i := 0; i < 500; i++ {
+		a := rng.Uniform(-10, 10)
+		b := rng.Uniform(0, 100)
+		x1 = append(x1, a)
+		x2 = append(x2, b)
+		y = append(y, 2+3*a-0.5*b)
+	}
+	res, err := OLS(y, []string{"x1", "x2"}, x1, x2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -0.5}
+	for i, w := range want {
+		if math.Abs(res.Coef[i]-w) > 1e-9 {
+			t.Errorf("coef[%d] = %v, want %v", i, res.Coef[i], w)
+		}
+	}
+	if math.Abs(res.R2-1) > 1e-9 {
+		t.Errorf("R² = %v, want 1 for a noiseless model", res.R2)
+	}
+}
+
+func TestOLSWithNoise(t *testing.T) {
+	var y, x []float64
+	rng := sim.NewRNG(7).Stream("ols2")
+	for i := 0; i < 2000; i++ {
+		v := rng.Uniform(0, 10)
+		x = append(x, v)
+		y = append(y, 5+2*v+rng.Normal(0, 3))
+	}
+	res, err := OLS(y, []string{"x"}, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Coef[1]-2) > 0.15 {
+		t.Errorf("slope = %v, want about 2", res.Coef[1])
+	}
+	if res.R2 < 0.5 || res.R2 > 0.9 {
+		t.Errorf("R² = %v, want a noisy but real fit", res.R2)
+	}
+}
+
+func TestOLSR2NeverBelowSinglePredictor(t *testing.T) {
+	// Adding predictors cannot reduce in-sample R².
+	var y, x1, x2 []float64
+	rng := sim.NewRNG(9).Stream("ols3")
+	for i := 0; i < 500; i++ {
+		a, b := rng.Uniform(0, 1), rng.Uniform(0, 1)
+		x1 = append(x1, a)
+		x2 = append(x2, b)
+		y = append(y, a+0.3*b+rng.Normal(0, 0.2))
+	}
+	one, err := OLS(y, []string{"x1"}, x1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := OLS(y, []string{"x1", "x2"}, x1, x2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.R2 < one.R2-1e-12 {
+		t.Errorf("R² fell from %v to %v when adding a predictor", one.R2, two.R2)
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	if _, err := OLS([]float64{1, 2}, []string{"x"}, []float64{1, 2, 3}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := OLS([]float64{1}, []string{"x"}, []float64{1}); err == nil {
+		t.Error("n < p accepted")
+	}
+	if _, err := OLS([]float64{1, 2, 3}, []string{"x"}, []float64{1, 2}); err == nil {
+		t.Error("short column accepted")
+	}
+	// A constant column duplicates the intercept: singular.
+	if _, err := OLS([]float64{1, 2, 3, 4}, []string{"c"}, []float64{7, 7, 7, 7}); err == nil {
+		t.Error("singular design accepted")
+	}
+	if _, err := OLS([]float64{1, 2, 3}, []string{"a", "b"}, []float64{1, 2, 3}); err == nil {
+		t.Error("name/column count mismatch accepted")
+	}
+}
+
+func TestMultivariateKPIOnSyntheticData(t *testing.T) {
+	var ds dataset.Dataset
+	rng := sim.NewRNG(11).Stream("mv")
+	for i := 0; i < 400; i++ {
+		mcs := rng.Intn(28)
+		rsrp := rng.Uniform(-120, -70)
+		// Throughput driven by MCS and RSRP jointly plus noise.
+		thr := 2*float64(mcs) + 0.5*(rsrp+120) + rng.Normal(0, 5)
+		if thr < 0 {
+			thr = 0
+		}
+		ds.Thr = append(ds.Thr, dataset.ThroughputSample{
+			Op: radio.Verizon, Dir: radio.Downlink, Bps: thr * 1e6,
+			Tech: radio.LTE, RSRPdBm: rsrp, MCS: mcs, BLER: rng.Uniform(0.01, 0.3),
+			MPH: rng.Uniform(0, 80), CC: 1 + rng.Intn(3), HOs: rng.Intn(2),
+			TimeUTC: time.Date(2022, 8, 8, 15, 0, i, 0, time.UTC),
+		})
+	}
+	m := ComputeMultivariateKPI(&ds)
+	res, ok := m.Joint[radio.Verizon][radio.Downlink]
+	if !ok {
+		t.Fatal("no joint model fitted")
+	}
+	if res.R2 <= m.BestSingle[radio.Verizon][radio.Downlink] {
+		t.Errorf("joint R² %.3f not above best single %.3f on a two-factor model",
+			res.R2, m.BestSingle[radio.Verizon][radio.Downlink])
+	}
+	if res.N != 400 {
+		t.Errorf("n = %d, want 400", res.N)
+	}
+	if m.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestMultivariateKPISkipsDegenerateCells(t *testing.T) {
+	ds := &dataset.Dataset{Thr: []dataset.ThroughputSample{
+		{Op: radio.ATT, Dir: radio.Uplink, Bps: 1e6, Tech: radio.LTE},
+	}}
+	m := ComputeMultivariateKPI(ds)
+	if _, ok := m.Joint[radio.ATT][radio.Uplink]; ok {
+		t.Error("degenerate single-sample cell produced a fit")
+	}
+}
+
+func TestMultipathGainSyntheticSlots(t *testing.T) {
+	t0 := time.Date(2022, 8, 8, 15, 0, 0, 0, time.UTC)
+	mk := func(op radio.Operator, mbps float64, slot int) dataset.ThroughputSample {
+		return dataset.ThroughputSample{
+			Op: op, Dir: radio.Downlink, Bps: mbps * 1e6, Tech: radio.LTE,
+			TimeUTC: t0.Add(time.Duration(slot) * 500 * time.Millisecond),
+		}
+	}
+	ds := &dataset.Dataset{Thr: []dataset.ThroughputSample{
+		mk(radio.Verizon, 10, 0), mk(radio.TMobile, 30, 0), mk(radio.ATT, 20, 0),
+		mk(radio.Verizon, 5, 1), mk(radio.TMobile, 5, 1), // incomplete slot: ignored
+	}}
+	g := ComputeMultipathGain(ds, radio.Downlink)
+	if g.Slots != 1 {
+		t.Fatalf("slots = %d, want 1 (incomplete slot must be dropped)", g.Slots)
+	}
+	if g.BestSingle.Median() != 30 || g.Bonded.Median() != 60 {
+		t.Errorf("best=%v bonded=%v, want 30/60", g.BestSingle.Median(), g.Bonded.Median())
+	}
+	if g.MedianGain() != 2 {
+		t.Errorf("gain = %v, want 2", g.MedianGain())
+	}
+	if g.Render() == "" || ComputeMultipathGain(&dataset.Dataset{}, radio.Uplink).Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestSVGChartsOnCampaignSlice(t *testing.T) {
+	// Synthetic dataset with enough variety to populate the chart set.
+	t0 := time.Date(2022, 8, 8, 15, 0, 0, 0, time.UTC)
+	var ds dataset.Dataset
+	for i := 0; i < 40; i++ {
+		for _, op := range radio.Operators() {
+			ds.Thr = append(ds.Thr, dataset.ThroughputSample{
+				Op: op, Dir: radio.Downlink, Bps: float64(1+i) * 1e6, Tech: radio.LTE,
+				TimeUTC: t0.Add(time.Duration(i) * time.Second), MPH: 60,
+			})
+			ds.RTT = append(ds.RTT, dataset.RTTSample{
+				Op: op, Ms: float64(40 + i), Tech: radio.LTE,
+				TimeUTC: t0.Add(time.Duration(i) * time.Second),
+			})
+		}
+	}
+	ds.Tests = append(ds.Tests, dataset.TestSummary{
+		Op: radio.Verizon, Kind: dataset.TestBulkDL, Dir: radio.Downlink, Miles: 0.5, HOCount: 2,
+	})
+	ds.Handovers = append(ds.Handovers, dataset.HandoverRecord{
+		Op: radio.Verizon, Dir: radio.Downlink, DurSec: 0.06,
+		FromTech: radio.LTE, ToTech: radio.LTEA,
+	})
+	charts := SVGCharts(&ds)
+	if len(charts) < 5 {
+		t.Fatalf("chart set has %d charts, want several", len(charts))
+	}
+	for name, ch := range charts {
+		if _, err := ch.SVG(); err != nil {
+			t.Errorf("chart %s failed to render: %v", name, err)
+		}
+	}
+	// Empty dataset: no charts, no panics.
+	if got := SVGCharts(&dataset.Dataset{}); len(got) != 0 {
+		t.Errorf("empty dataset produced %d charts", len(got))
+	}
+}
+
+func TestBarChartsAssembly(t *testing.T) {
+	ds := &dataset.Dataset{Thr: []dataset.ThroughputSample{
+		thrSample(radio.Verizon, radio.Downlink, radio.NRMid, 50, 60, 0),
+		thrSample(radio.TMobile, radio.Downlink, radio.LTE, 10, 30, 0),
+	}}
+	charts := BarCharts(ds)
+	if len(charts) != 3 {
+		t.Fatalf("bar charts = %d, want 3 (fig2a/2c/2d)", len(charts))
+	}
+	for name, ch := range charts {
+		if _, err := ch.SVG(); err != nil {
+			t.Errorf("%s failed to render: %v", name, err)
+		}
+	}
+	if got := BarCharts(&dataset.Dataset{}); len(got) != 0 {
+		t.Errorf("empty dataset produced %d bar charts", len(got))
+	}
+}
+
+func TestBootstrapCICoversTrueMedian(t *testing.T) {
+	rng := sim.NewRNG(13).Stream("bt")
+	var v []float64
+	for i := 0; i < 400; i++ {
+		v = append(v, rng.Normal(50, 10))
+	}
+	med, lo, hi := MedianCI(v, 13)
+	if lo > med || med > hi {
+		t.Errorf("median %.2f outside its own CI [%.2f, %.2f]", med, lo, hi)
+	}
+	if lo > 50 || hi < 50 {
+		t.Errorf("CI [%.2f, %.2f] misses the true median 50", lo, hi)
+	}
+	if hi-lo > 5 {
+		t.Errorf("CI width %.2f implausibly wide for n=400", hi-lo)
+	}
+}
+
+func TestBootstrapCIEdgeCases(t *testing.T) {
+	lo, hi := BootstrapCI(nil, MedianStat, 100, 0.95, sim.NewRNG(1))
+	if !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Error("empty input did not yield NaN CI")
+	}
+	// Single value: CI collapses to it.
+	lo, hi = BootstrapCI([]float64{7}, MedianStat, 100, 0.95, sim.NewRNG(1))
+	if lo != 7 || hi != 7 {
+		t.Errorf("single-value CI = [%v, %v]", lo, hi)
+	}
+	// Out-of-range level falls back to 0.95 without panicking.
+	lo, hi = BootstrapCI([]float64{1, 2, 3}, MedianStat, 50, 7, sim.NewRNG(1))
+	if lo > hi {
+		t.Errorf("degenerate level produced inverted CI [%v, %v]", lo, hi)
+	}
+}
+
+func TestBootstrapDeterminism(t *testing.T) {
+	v := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	_, lo1, hi1 := MedianCI(v, 42)
+	_, lo2, hi2 := MedianCI(v, 42)
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Error("bootstrap CI not deterministic per seed")
+	}
+}
+
+func TestMedianStat(t *testing.T) {
+	if MedianStat([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median wrong")
+	}
+	if MedianStat([]float64{4, 1, 3, 2}) != 2.5 {
+		t.Error("even median wrong")
+	}
+	if !math.IsNaN(MedianStat(nil)) {
+		t.Error("empty median not NaN")
+	}
+}

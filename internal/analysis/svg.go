@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"fmt"
+
+	"wheels/internal/dataset"
+	"wheels/internal/geo"
+	"wheels/internal/mapexport"
+	"wheels/internal/plot"
+	"wheels/internal/radio"
+)
+
+// This file turns figure reducers into plot.Chart values so cmd/figures can
+// emit the paper's distribution figures as SVG, not just text tables.
+
+const cdfPoints = 120
+
+// hasPoints reports whether any series in the chart is drawable.
+func hasPoints(ch *plot.Chart) bool {
+	for _, s := range ch.Series {
+		if len(s.X) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func cdfSeries(name string, c CDF, dashed bool) plot.Series {
+	// Re-expand the CDF through its quantiles to avoid exporting the raw
+	// sorted slice.
+	if c.N() == 0 {
+		return plot.Series{Name: name}
+	}
+	var xs, ys []float64
+	for i := 0; i <= cdfPoints; i++ {
+		q := float64(i) / cdfPoints
+		xs = append(xs, c.Quantile(q))
+		ys = append(ys, q)
+	}
+	return plot.Series{Name: name, X: xs, Y: ys, Dashed: dashed}
+}
+
+// SVGCharts assembles the standard chart set for a dataset: the Fig. 3
+// static/driving CDFs, the Fig. 4 per-technology CDFs (with Verizon's
+// edge/cloud split), the Fig. 6 pairwise differences, and the Fig. 11
+// handover distributions. Keys become file names.
+func SVGCharts(ds *dataset.Dataset) map[string]*plot.Chart {
+	out := map[string]*plot.Chart{}
+
+	f3 := ComputeFig3(ds)
+	for _, dir := range radio.Directions() {
+		ch := &plot.Chart{
+			Title:  fmt.Sprintf("Fig 3: %s throughput, static vs driving", dir),
+			XLabel: "Throughput (Mbps)", YLabel: "CDF", LogX: true,
+		}
+		for _, op := range radio.Operators() {
+			ch.Series = append(ch.Series,
+				cdfSeries(op.String()+" static", f3.StaticThr[op][dir], true),
+				cdfSeries(op.String()+" driving", f3.DrivingThr[op][dir], false))
+		}
+		if hasPoints(ch) {
+			out[fmt.Sprintf("fig3-thr-%s", dir)] = ch
+		}
+	}
+	rttCh := &plot.Chart{
+		Title:  "Fig 3: RTT, static vs driving",
+		XLabel: "RTT (ms)", YLabel: "CDF", LogX: true,
+	}
+	for _, op := range radio.Operators() {
+		rttCh.Series = append(rttCh.Series,
+			cdfSeries(op.String()+" static", f3.StaticRTT[op], true),
+			cdfSeries(op.String()+" driving", f3.DrivingRTT[op], false))
+	}
+	if hasPoints(rttCh) {
+		out["fig3-rtt"] = rttCh
+	}
+
+	f4 := ComputeFig4(ds)
+	for _, op := range radio.Operators() {
+		for _, dir := range radio.Directions() {
+			ch := &plot.Chart{
+				Title:  fmt.Sprintf("Fig 4: %s %s throughput by technology", op, dir),
+				XLabel: "Throughput (Mbps)", YLabel: "CDF", LogX: true,
+			}
+			for _, tech := range radio.Techs() {
+				if c, ok := f4.Thr[op][dir][tech]; ok && c.N() > 0 {
+					ch.Series = append(ch.Series, cdfSeries(tech.String(), c, false))
+				}
+			}
+			if len(ch.Series) > 0 {
+				out[fmt.Sprintf("fig4-thr-%s-%s", op.Short(), dir)] = ch
+			}
+		}
+		ch := &plot.Chart{
+			Title:  fmt.Sprintf("Fig 4: %s RTT by technology", op),
+			XLabel: "RTT (ms)", YLabel: "CDF", LogX: true,
+		}
+		for _, tech := range radio.Techs() {
+			if c, ok := f4.RTT[op][tech]; ok && c.N() > 0 {
+				ch.Series = append(ch.Series, cdfSeries(tech.String(), c, false))
+			}
+		}
+		if len(ch.Series) > 0 {
+			out[fmt.Sprintf("fig4-rtt-%s", op.Short())] = ch
+		}
+	}
+	// Verizon edge vs cloud overlay (the dashed/solid contrast of Fig. 4).
+	vCh := &plot.Chart{
+		Title:  "Fig 4: Verizon RTT, edge (dashed) vs cloud",
+		XLabel: "RTT (ms)", YLabel: "CDF", LogX: true,
+	}
+	for _, tech := range radio.Techs() {
+		if c, ok := f4.VerizonRTTEdge[tech]; ok && c.N() > 0 {
+			vCh.Series = append(vCh.Series, cdfSeries(tech.String()+" edge", c, true))
+		}
+		if c, ok := f4.VerizonRTTCloud[tech]; ok && c.N() > 0 {
+			vCh.Series = append(vCh.Series, cdfSeries(tech.String()+" cloud", c, false))
+		}
+	}
+	if len(vCh.Series) > 0 {
+		out["fig4-rtt-V-edgecloud"] = vCh
+	}
+
+	f6 := ComputeFig6(ds)
+	for _, dir := range radio.Directions() {
+		ch := &plot.Chart{
+			Title:  fmt.Sprintf("Fig 6: %s concurrent throughput difference", dir),
+			XLabel: "Throughput difference (Mbps)", YLabel: "CDF",
+		}
+		for _, p := range Pairs() {
+			if c, ok := f6.Diff[p][dir]; ok && c.N() > 0 {
+				ch.Series = append(ch.Series, cdfSeries(p.String(), c, false))
+			}
+		}
+		if len(ch.Series) > 0 {
+			out[fmt.Sprintf("fig6-diff-%s", dir)] = ch
+		}
+	}
+
+	f11 := ComputeFig11(ds)
+	durCh := &plot.Chart{
+		Title:  "Fig 11b: handover duration",
+		XLabel: "Duration (ms)", YLabel: "CDF",
+	}
+	pmCh := &plot.Chart{
+		Title:  "Fig 11a: handovers per mile (DL tests)",
+		XLabel: "Handovers per mile", YLabel: "CDF",
+	}
+	for _, op := range radio.Operators() {
+		if c, ok := f11.DurationMs[op][radio.Downlink]; ok && c.N() > 0 {
+			durCh.Series = append(durCh.Series, cdfSeries(op.String(), c, false))
+		}
+		if c, ok := f11.PerMile[op][radio.Downlink]; ok && c.N() > 0 {
+			pmCh.Series = append(pmCh.Series, cdfSeries(op.String(), c, false))
+		}
+	}
+	if len(durCh.Series) > 0 {
+		out["fig11-duration"] = durCh
+	}
+	if len(pmCh.Series) > 0 {
+		out["fig11-permile"] = pmCh
+	}
+	return out
+}
+
+// BarCharts assembles the Fig. 2 coverage breakdowns as stacked-bar charts
+// keyed by file name.
+func BarCharts(ds *dataset.Dataset) map[string]*plot.BarChart {
+	out := map[string]*plot.BarChart{}
+	techSegments := func(s TechShare) []plot.Segment {
+		var segs []plot.Segment
+		for _, tech := range radio.Techs() {
+			segs = append(segs, plot.Segment{
+				Name:  tech.String(),
+				Value: 100 * s[tech],
+				Color: mapexport.TechColor(tech),
+			})
+		}
+		return segs
+	}
+
+	f2a := ComputeFig2a(ds)
+	ch := &plot.BarChart{Title: "Fig 2a: technology coverage", YLabel: "% of miles"}
+	for _, op := range radio.Operators() {
+		ch.Bars = append(ch.Bars, plot.Bar{Label: op.String(), Segments: techSegments(f2a.Share[op])})
+	}
+	if len(ds.Thr) > 0 {
+		out["fig2a-coverage"] = ch
+	}
+
+	f2c := ComputeFig2c(ds)
+	zc := &plot.BarChart{Title: "Fig 2c: coverage by timezone", YLabel: "% of miles"}
+	for _, op := range radio.Operators() {
+		for z := geo.Pacific; z <= geo.Eastern; z++ {
+			zc.Bars = append(zc.Bars, plot.Bar{
+				Label:    op.Short() + "/" + z.String()[:3],
+				Segments: techSegments(f2c.Share[op][z]),
+			})
+		}
+	}
+	if len(ds.Thr) > 0 {
+		out["fig2c-coverage-timezone"] = zc
+	}
+
+	f2d := ComputeFig2d(ds)
+	sc := &plot.BarChart{Title: "Fig 2d: coverage by speed bin", YLabel: "% of samples"}
+	for _, op := range radio.Operators() {
+		for _, bin := range []geo.SpeedBin{geo.SpeedLow, geo.SpeedMid, geo.SpeedHigh} {
+			sc.Bars = append(sc.Bars, plot.Bar{
+				Label:    op.Short() + "/" + bin.String(),
+				Segments: techSegments(f2d.Share[op][bin]),
+			})
+		}
+	}
+	if len(ds.Thr) > 0 {
+		out["fig2d-coverage-speed"] = sc
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+// Package apps holds the shared plumbing for the four "5G killer"
+// applications the paper evaluates (§7): the network-path interface their
+// simulations consume, and small helpers. The apps themselves live in the
+// offload (AR/CAV), video (360° streaming), and gaming (cloud gaming)
+// subpackages.
+package apps
+
+import "sort"
+
+// NetState is the instantaneous end-to-end path condition an application
+// experiences: capacity in both directions and the current RTT.
+type NetState struct {
+	CapDLbps float64
+	CapULbps float64
+	RTTms    float64
+	Outage   bool
+}
+
+// Net produces the evolving path; the campaign adapts a UE + server
+// selection into this interface, and tests use synthetic implementations.
+type Net interface {
+	Step(dt float64) NetState
+}
+
+// TickSec is the application simulation tick.
+const TickSec = 0.005
+
+// Median returns the median of the values (0 for an empty slice).
+func Median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), v...)
+	sort.Float64s(c)
+	if n := len(c); n%2 == 1 {
+		return c[n/2]
+	}
+	n := len(c)
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	return sum / float64(len(v))
+}

@@ -1,0 +1,50 @@
+package offload
+
+// Table 5 of the paper: object detection accuracy (mAP, %) on the Argoverse
+// dataset with Faster R-CNN, as a function of the end-to-end offloading
+// latency measured in frame times, with the local-tracking algorithm
+// running on the client. Compression is lossy, so the compressed column is
+// slightly lower at equal latency.
+var (
+	mapNoComp = []float64{
+		38.45, 37.22, 36.04, 34.65, 33.36, 32.20, 31.08, 28.03, 27.01, 25.62,
+		25.77, 23.29, 22.75, 22.48, 21.59, 20.59, 20.11, 19.53, 18.40, 18.01,
+		17.52, 16.96, 16.59, 15.41, 15.78, 15.86, 14.81, 14.70, 14.44, 14.05,
+	}
+	mapComp = []float64{
+		38.45, 36.14, 34.75, 33.12, 31.82, 30.50, 29.53, 26.99, 25.73, 25.21,
+		24.35, 22.44, 21.56, 21.64, 21.16, 20.35, 19.69, 18.95, 17.61, 17.85,
+		17.00, 16.55, 15.97, 15.16, 14.94, 15.37, 14.71, 13.77, 13.62, 13.70,
+	}
+)
+
+// mapDecayPerBin extrapolates past the table's last bin (29–30 frame
+// times): accuracy keeps degrading slowly toward a floor as results go
+// completely stale.
+const (
+	mapDecayPerBin = 0.25
+	mapFloor       = 8.0
+)
+
+// MAPForLatency returns the mean average precision for an offload whose
+// end-to-end latency is the given number of frame times (Table 5, §C.2).
+// The accuracy is constant within a bin because the client reuses the
+// latest server result for every frame in between.
+func MAPForLatency(frameTimes float64, compressed bool) float64 {
+	table := mapNoComp
+	if compressed {
+		table = mapComp
+	}
+	if frameTimes < 0 {
+		frameTimes = 0
+	}
+	bin := int(frameTimes)
+	if bin < len(table) {
+		return table[bin]
+	}
+	v := table[len(table)-1] - mapDecayPerBin*float64(bin-len(table)+1)
+	if v < mapFloor {
+		return mapFloor
+	}
+	return v
+}

@@ -1,0 +1,166 @@
+package campaign
+
+import (
+	"wheels/internal/apps"
+	"wheels/internal/dataset"
+	"wheels/internal/geo"
+	"wheels/internal/radio"
+	"wheels/internal/ran"
+	"wheels/internal/servers"
+	"wheels/internal/sim"
+	"wheels/internal/transport"
+)
+
+// kpiRow is one 500 ms cross-layer KPI accumulation — the XCAL row that
+// gets joined with the application-layer throughput sample.
+type kpiRow struct {
+	t          float64
+	tech       radio.Tech
+	rsrp, sinr float64 // interval means
+	bler       float64
+	mcs        int // last in interval
+	ccDL, ccUL int
+	mph, km    float64
+	hos        int
+	outage     bool
+}
+
+// staticState pins an adapter to a fixed position and a forced technology,
+// bypassing the elevation policy — the paper's static tests were performed
+// facing a chosen mmWave (or mid-band) base station.
+type staticState struct {
+	link *radio.Link
+	tech radio.Tech
+	km   float64
+	pos  geo.LatLon
+	zone geo.Timezone
+}
+
+// adapter drives one phone through one test: it advances the UE (or the
+// pinned static link) tick by tick, composes the end-to-end path state, and
+// accumulates the 500 ms KPI rows and handover records as a side effect.
+type adapter struct {
+	c       *Campaign
+	ph      *phone
+	testID  int
+	t       float64
+	profile ran.Traffic
+	dir     radio.Direction
+	server  servers.Server
+	static  *staticState
+
+	rows    []kpiRow
+	hoRecs  []dataset.HandoverRecord
+	accDur  float64
+	accRSRP float64
+	accSINR float64
+	accBLER float64
+	accHOs  int
+	last    ran.Snapshot
+	lastS   geo.Sample
+}
+
+// newAdapter starts a test at time t for the phone with a pre-allocated
+// test id (ids are handed out before the per-phone goroutines fan out, so
+// they stay deterministic). For driving tests the server is selected at
+// test start from the phone's position (as the test harness did); static
+// tests pass their own state.
+func (c *Campaign) newAdapter(id int, ph *phone, t float64, profile ran.Traffic, dir radio.Direction, static *staticState) *adapter {
+	a := &adapter{c: c, ph: ph, testID: id, t: t, profile: profile, dir: dir, static: static}
+	if static != nil {
+		a.server = c.Reg.Select(ph.op, static.pos, static.zone)
+	} else {
+		s := c.where(t)
+		a.server = c.Reg.Select(ph.op, s.Pos, s.Zone)
+	}
+	ph.ue.TakeHandovers() // drop events from between tests
+	return a
+}
+
+// advance moves the adapter forward dt seconds and returns the current
+// path condition in both directions.
+func (a *adapter) advance(dt float64) (capDL, capUL, rttMs float64, outage bool) {
+	a.t += dt
+	var snap ran.Snapshot
+	var s geo.Sample
+	if a.static != nil {
+		st := a.static.link.Step(dt, 0.04, 0, geo.RoadCity)
+		snap = ran.Snapshot{T: a.t, Tech: a.static.tech, Link: st, CapDL: st.CapDL, CapUL: st.CapUL}
+		s = geo.Sample{T: a.t, Km: a.static.km, Pos: a.static.pos, MPH: 0,
+			Road: geo.RoadCity, Zone: a.static.zone}
+	} else {
+		s = a.c.where(a.t)
+		snap = a.ph.ue.Step(a.t, dt, s.Km, s.MPH, s.Road, s.Zone, a.profile)
+		for _, ev := range a.ph.ue.TakeHandovers() {
+			a.accHOs++
+			a.hoRecs = append(a.hoRecs, dataset.HandoverRecord{
+				TestID: a.testID, Op: a.ph.op, TimeUTC: sim.TripStart.UTC().Add(secs(ev.T)),
+				DurSec: ev.DurSec, FromTech: ev.From.Tech, ToTech: ev.To.Tech,
+				FromCell: ev.From.ID(), ToCell: ev.To.ID(), Dir: a.dir,
+			})
+		}
+	}
+	a.last, a.lastS = snap, s
+
+	// Accumulate the 500 ms KPI row.
+	a.accDur += dt
+	a.accRSRP += snap.Link.RSRPdBm * dt
+	a.accSINR += snap.Link.SINRdB * dt
+	a.accBLER += snap.Link.BLER * dt
+	if a.accDur >= transport.SampleIntervalSec-1e-9 {
+		a.rows = append(a.rows, kpiRow{
+			t:    a.t,
+			tech: snap.Tech,
+			rsrp: a.accRSRP / a.accDur,
+			sinr: a.accSINR / a.accDur,
+			bler: a.accBLER / a.accDur,
+			mcs:  snap.Link.MCS,
+			ccDL: snap.Link.CCDown, ccUL: snap.Link.CCUp,
+			mph: s.MPH, km: s.Km,
+			hos:    a.accHOs,
+			outage: snap.Outage,
+		})
+		a.accDur, a.accRSRP, a.accSINR, a.accBLER, a.accHOs = 0, 0, 0, 0, 0
+	}
+
+	wire := servers.PropagationRTTms(s.Pos, a.server)
+	rttMs = a.ph.lat.RTTms(dt, snap.Tech, wire, s.MPH)
+	return snap.CapDL, snap.CapUL, rttMs, snap.Outage
+}
+
+// pathAdapter exposes the adapter as a transport.Path in one direction.
+type pathAdapter struct{ a *adapter }
+
+func (p pathAdapter) Step(dt float64) transport.PathState {
+	dl, ul, rtt, outage := p.a.advance(dt)
+	cap := dl
+	if p.a.dir == radio.Uplink {
+		cap = ul
+	}
+	return transport.PathState{CapBps: cap, BaseRTTms: rtt, Outage: outage}
+}
+
+// netAdapter exposes the adapter as an apps.Net (both directions + RTT).
+type netAdapter struct{ a *adapter }
+
+func (n netAdapter) Step(dt float64) apps.NetState {
+	dl, ul, rtt, outage := n.a.advance(dt)
+	return apps.NetState{CapDLbps: dl, CapULbps: ul, RTTms: rtt, Outage: outage}
+}
+
+// highSpeedFrac returns the fraction of recorded rows on 5G mid/mmWave.
+func (a *adapter) highSpeedFrac() float64 {
+	if len(a.rows) == 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range a.rows {
+		if r.tech.IsHighSpeed() && !r.outage {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a.rows))
+}
+
+// hoCount returns the number of handovers recorded during the test.
+func (a *adapter) hoCount() int { return len(a.hoRecs) }

@@ -1,0 +1,267 @@
+// Package campaign orchestrates the full measurement campaign exactly as
+// §3 describes it: three test phones (one per carrier) run bandwidth, RTT,
+// and application tests in a round-robin loop while driving from LA to
+// Boston; three more "handover-logger" phones passively log the serving
+// technology with ping-only traffic for the whole trip; static baseline
+// tests run in each major city. The output is the consolidated cross-layer
+// dataset that package analysis turns into the paper's figures and tables.
+package campaign
+
+import (
+	"sync"
+
+	"wheels/internal/dataset"
+	"wheels/internal/deploy"
+	"wheels/internal/geo"
+	"wheels/internal/radio"
+	"wheels/internal/ran"
+	"wheels/internal/servers"
+	"wheels/internal/sim"
+	"wheels/internal/transport"
+)
+
+// Config controls the scope of a campaign run.
+type Config struct {
+	Seed int64
+
+	BulkSec   float64 // duration of one throughput test (§5: 30-35 s)
+	RTTSec    float64 // duration of one ping test (§5: 20 s)
+	VideoSec  float64 // one streaming session (§D.1: 180 s)
+	GamingSec float64 // one gaming session
+	GapSec    float64 // setup gap between consecutive tests
+
+	EnableApps    bool // run the four killer apps
+	EnablePassive bool // run the handover-logger phones
+	EnableStatic  bool // run static city baselines
+	// EnableSpeedTest adds a commercial-style 8-connection speed test to
+	// each round-robin cycle, so Table 3's methodology gap (single remote
+	// TCP connection vs parallel peak-seeking connections) can be measured
+	// on identical radio conditions.
+	EnableSpeedTest bool
+
+	// KmLimit truncates the campaign to the first N km of the route
+	// (0 = full trip). Used by tests and quick examples.
+	KmLimit float64
+
+	// PassiveSampleSec is the logging period of the handover-loggers.
+	PassiveSampleSec float64
+
+	// RawLogDir, when set, makes every bulk test also write its raw
+	// measurement files (XCAL .drm + app log) there, exactly as the real
+	// testbed did. xcal.Rebuild reconstructs the dataset from them.
+	RawLogDir string
+
+	// Progress, when non-nil, is called at the start of each trip day with
+	// the day number and the route distance covered so far.
+	Progress func(day int, km, totalKm float64)
+}
+
+// DefaultConfig returns the paper's full methodology.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:             seed,
+		BulkSec:          30,
+		RTTSec:           20,
+		VideoSec:         180,
+		GamingSec:        60,
+		GapSec:           5,
+		EnableApps:       true,
+		EnablePassive:    true,
+		EnableStatic:     true,
+		EnableSpeedTest:  true,
+		PassiveSampleSec: 2,
+	}
+}
+
+// QuickConfig is a reduced campaign for tests and examples: network tests
+// only, over the first kmLimit km.
+func QuickConfig(seed int64, kmLimit float64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.EnableApps = false
+	cfg.EnablePassive = false
+	cfg.EnableStatic = false
+	cfg.EnableSpeedTest = false
+	cfg.KmLimit = kmLimit
+	return cfg
+}
+
+// phone is one carrier's test phone: persistent UE state, its latency
+// model, and the XCAL attachment implied by recording KPI rows.
+type phone struct {
+	op  radio.Operator
+	dep *deploy.Deployment
+	ue  *ran.UE
+	lat *transport.LatencyModel
+}
+
+// Campaign holds the full testbed.
+type Campaign struct {
+	Cfg    Config
+	Route  *geo.Route
+	Trace  *geo.Trace
+	Reg    *servers.Registry
+	rng    *sim.RNG
+	phones []*phone
+
+	ds     *dataset.Dataset
+	nextID int
+}
+
+// New builds the testbed: route, drive trace, three deployments, three test
+// phones, and the server registry.
+func New(cfg Config) *Campaign {
+	rng := sim.NewRNG(cfg.Seed)
+	route := geo.NewRoute()
+	c := &Campaign{
+		Cfg:   cfg,
+		Route: route,
+		Trace: geo.Drive(route, rng.Stream("drive")),
+		Reg:   servers.NewRegistry(route),
+		rng:   rng,
+		ds:    &dataset.Dataset{Seed: cfg.Seed},
+	}
+	for _, op := range radio.Operators() {
+		dep := deploy.New(route, op, rng.Stream("deploy"))
+		c.phones = append(c.phones, &phone{
+			op:  op,
+			dep: dep,
+			ue:  ran.NewUE(rng.Stream("test-phone"), dep),
+			lat: transport.NewLatencyModel(rng.Stream("latency"), op),
+		})
+	}
+	return c
+}
+
+// Dataset returns the dataset collected so far.
+func (c *Campaign) Dataset() *dataset.Dataset { return c.ds }
+
+// newTestID allocates a campaign-unique test id.
+func (c *Campaign) newTestID() int {
+	c.nextID++
+	return c.nextID
+}
+
+// where interpolates the drive trace at simulation time t.
+func (c *Campaign) where(t float64) geo.Sample {
+	idx := c.Trace.At(t)
+	if idx < 0 {
+		return c.Trace.Samples[0]
+	}
+	s := c.Trace.Samples[idx]
+	if dt := t - s.T; dt > 0 && dt <= 2 {
+		s.Km += s.MPH * geo.KmPerMile / 3600 * dt
+	}
+	return s
+}
+
+// endKm returns the route distance at which the campaign stops.
+func (c *Campaign) endKm() float64 {
+	if c.Cfg.KmLimit > 0 && c.Cfg.KmLimit < c.Route.LengthKm() {
+		return c.Cfg.KmLimit
+	}
+	return c.Route.LengthKm()
+}
+
+// Run executes the whole campaign and returns the dataset.
+func (c *Campaign) Run() *dataset.Dataset {
+	if c.Cfg.EnablePassive {
+		c.runPassiveLoggers()
+	}
+	end := c.endKm()
+	visited := map[string]bool{}
+
+	t := c.Trace.Samples[0].T
+	day := 0
+	for {
+		s := c.where(t)
+		if s.Km >= end || t > c.Trace.Samples[len(c.Trace.Samples)-1].T {
+			break
+		}
+		if s.Day != day {
+			day = s.Day
+			if c.Cfg.Progress != nil {
+				c.Cfg.Progress(day, s.Km, c.Route.LengthKm())
+			}
+		}
+		// Overnight gap: jump to the next sample's time.
+		if idx := c.Trace.At(t); idx >= 0 && t-c.Trace.Samples[idx].T > 2 {
+			if idx+1 >= len(c.Trace.Samples) {
+				break
+			}
+			t = c.Trace.Samples[idx+1].T
+			continue
+		}
+
+		// Static baseline battery once per newly entered city.
+		if c.Cfg.EnableStatic {
+			if city, ok := c.Route.CityAt(s.Km); ok && !visited[city.Name] {
+				visited[city.Name] = true
+				c.runStaticBattery(t, s, city)
+			}
+		}
+
+		// One round-robin cycle of driving tests, all three phones
+		// starting each test at the same instant (concurrency across
+		// carriers is what enables the Fig. 6 pairwise analysis).
+		t = c.runCycle(t)
+	}
+	return c.ds
+}
+
+// fanOut runs one test phase on all three phones concurrently — the real
+// testbed's phones ran simultaneously in the same vehicle. Each phone owns
+// its RNG streams and UE state, so the parallel execution is deterministic;
+// results collect into per-phone sinks and merge in fixed operator order.
+func (c *Campaign) fanOut(run func(sink *dataset.Dataset, id int, ph *phone)) {
+	sinks := make([]dataset.Dataset, len(c.phones))
+	// Test ids are allocated before the goroutines start, in operator
+	// order, so the dataset is identical to a sequential run.
+	ids := make([]int, len(c.phones))
+	for i := range ids {
+		ids[i] = c.newTestID()
+	}
+	var wg sync.WaitGroup
+	for i, ph := range c.phones {
+		wg.Add(1)
+		go func(i int, ph *phone) {
+			defer wg.Done()
+			run(&sinks[i], ids[i], ph)
+		}(i, ph)
+	}
+	wg.Wait()
+	for i := range sinks {
+		c.ds.Thr = append(c.ds.Thr, sinks[i].Thr...)
+		c.ds.RTT = append(c.ds.RTT, sinks[i].RTT...)
+		c.ds.Handovers = append(c.ds.Handovers, sinks[i].Handovers...)
+		c.ds.Tests = append(c.ds.Tests, sinks[i].Tests...)
+		c.ds.Apps = append(c.ds.Apps, sinks[i].Apps...)
+	}
+}
+
+// runCycle runs one round-robin battery starting at t and returns the time
+// at which the next cycle may begin.
+func (c *Campaign) runCycle(t float64) float64 {
+	cfg := c.Cfg
+	c.fanOut(func(sink *dataset.Dataset, id int, ph *phone) {
+		c.runBulk(sink, id, ph, t, radio.Downlink, false, nil)
+	})
+	t += cfg.BulkSec + cfg.GapSec
+	c.fanOut(func(sink *dataset.Dataset, id int, ph *phone) {
+		c.runBulk(sink, id, ph, t, radio.Uplink, false, nil)
+	})
+	t += cfg.BulkSec + cfg.GapSec
+	c.fanOut(func(sink *dataset.Dataset, id int, ph *phone) {
+		c.runRTT(sink, id, ph, t, false, nil)
+	})
+	t += cfg.RTTSec + cfg.GapSec
+	if cfg.EnableSpeedTest {
+		c.fanOut(func(sink *dataset.Dataset, id int, ph *phone) {
+			c.runSpeedTest(sink, id, ph, t)
+		})
+		t += speedTestSec + cfg.GapSec
+	}
+	if cfg.EnableApps {
+		t = c.runAppBattery(t)
+	}
+	return t
+}

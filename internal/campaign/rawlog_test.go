@@ -1,0 +1,84 @@
+package campaign
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"wheels/internal/sim"
+	"wheels/internal/xcal"
+)
+
+// TestRawLogRoundTrip runs a small campaign that writes raw XCAL + app log
+// files for every bulk test, then rebuilds the measurements from the files
+// alone (zone-less filenames, EDT content, local-time app logs) and checks
+// the reconstruction matches the in-memory dataset — the full C2 pipeline
+// at campaign scale.
+func TestRawLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := QuickConfig(23, 60)
+	cfg.RawLogDir = dir
+	c := New(cfg)
+	ds := c.Run()
+
+	// The offset context the real pipeline reconstructed from GPS: here,
+	// the timezone of the vehicle's position at any instant.
+	offsetAt := func(utcT time.Time) int {
+		tSim := utcT.Sub(sim.TripStart.UTC()).Seconds()
+		return c.where(tSim).Zone.UTCOffsetHours()
+	}
+	rebuilt, err := xcal.Rebuild(dir, offsetAt)
+	if err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+
+	// Every bulk test must be reconstructed.
+	bulkTests := 0
+	for _, ts := range ds.Tests {
+		if ts.Kind == "bulk-dl" || ts.Kind == "bulk-ul" {
+			bulkTests++
+		}
+	}
+	if len(rebuilt) != bulkTests {
+		t.Fatalf("rebuilt %d tests from files, dataset has %d bulk tests", len(rebuilt), bulkTests)
+	}
+
+	// Index the in-memory samples by (op, time-rounded-to-ms).
+	type key struct {
+		op string
+		ms int64
+	}
+	want := map[key]float64{}
+	for _, s := range ds.Thr {
+		want[key{s.Op.String(), s.TimeUTC.UnixMilli()}] = s.Bps
+	}
+
+	matched, total := 0, 0
+	for _, rt := range rebuilt {
+		if rt.Unmatched > 0 {
+			t.Errorf("test %s/%s: %d unmatched app samples", rt.Op, rt.Test, rt.Unmatched)
+		}
+		for _, row := range rt.Rows {
+			total++
+			w, ok := want[key{rt.Op.String(), row.TimeUTC.UnixMilli()}]
+			if !ok {
+				continue
+			}
+			matched++
+			// The app log stores full float precision; values round-trip
+			// exactly. KPI floats round-trip to their printed precision.
+			if w != row.AppValue {
+				t.Fatalf("throughput mismatch at %v: file %v, dataset %v", row.TimeUTC, row.AppValue, w)
+			}
+			if math.Abs(row.KPI.BLER) > 1 || row.KPI.MCS < 0 {
+				t.Fatalf("implausible KPI after round trip: %+v", row.KPI)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no rows reconstructed")
+	}
+	if matched < total*95/100 {
+		t.Errorf("only %d/%d reconstructed rows matched dataset samples", matched, total)
+	}
+}

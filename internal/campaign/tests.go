@@ -1,0 +1,325 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"wheels/internal/apps/gaming"
+	"wheels/internal/apps/offload"
+	"wheels/internal/apps/video"
+	"wheels/internal/dataset"
+	"wheels/internal/deploy"
+	"wheels/internal/geo"
+	"wheels/internal/radio"
+	"wheels/internal/ran"
+	"wheels/internal/sim"
+	"wheels/internal/transport"
+	"wheels/internal/xcal"
+)
+
+// secs converts simulation seconds to a time.Duration.
+func secs(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+// utc converts a simulation time to the wall clock.
+func utc(t float64) time.Time { return sim.TripStart.UTC().Add(secs(t)) }
+
+// runBulk runs one nuttcp-style bulk transfer and records its samples,
+// KPI-joined rows, handovers, and the per-test summary.
+func (c *Campaign) runBulk(sink *dataset.Dataset, id int, ph *phone, t float64, dir radio.Direction, static bool, st *staticState) {
+	profile := ran.BacklogDL
+	kind := dataset.TestBulkDL
+	if dir == radio.Uplink {
+		profile = ran.BacklogUL
+		kind = dataset.TestBulkUL
+	}
+	a := c.newAdapter(id, ph, t, profile, dir, st)
+	res := transport.RunBulk(pathAdapter{a}, c.Cfg.BulkSec)
+
+	n := len(res.SamplesBps)
+	if len(a.rows) < n {
+		n = len(a.rows)
+	}
+	for i := 0; i < n; i++ {
+		r := a.rows[i]
+		cc := r.ccDL
+		if dir == radio.Uplink {
+			cc = r.ccUL
+		}
+		sink.Thr = append(sink.Thr, dataset.ThroughputSample{
+			TestID: a.testID, Op: ph.op, Dir: dir, TimeUTC: utc(r.t), Bps: res.SamplesBps[i],
+			Tech: r.tech, RSRPdBm: r.rsrp, SINRdB: r.sinr, MCS: r.mcs, BLER: r.bler, CC: cc,
+			MPH: r.mph, Km: r.km, Zone: c.Route.TimezoneAt(r.km), Road: c.Route.RoadClassAt(r.km),
+			Server: a.server.Kind, Static: static, HOs: r.hos,
+		})
+	}
+	sink.Handovers = append(sink.Handovers, a.hoRecs...)
+
+	if c.Cfg.RawLogDir != "" {
+		if err := c.exportRaw(a, string(kind), t, res.SamplesBps, n); err != nil {
+			panic(fmt.Sprintf("campaign: raw log export: %v", err))
+		}
+	}
+
+	sum := dataset.TestSummary{
+		ID: a.testID, Op: ph.op, Kind: kind, Dir: dir, StartUTC: utc(t), DurSec: c.Cfg.BulkSec,
+		Zone: a.lastS.Zone, Server: a.server.Kind, Static: static,
+		MeanBps: res.MeanBps(), StdFracBps: res.StdFrac(),
+		HighSpeedFrac: a.highSpeedFrac(), HOCount: a.hoCount(),
+	}
+	if !static {
+		sum.Miles = c.Trace.MilesBetween(t, t+c.Cfg.BulkSec)
+	}
+	if dir == radio.Downlink {
+		sum.RxBytes = res.DeliveredBytes
+	} else {
+		sum.TxBytes = res.DeliveredBytes
+	}
+	sink.Tests = append(sink.Tests, sum)
+}
+
+// runRTT runs one ping test (one echo per 200 ms) and records each sample.
+func (c *Campaign) runRTT(sink *dataset.Dataset, id int, ph *phone, t float64, static bool, st *staticState) {
+	a := c.newAdapter(id, ph, t, ran.RTTProbe, radio.Downlink, st)
+	const interval = 0.2
+	var samples []float64
+	nextPing := 0.0
+	for tt := 0.0; tt < c.Cfg.RTTSec; tt += interval {
+		_, _, rtt, outage := a.advance(interval)
+		if tt >= nextPing {
+			nextPing += interval
+			if outage {
+				continue
+			}
+			samples = append(samples, rtt)
+			sink.RTT = append(sink.RTT, dataset.RTTSample{
+				TestID: a.testID, Op: ph.op, TimeUTC: utc(a.t), Ms: rtt, Tech: a.last.Tech,
+				MPH: a.lastS.MPH, Km: a.lastS.Km, Zone: a.lastS.Zone, Server: a.server.Kind,
+				Static: static,
+			})
+		}
+	}
+	sink.Handovers = append(sink.Handovers, a.hoRecs...)
+
+	mean, stdFrac := meanStdFrac(samples)
+	sum := dataset.TestSummary{
+		ID: a.testID, Op: ph.op, Kind: dataset.TestRTT, Dir: radio.Downlink, StartUTC: utc(t),
+		DurSec: c.Cfg.RTTSec, Zone: a.lastS.Zone, Server: a.server.Kind, Static: static,
+		MeanRTTms: mean, StdFracRTT: stdFrac,
+		HighSpeedFrac: a.highSpeedFrac(), HOCount: a.hoCount(),
+	}
+	if !static {
+		sum.Miles = c.Trace.MilesBetween(t, t+c.Cfg.RTTSec)
+	}
+	sink.Tests = append(sink.Tests, sum)
+}
+
+func meanStdFrac(v []float64) (mean, stdFrac float64) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	for _, x := range v {
+		mean += x
+	}
+	mean /= float64(len(v))
+	if mean == 0 {
+		return 0, 0
+	}
+	var ss float64
+	for _, x := range v {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss/float64(len(v))) / mean
+}
+
+// exportRaw writes the raw XCAL + app log file pair for a finished bulk
+// test (Config.RawLogDir).
+func (c *Campaign) exportRaw(a *adapter, kind string, t float64, samples []float64, n int) error {
+	exp := &xcal.Exporter{Dir: c.Cfg.RawLogDir}
+	var kpis []xcal.KPIEntry
+	var app []xcal.AppEntry
+	for i := 0; i < n; i++ {
+		r := a.rows[i]
+		kpis = append(kpis, xcal.KPIEntry{
+			TimeUTC: utc(r.t), Tech: r.tech, RSRPdBm: r.rsrp, SINRdB: r.sinr,
+			MCS: r.mcs, BLER: r.bler, CCDown: r.ccDL, CCUp: r.ccUL, MPH: r.mph,
+		})
+		app = append(app, xcal.AppEntry{TimeUTC: utc(r.t), Value: samples[i]})
+	}
+	var sigs []xcal.SignalEvent
+	for _, h := range a.hoRecs {
+		sigs = append(sigs, xcal.SignalEvent{
+			TimeUTC: h.TimeUTC, FromTech: h.FromTech, ToTech: h.ToTech,
+			FromCell: h.FromCell, ToCell: h.ToCell, DurMs: h.DurSec * 1000,
+		})
+	}
+	// The test id disambiguates tests of the same kind within one second.
+	tag := fmt.Sprintf("%s-%d", kind, a.testID)
+	offset := a.lastS.Zone.UTCOffsetHours()
+	return exp.ExportTest(a.ph.op, tag, utc(t), offset, kpis, sigs, app)
+}
+
+// speedTestSec is the duration of the commercial-style speed test.
+const speedTestSec = 15.0
+
+// runSpeedTest runs the Table 3 extension: an 8-connection peak-seeking
+// downlink test to the nearest server, on the same radio state the nuttcp
+// tests use. The reported "peak" lands in MeanBps of a TestSpeed summary.
+func (c *Campaign) runSpeedTest(sink *dataset.Dataset, id int, ph *phone, t float64) {
+	a := c.newAdapter(id, ph, t, ran.BacklogDL, radio.Downlink, nil)
+	res := transport.RunSpeedTest(pathAdapter{a}, speedTestSec, transport.SpeedTestConns)
+	sink.Handovers = append(sink.Handovers, a.hoRecs...)
+	sink.Tests = append(sink.Tests, dataset.TestSummary{
+		ID: a.testID, Op: ph.op, Kind: dataset.TestSpeed, Dir: radio.Downlink, StartUTC: utc(t),
+		DurSec: speedTestSec, Zone: a.lastS.Zone, Server: a.server.Kind,
+		MeanBps:       res.PeakBps,
+		HighSpeedFrac: a.highSpeedFrac(), HOCount: a.hoCount(),
+		Miles:   c.Trace.MilesBetween(t, t+speedTestSec),
+		RxBytes: res.MeanBps / 8 * speedTestSec,
+	})
+}
+
+// runAppBattery runs the four killer apps on all three phones (AR and CAV
+// with and without compression) and returns the next free time slot.
+func (c *Campaign) runAppBattery(t float64) float64 {
+	cfg := c.Cfg
+	for _, compressed := range []bool{false, true} {
+		compressed := compressed
+		c.fanOut(func(sink *dataset.Dataset, id int, ph *phone) {
+			c.runOffload(sink, id, ph, t, offload.ARConfig(), dataset.TestAR, compressed)
+		})
+		t += offload.ARConfig().DurSec + cfg.GapSec
+		c.fanOut(func(sink *dataset.Dataset, id int, ph *phone) {
+			c.runOffload(sink, id, ph, t, offload.CAVConfig(), dataset.TestCAV, compressed)
+		})
+		t += offload.CAVConfig().DurSec + cfg.GapSec
+	}
+	c.fanOut(func(sink *dataset.Dataset, id int, ph *phone) { c.runVideo(sink, id, ph, t) })
+	t += cfg.VideoSec + cfg.GapSec
+	c.fanOut(func(sink *dataset.Dataset, id int, ph *phone) { c.runGaming(sink, id, ph, t) })
+	t += cfg.GamingSec + cfg.GapSec
+	return t
+}
+
+func (c *Campaign) runOffload(sink *dataset.Dataset, id int, ph *phone, t float64, appCfg offload.Config, kind dataset.TestKind, compressed bool) {
+	a := c.newAdapter(id, ph, t, ran.AppUL, radio.Uplink, nil)
+	res := offload.Run(netAdapter{a}, appCfg, compressed, true)
+	sink.Handovers = append(sink.Handovers, a.hoRecs...)
+	sink.Apps = append(sink.Apps, dataset.AppRun{
+		ID: a.testID, Op: ph.op, App: kind, StartUTC: utc(t), DurSec: appCfg.DurSec,
+		Server: a.server.Kind, Compressed: compressed,
+		HighSpeedFrac: a.highSpeedFrac(), HOCount: a.hoCount(),
+		MedianE2EMs: res.MedianE2EMs, OffloadFPS: res.OffloadFPS, MAP: res.MAP,
+	})
+}
+
+func (c *Campaign) runVideo(sink *dataset.Dataset, id int, ph *phone, t float64) {
+	a := c.newAdapter(id, ph, t, ran.AppDL, radio.Downlink, nil)
+	res := video.Run(netAdapter{a}, c.Cfg.VideoSec)
+	sink.Handovers = append(sink.Handovers, a.hoRecs...)
+	sink.Apps = append(sink.Apps, dataset.AppRun{
+		ID: a.testID, Op: ph.op, App: dataset.TestVideo, StartUTC: utc(t), DurSec: c.Cfg.VideoSec,
+		Server: a.server.Kind, HighSpeedFrac: a.highSpeedFrac(), HOCount: a.hoCount(),
+		QoE: res.QoE, RebufFrac: res.RebufFrac, AvgBitrate: res.AvgBitrate,
+	})
+}
+
+func (c *Campaign) runGaming(sink *dataset.Dataset, id int, ph *phone, t float64) {
+	a := c.newAdapter(id, ph, t, ran.AppDL, radio.Downlink, nil)
+	res := gaming.Run(netAdapter{a}, c.Cfg.GamingSec)
+	sink.Handovers = append(sink.Handovers, a.hoRecs...)
+	sink.Apps = append(sink.Apps, dataset.AppRun{
+		ID: a.testID, Op: ph.op, App: dataset.TestGaming, StartUTC: utc(t), DurSec: c.Cfg.GamingSec,
+		Server: a.server.Kind, HighSpeedFrac: a.highSpeedFrac(), HOCount: a.hoCount(),
+		SendBitrate: res.SendBitrate, NetLatencyMs: res.NetLatencyMs, FrameDrop: res.FrameDrop,
+	})
+}
+
+// runStaticBattery runs the static city baseline (§5.1): the team searched
+// each city for a 5G mmWave base station and measured facing it, falling
+// back to mid-band where mmWave could not be found — which in practice
+// meant mmWave for Verizon and AT&T and mid-band for T-Mobile (Fig. 3a).
+func (c *Campaign) runStaticBattery(t float64, s geo.Sample, city geo.City) {
+	for _, ph := range c.phones {
+		tech := radio.NRmmW
+		if ph.op == radio.TMobile && !ph.dep.HasTech(s.Km, radio.NRmmW) {
+			tech = radio.NRMid
+		}
+		st := &staticState{
+			link: radio.NewLink(c.rng.Stream("static", city.Name, ph.op.String(), tech.String()), ph.op, tech),
+			tech: tech,
+			km:   s.Km,
+			pos:  city.Pos,
+			zone: s.Zone,
+		}
+		c.runBulk(c.ds, c.newTestID(), ph, t, radio.Downlink, true, st)
+		c.runBulk(c.ds, c.newTestID(), ph, t+c.Cfg.BulkSec+2, radio.Uplink, true, st)
+		c.runRTT(c.ds, c.newTestID(), ph, t+2*(c.Cfg.BulkSec+2), true, st)
+	}
+}
+
+// runPassiveLoggers walks three dedicated idle UEs (one per carrier)
+// through the entire trace, logging the serving technology every
+// PassiveSampleSec — the handover-logger phones of §3. The three loggers
+// are independent, so they run concurrently and merge in operator order.
+func (c *Campaign) runPassiveLoggers() {
+	end := c.endKm()
+	perOp := make([][]dataset.PassiveSample, radio.NumOperators)
+	var wg sync.WaitGroup
+	for _, op := range radio.Operators() {
+		wg.Add(1)
+		go func(op radio.Operator) {
+			defer wg.Done()
+			perOp[op] = c.runPassiveLogger(op, end)
+		}(op)
+	}
+	wg.Wait()
+	for _, samples := range perOp {
+		c.ds.Passive = append(c.ds.Passive, samples...)
+	}
+}
+
+// runPassiveLogger walks one carrier's handover-logger along the trace.
+func (c *Campaign) runPassiveLogger(op radio.Operator, end float64) []dataset.PassiveSample {
+	var out []dataset.PassiveSample
+	{
+		dep := deployFor(c, op)
+		ue := ran.NewUE(c.rng.Stream("ho-logger"), dep)
+		step := c.Cfg.PassiveSampleSec
+		if step <= 0 {
+			step = 2
+		}
+		for i := 0; i < len(c.Trace.Samples); i += int(step) {
+			s := c.Trace.Samples[i]
+			if s.Km >= end {
+				break
+			}
+			snap := ue.Step(s.T, step, s.Km, s.MPH, s.Road, s.Zone, ran.Idle)
+			rec := dataset.PassiveSample{
+				Op: op, TimeUTC: utc(s.T), Km: s.Km, Zone: s.Zone,
+			}
+			if snap.Outage {
+				rec.NoSvc = true
+				rec.Tech = radio.LTE
+			} else {
+				rec.Tech = snap.Tech
+				rec.Cell = snap.Cell.ID()
+			}
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// deployFor returns the deployment already built for the operator's phone;
+// the handover-logger rides in the same car and sees the same network.
+func deployFor(c *Campaign, op radio.Operator) *deploy.Deployment {
+	for _, ph := range c.phones {
+		if ph.op == op {
+			return ph.dep
+		}
+	}
+	panic("campaign: unknown operator")
+}

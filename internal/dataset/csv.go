@@ -1,0 +1,426 @@
+package dataset
+
+import (
+	"compress/gzip"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"wheels/internal/geo"
+	"wheels/internal/radio"
+	"wheels/internal/servers"
+)
+
+// The dataset serializes to one CSV file per record type, mirroring how the
+// paper's public dataset is organized.
+const (
+	fileThr     = "throughput_samples.csv"
+	fileRTT     = "rtt_samples.csv"
+	fileHO      = "handovers.csv"
+	fileTests   = "tests.csv"
+	fileApps    = "app_runs.csv"
+	filePassive = "passive_samples.csv"
+)
+
+const timeLayout = time.RFC3339Nano
+
+func f2s(v float64) string   { return strconv.FormatFloat(v, 'g', -1, 64) }
+func i2s(v int) string       { return strconv.Itoa(v) }
+func b2s(v bool) string      { return strconv.FormatBool(v) }
+func t2s(t time.Time) string { return t.Format(timeLayout) }
+
+type rowErr struct {
+	file string
+	line int
+	err  error
+}
+
+func (e rowErr) Error() string { return fmt.Sprintf("%s:%d: %v", e.file, e.line, e.err) }
+
+// parser accumulates the first conversion error so row-parsing code can
+// stay linear.
+type parser struct{ err error }
+
+func (p *parser) f(s string) float64 {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil && p.err == nil {
+		p.err = err
+	}
+	return v
+}
+func (p *parser) i(s string) int {
+	v, err := strconv.Atoi(s)
+	if err != nil && p.err == nil {
+		p.err = err
+	}
+	return v
+}
+func (p *parser) b(s string) bool {
+	v, err := strconv.ParseBool(s)
+	if err != nil && p.err == nil {
+		p.err = err
+	}
+	return v
+}
+func (p *parser) t(s string) time.Time {
+	v, err := time.Parse(timeLayout, s)
+	if err != nil && p.err == nil {
+		p.err = err
+	}
+	return v
+}
+func (p *parser) op(s string) radio.Operator {
+	for _, o := range radio.Operators() {
+		if o.String() == s {
+			return o
+		}
+	}
+	if p.err == nil {
+		p.err = fmt.Errorf("unknown operator %q", s)
+	}
+	return 0
+}
+func (p *parser) tech(s string) radio.Tech {
+	for _, t := range radio.Techs() {
+		if t.String() == s {
+			return t
+		}
+	}
+	if p.err == nil {
+		p.err = fmt.Errorf("unknown technology %q", s)
+	}
+	return 0
+}
+func (p *parser) dir(s string) radio.Direction {
+	if s == "UL" {
+		return radio.Uplink
+	}
+	if s != "DL" && p.err == nil {
+		p.err = fmt.Errorf("unknown direction %q", s)
+	}
+	return radio.Downlink
+}
+func (p *parser) kind(s string) servers.Kind {
+	if s == "edge" {
+		return servers.Edge
+	}
+	if s != "cloud" && p.err == nil {
+		p.err = fmt.Errorf("unknown server kind %q", s)
+	}
+	return servers.Cloud
+}
+func (p *parser) zone(s string) geo.Timezone {
+	for z := geo.Pacific; z <= geo.Eastern; z++ {
+		if z.String() == s {
+			return z
+		}
+	}
+	if p.err == nil {
+		p.err = fmt.Errorf("unknown timezone %q", s)
+	}
+	return geo.Pacific
+}
+func (p *parser) road(s string) geo.RoadClass {
+	for _, r := range []geo.RoadClass{geo.RoadCity, geo.RoadSuburban, geo.RoadHighway} {
+		if r.String() == s {
+			return r
+		}
+	}
+	if p.err == nil {
+		p.err = fmt.Errorf("unknown road class %q", s)
+	}
+	return geo.RoadCity
+}
+
+func writeCSV(dir, name string, header []string, n int, row func(i int) []string) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Write(row(i)); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readCSV(dir, name string, wantCols int, row func(line int, rec []string) error) error {
+	f, err := os.Open(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = wantCols
+	if _, err := r.Read(); err != nil { // header
+		return rowErr{name, 1, err}
+	}
+	for line := 2; ; line++ {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return rowErr{name, line, err}
+		}
+		if err := row(line, rec); err != nil {
+			return rowErr{name, line, err}
+		}
+	}
+}
+
+// Save writes the dataset as CSV files under dir, creating it if needed.
+func (d *Dataset) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeCSV(dir, fileThr,
+		[]string{"test_id", "op", "dir", "time_utc", "bps", "tech", "rsrp_dbm", "sinr_db",
+			"mcs", "bler", "cc", "mph", "km", "zone", "road", "server", "static", "hos"},
+		len(d.Thr), func(i int) []string {
+			s := d.Thr[i]
+			return []string{i2s(s.TestID), s.Op.String(), s.Dir.String(), t2s(s.TimeUTC), f2s(s.Bps),
+				s.Tech.String(), f2s(s.RSRPdBm), f2s(s.SINRdB), i2s(s.MCS), f2s(s.BLER), i2s(s.CC),
+				f2s(s.MPH), f2s(s.Km), s.Zone.String(), s.Road.String(), s.Server.String(),
+				b2s(s.Static), i2s(s.HOs)}
+		}); err != nil {
+		return err
+	}
+	if err := writeCSV(dir, fileRTT,
+		[]string{"test_id", "op", "time_utc", "ms", "tech", "mph", "km", "zone", "server", "static"},
+		len(d.RTT), func(i int) []string {
+			s := d.RTT[i]
+			return []string{i2s(s.TestID), s.Op.String(), t2s(s.TimeUTC), f2s(s.Ms), s.Tech.String(),
+				f2s(s.MPH), f2s(s.Km), s.Zone.String(), s.Server.String(), b2s(s.Static)}
+		}); err != nil {
+		return err
+	}
+	if err := writeCSV(dir, fileHO,
+		[]string{"test_id", "op", "time_utc", "dur_sec", "from_tech", "to_tech", "from_cell", "to_cell", "dir"},
+		len(d.Handovers), func(i int) []string {
+			h := d.Handovers[i]
+			return []string{i2s(h.TestID), h.Op.String(), t2s(h.TimeUTC), f2s(h.DurSec),
+				h.FromTech.String(), h.ToTech.String(), h.FromCell, h.ToCell, h.Dir.String()}
+		}); err != nil {
+		return err
+	}
+	if err := writeCSV(dir, fileTests,
+		[]string{"id", "op", "kind", "dir", "start_utc", "dur_sec", "zone", "server", "static",
+			"mean_bps", "std_frac_bps", "mean_rtt_ms", "std_frac_rtt", "high_speed_frac",
+			"miles", "ho_count", "rx_bytes", "tx_bytes"},
+		len(d.Tests), func(i int) []string {
+			t := d.Tests[i]
+			return []string{i2s(t.ID), t.Op.String(), string(t.Kind), t.Dir.String(), t2s(t.StartUTC),
+				f2s(t.DurSec), t.Zone.String(), t.Server.String(), b2s(t.Static), f2s(t.MeanBps),
+				f2s(t.StdFracBps), f2s(t.MeanRTTms), f2s(t.StdFracRTT), f2s(t.HighSpeedFrac),
+				f2s(t.Miles), i2s(t.HOCount), f2s(t.RxBytes), f2s(t.TxBytes)}
+		}); err != nil {
+		return err
+	}
+	if err := writeCSV(dir, fileApps,
+		[]string{"id", "op", "app", "start_utc", "dur_sec", "server", "static", "compressed",
+			"high_speed_frac", "ho_count", "median_e2e_ms", "offload_fps", "map", "qoe",
+			"rebuf_frac", "avg_bitrate", "send_bitrate", "net_latency_ms", "frame_drop"},
+		len(d.Apps), func(i int) []string {
+			a := d.Apps[i]
+			return []string{i2s(a.ID), a.Op.String(), string(a.App), t2s(a.StartUTC), f2s(a.DurSec),
+				a.Server.String(), b2s(a.Static), b2s(a.Compressed), f2s(a.HighSpeedFrac),
+				i2s(a.HOCount), f2s(a.MedianE2EMs), f2s(a.OffloadFPS), f2s(a.MAP), f2s(a.QoE),
+				f2s(a.RebufFrac), f2s(a.AvgBitrate), f2s(a.SendBitrate), f2s(a.NetLatencyMs),
+				f2s(a.FrameDrop)}
+		}); err != nil {
+		return err
+	}
+	return writeCSV(dir, filePassive,
+		[]string{"op", "time_utc", "km", "tech", "cell", "zone", "no_svc"},
+		len(d.Passive), func(i int) []string {
+			p := d.Passive[i]
+			return []string{p.Op.String(), t2s(p.TimeUTC), f2s(p.Km), p.Tech.String(), p.Cell,
+				p.Zone.String(), b2s(p.NoSvc)}
+		})
+}
+
+// Load reads a dataset previously written with Save.
+func Load(dir string) (*Dataset, error) {
+	d := &Dataset{}
+	err := readCSV(dir, fileThr, 18, func(_ int, r []string) error {
+		var p parser
+		s := ThroughputSample{
+			TestID: p.i(r[0]), Op: p.op(r[1]), Dir: p.dir(r[2]), TimeUTC: p.t(r[3]), Bps: p.f(r[4]),
+			Tech: p.tech(r[5]), RSRPdBm: p.f(r[6]), SINRdB: p.f(r[7]), MCS: p.i(r[8]), BLER: p.f(r[9]),
+			CC: p.i(r[10]), MPH: p.f(r[11]), Km: p.f(r[12]), Zone: p.zone(r[13]), Road: p.road(r[14]),
+			Server: p.kind(r[15]), Static: p.b(r[16]), HOs: p.i(r[17]),
+		}
+		d.Thr = append(d.Thr, s)
+		return p.err
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = readCSV(dir, fileRTT, 10, func(_ int, r []string) error {
+		var p parser
+		s := RTTSample{
+			TestID: p.i(r[0]), Op: p.op(r[1]), TimeUTC: p.t(r[2]), Ms: p.f(r[3]), Tech: p.tech(r[4]),
+			MPH: p.f(r[5]), Km: p.f(r[6]), Zone: p.zone(r[7]), Server: p.kind(r[8]), Static: p.b(r[9]),
+		}
+		d.RTT = append(d.RTT, s)
+		return p.err
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = readCSV(dir, fileHO, 9, func(_ int, r []string) error {
+		var p parser
+		h := HandoverRecord{
+			TestID: p.i(r[0]), Op: p.op(r[1]), TimeUTC: p.t(r[2]), DurSec: p.f(r[3]),
+			FromTech: p.tech(r[4]), ToTech: p.tech(r[5]), FromCell: r[6], ToCell: r[7], Dir: p.dir(r[8]),
+		}
+		d.Handovers = append(d.Handovers, h)
+		return p.err
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = readCSV(dir, fileTests, 18, func(_ int, r []string) error {
+		var p parser
+		t := TestSummary{
+			ID: p.i(r[0]), Op: p.op(r[1]), Kind: TestKind(r[2]), Dir: p.dir(r[3]), StartUTC: p.t(r[4]),
+			DurSec: p.f(r[5]), Zone: p.zone(r[6]), Server: p.kind(r[7]), Static: p.b(r[8]),
+			MeanBps: p.f(r[9]), StdFracBps: p.f(r[10]), MeanRTTms: p.f(r[11]), StdFracRTT: p.f(r[12]),
+			HighSpeedFrac: p.f(r[13]), Miles: p.f(r[14]), HOCount: p.i(r[15]),
+			RxBytes: p.f(r[16]), TxBytes: p.f(r[17]),
+		}
+		d.Tests = append(d.Tests, t)
+		return p.err
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = readCSV(dir, fileApps, 19, func(_ int, r []string) error {
+		var p parser
+		a := AppRun{
+			ID: p.i(r[0]), Op: p.op(r[1]), App: TestKind(r[2]), StartUTC: p.t(r[3]), DurSec: p.f(r[4]),
+			Server: p.kind(r[5]), Static: p.b(r[6]), Compressed: p.b(r[7]), HighSpeedFrac: p.f(r[8]),
+			HOCount: p.i(r[9]), MedianE2EMs: p.f(r[10]), OffloadFPS: p.f(r[11]), MAP: p.f(r[12]),
+			QoE: p.f(r[13]), RebufFrac: p.f(r[14]), AvgBitrate: p.f(r[15]), SendBitrate: p.f(r[16]),
+			NetLatencyMs: p.f(r[17]), FrameDrop: p.f(r[18]),
+		}
+		d.Apps = append(d.Apps, a)
+		return p.err
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = readCSV(dir, filePassive, 7, func(_ int, r []string) error {
+		var p parser
+		s := PassiveSample{
+			Op: p.op(r[0]), TimeUTC: p.t(r[1]), Km: p.f(r[2]), Tech: p.tech(r[3]), Cell: r[4],
+			Zone: p.zone(r[5]), NoSvc: p.b(r[6]),
+		}
+		d.Passive = append(d.Passive, s)
+		return p.err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// SaveCompressed writes the dataset CSVs gzip-compressed (one .csv.gz per
+// table) — the full-campaign dataset is ~80 MB as plain CSV.
+func (d *Dataset) SaveCompressed(dir string) error {
+	tmp, err := os.MkdirTemp(dir, ".staging-*")
+	if err != nil {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		tmp, err = os.MkdirTemp(dir, ".staging-*")
+		if err != nil {
+			return err
+		}
+	}
+	defer os.RemoveAll(tmp)
+	if err := d.Save(tmp); err != nil {
+		return err
+	}
+	for _, name := range []string{fileThr, fileRTT, fileHO, fileTests, fileApps, filePassive} {
+		in, err := os.Open(filepath.Join(tmp, name))
+		if err != nil {
+			return err
+		}
+		out, err := os.Create(filepath.Join(dir, name+".gz"))
+		if err != nil {
+			in.Close()
+			return err
+		}
+		zw := gzip.NewWriter(out)
+		if _, err := io.Copy(zw, in); err != nil {
+			in.Close()
+			out.Close()
+			return err
+		}
+		in.Close()
+		if err := zw.Close(); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadCompressed reads a dataset previously written with SaveCompressed.
+func LoadCompressed(dir string) (*Dataset, error) {
+	tmp, err := os.MkdirTemp("", "wheels-dataset-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	for _, name := range []string{fileThr, fileRTT, fileHO, fileTests, fileApps, filePassive} {
+		in, err := os.Open(filepath.Join(dir, name+".gz"))
+		if err != nil {
+			return nil, err
+		}
+		zr, err := gzip.NewReader(in)
+		if err != nil {
+			in.Close()
+			return nil, fmt.Errorf("dataset: %s: %v", name, err)
+		}
+		out, err := os.Create(filepath.Join(tmp, name))
+		if err != nil {
+			zr.Close()
+			in.Close()
+			return nil, err
+		}
+		if _, err := io.Copy(out, zr); err != nil {
+			zr.Close()
+			in.Close()
+			out.Close()
+			return nil, fmt.Errorf("dataset: %s: %v", name, err)
+		}
+		zr.Close()
+		in.Close()
+		if err := out.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return Load(tmp)
+}

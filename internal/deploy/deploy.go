@@ -1,0 +1,157 @@
+package deploy
+
+import (
+	"fmt"
+	"math"
+
+	"wheels/internal/geo"
+	"wheels/internal/radio"
+	"wheels/internal/sim"
+)
+
+// binKm is the spatial resolution of the availability fields.
+const binKm = 0.1
+
+// Cell identifies one base station of one operator and technology. Cells of
+// a technology are laid out along the route with the band's inter-site
+// spacing and a lateral offset from the road.
+type Cell struct {
+	Op        radio.Operator
+	Tech      radio.Tech
+	Index     int     // sequence number along the route for this (op, tech)
+	CenterKm  float64 // route distance of the point nearest the site
+	LateralKm float64
+}
+
+// ID returns a globally unique cell identifier, stable across runs.
+func (c Cell) ID() string {
+	return fmt.Sprintf("%s-%s-%d", c.Op.Short(), c.Tech, c.Index)
+}
+
+// lateralOffsetKm is the perpendicular distance from road to site per tech:
+// mmWave sites hug the street; macro towers sit farther back.
+func lateralOffsetKm(t radio.Tech) float64 {
+	if t == radio.NRmmW {
+		return 0.05
+	}
+	return 0.25
+}
+
+// Deployment is one operator's radio footprint along a route: a boolean
+// availability field per technology (spatially persistent runs whose
+// density follows the calibrated tables) plus deterministic cell geometry.
+type Deployment struct {
+	Op    radio.Operator
+	Route *geo.Route
+
+	nbins  int
+	fields map[radio.Tech][]bool
+}
+
+// New builds the operator's deployment along the route. All randomness
+// derives from the stream, so the footprint is reproducible per seed.
+func New(route *geo.Route, op radio.Operator, rng *sim.RNG) *Deployment {
+	d := &Deployment{
+		Op:     op,
+		Route:  route,
+		nbins:  int(route.LengthKm()/binKm) + 1,
+		fields: map[radio.Tech][]bool{},
+	}
+	for _, t := range radio.Techs() {
+		d.fields[t] = d.buildField(t, rng.Stream("field", op.String(), t.String()))
+	}
+	return d
+}
+
+// buildField walks the route in binKm steps maintaining run-length state:
+// the current covered/uncovered state persists for an exponential run, then
+// re-draws from the local availability probability. This produces the
+// fragmented, spatially correlated coverage the paper observed (Fig. 1).
+func (d *Deployment) buildField(t radio.Tech, rng *sim.RNG) []bool {
+	field := make([]bool, d.nbins)
+	mean := runLengthKm[t]
+	remaining := 0.0
+	covered := false
+	for i := 0; i < d.nbins; i++ {
+		km := float64(i) * binKm
+		if remaining <= 0 {
+			p := availability(d.Op, t, d.Route.RoadClassAt(km), d.Route.TimezoneAt(km))
+			covered = rng.Bool(p)
+			remaining = rng.Exponential(mean)
+			if remaining < binKm {
+				remaining = binKm
+			}
+		}
+		field[i] = covered
+		remaining -= binKm
+	}
+	return field
+}
+
+func (d *Deployment) bin(km float64) int {
+	i := int(km / binKm)
+	if i < 0 {
+		return 0
+	}
+	if i >= d.nbins {
+		return d.nbins - 1
+	}
+	return i
+}
+
+// HasTech reports whether the technology is deployed at route distance km.
+func (d *Deployment) HasTech(km float64, t radio.Tech) bool {
+	return d.fields[t][d.bin(km)]
+}
+
+// Available returns the technologies deployed at route distance km, in
+// ascending capability order.
+func (d *Deployment) Available(km float64) []radio.Tech {
+	var out []radio.Tech
+	for _, t := range radio.Techs() {
+		if d.HasTech(km, t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// CellAt returns the serving cell for the technology at route distance km
+// and the UE's 2-D distance to it. The cell grid is deterministic: site i of
+// a band sits at route distance (i+0.5)·spacing with the band's lateral
+// offset, so cell identity is stable across runs and revisits.
+func (d *Deployment) CellAt(km float64, t radio.Tech) (Cell, float64) {
+	spacing := radio.Bands(d.Op, t).CellSpacingKm
+	idx := int(km / spacing)
+	if idx < 0 {
+		idx = 0
+	}
+	center := (float64(idx) + 0.5) * spacing
+	lat := lateralOffsetKm(t)
+	dist := math.Hypot(km-center, lat)
+	return Cell{Op: d.Op, Tech: t, Index: idx, CenterKm: center, LateralKm: lat}, dist
+}
+
+// CoverageFraction returns the fraction of route bins where the technology
+// is deployed — a diagnostic used by calibration tests, not by the policy.
+func (d *Deployment) CoverageFraction(t radio.Tech) float64 {
+	n := 0
+	for _, c := range d.fields[t] {
+		if c {
+			n++
+		}
+	}
+	return float64(n) / float64(d.nbins)
+}
+
+// BestAvailable returns the most capable technology deployed at km, or
+// (LTE, false) when the UE has no service at all.
+func (d *Deployment) BestAvailable(km float64) (radio.Tech, bool) {
+	techs := radio.Techs()
+	for i := len(techs) - 1; i >= 0; i-- {
+		if d.HasTech(km, techs[i]) {
+			return techs[i], true
+		}
+	}
+	return radio.LTE, false
+}

@@ -1,0 +1,92 @@
+// Package deploy models the three carriers' radio deployments along the
+// LA → Boston route: which technologies are available at each point, where
+// the cells are, and how fragmented coverage is. The availability
+// probabilities are calibrated to the paper's measured coverage shares
+// (Figs. 2a, 2c, 2d): the paper's findings are *about* these deployment
+// asymmetries, so we encode the measured asymmetries as model inputs and
+// verify the rest of the pipeline re-derives the published shapes.
+package deploy
+
+import (
+	"wheels/internal/geo"
+	"wheels/internal/radio"
+)
+
+// availBase is the baseline probability that a given technology is deployed
+// at a point, by operator, technology, and road class. The deployment
+// strategies follow §4.2: Verizon prioritized mmWave in downtown areas,
+// T-Mobile spread low/mid-band over large areas (the only carrier keeping
+// mid-band on highways), AT&T leads in LTE-A but trails in 5G.
+var availBase = map[radio.Operator]map[radio.Tech][3]float64{
+	// Index order: [RoadCity, RoadSuburban, RoadHighway].
+	radio.Verizon: {
+		radio.LTE:   {0.97, 0.97, 0.97},
+		radio.LTEA:  {0.93, 0.88, 0.84},
+		radio.NRLow: {0.36, 0.22, 0.13},
+		radio.NRMid: {0.42, 0.18, 0.10},
+		radio.NRmmW: {0.55, 0.035, 0.004},
+	},
+	radio.TMobile: {
+		radio.LTE:   {0.97, 0.97, 0.97},
+		radio.LTEA:  {0.85, 0.82, 0.80},
+		radio.NRLow: {0.80, 0.66, 0.58},
+		radio.NRMid: {0.66, 0.54, 0.40},
+		radio.NRmmW: {0.14, 0.004, 0.001},
+	},
+	radio.ATT: {
+		radio.LTE:   {0.97, 0.97, 0.97},
+		radio.LTEA:  {0.96, 0.94, 0.92},
+		radio.NRLow: {0.50, 0.30, 0.20},
+		radio.NRMid: {0.22, 0.035, 0.012},
+		radio.NRmmW: {0.13, 0.002, 0.0005},
+	},
+}
+
+// zoneScale captures Fig. 2c's regional diversity as multiplicative
+// modifiers on 5G availability per timezone. 4G availability is uniform.
+var zoneScale = map[radio.Operator]map[radio.Tech][geo.NumTimezones]float64{
+	// Index order: [Pacific, Mountain, Central, Eastern].
+	radio.Verizon: {
+		// Verizon's 5G skews to the eastern half of the country.
+		radio.NRLow: {0.9, 0.55, 1.25, 1.35},
+		radio.NRMid: {0.9, 0.45, 1.30, 1.40},
+		radio.NRmmW: {1.0, 0.7, 1.1, 1.2},
+	},
+	radio.TMobile: {
+		// T-Mobile's mid-band is strongest in the Pacific timezone.
+		radio.NRLow: {0.85, 0.95, 1.05, 1.0},
+		radio.NRMid: {1.5, 0.75, 0.95, 1.0},
+		radio.NRmmW: {1.0, 0.5, 1.0, 1.2},
+	},
+	radio.ATT: {
+		// AT&T has very little 5G in the Mountain and Central timezones.
+		radio.NRLow: {1.5, 0.35, 0.55, 1.35},
+		radio.NRMid: {1.4, 0.3, 0.5, 1.3},
+		radio.NRmmW: {1.2, 0.4, 0.6, 1.2},
+	},
+}
+
+// runLengthKm is the mean length of a contiguous covered (or uncovered) run
+// for each technology: mmWave coverage is street-corner sized, low-band runs
+// span many km. These drive coverage fragmentation and, downstream, the
+// vertical-handover rate.
+var runLengthKm = map[radio.Tech]float64{
+	radio.LTE:   16,
+	radio.LTEA:  11,
+	radio.NRLow: 6,
+	radio.NRMid: 2.6,
+	radio.NRmmW: 0.5,
+}
+
+// availability returns the probability that tech is deployed at the given
+// road class and timezone for the operator.
+func availability(op radio.Operator, t radio.Tech, road geo.RoadClass, zone geo.Timezone) float64 {
+	p := availBase[op][t][road]
+	if s, ok := zoneScale[op][t]; ok {
+		p *= s[zone]
+	}
+	if p > 0.97 {
+		p = 0.97
+	}
+	return p
+}

@@ -1,0 +1,134 @@
+package geo
+
+import (
+	"wheels/internal/sim"
+)
+
+// Sample is one second of the drive trace.
+type Sample struct {
+	T    float64 // simulation time in seconds since sim.TripStart
+	Km   float64 // cumulative route distance
+	Pos  LatLon
+	MPH  float64
+	Road RoadClass
+	Zone Timezone
+	Day  int // 1-based trip day
+}
+
+// Bin returns the paper's speed bin for this sample.
+func (s Sample) Bin() SpeedBin { return BinForSpeed(s.MPH) }
+
+// Trace is the 1 Hz drive trace for the whole trip. Samples are ordered by
+// time; there are gaps between trip days (overnight stops).
+type Trace struct {
+	Route   *Route
+	Samples []Sample
+}
+
+// speedParams are the Gauss–Markov speed-profile parameters per road class.
+// Means are chosen so city driving lands mostly in the paper's 0–20 mph bin,
+// suburban in 20–60, and interstate in 60+.
+var speedParams = map[RoadClass]struct {
+	mean, sigma, tau, lo, hi float64
+}{
+	RoadCity:     {mean: 13, sigma: 7, tau: 25, lo: 0, hi: 32},
+	RoadSuburban: {mean: 42, sigma: 9, tau: 40, lo: 8, hi: 58},
+	RoadHighway:  {mean: 68, sigma: 5.5, tau: 60, lo: 42, hi: 82},
+}
+
+// dayStartSec returns the simulation time of 8:00 local on the given 1-based
+// trip day, in the timezone at the day's starting position. Day 1 at 8:00
+// PDT is simulation time zero (sim.TripStart).
+func dayStartSec(day int, zone Timezone) float64 {
+	utcHour := 8 - float64(zone.UTCOffsetHours()) // local 8:00 as UTC hour
+	return float64(day-1)*86400 + (utcHour-15)*3600
+}
+
+// Drive simulates the 8-day drive at 1 Hz and returns the trace. All
+// randomness comes from the provided stream, so a given seed reproduces the
+// same drive exactly.
+func Drive(r *Route, rng *sim.RNG) *Trace {
+	tr := &Trace{Route: r}
+	speed := map[RoadClass]*sim.GaussMarkov{}
+	for class, p := range speedParams {
+		speed[class] = sim.NewGaussMarkov(rng.Stream("speed", class.String()), p.mean, p.sigma, p.tau)
+	}
+	for day := 1; day <= r.Days(); day++ {
+		startKm, endKm, err := r.DayRangeKm(day)
+		if err != nil {
+			panic(err) // unreachable: day iterates over the route's own days
+		}
+		t := dayStartSec(day, r.TimezoneAt(startKm))
+		km := startKm
+		for km < endKm {
+			road := r.RoadClassAt(km)
+			p := speedParams[road]
+			mph := speed[road].Step(1)
+			if mph < p.lo {
+				mph = p.lo
+			}
+			if mph > p.hi {
+				mph = p.hi
+			}
+			// Occasional full stops in city traffic (lights, congestion).
+			if road == RoadCity && rng.Bool(0.02) {
+				mph = 0
+			}
+			tr.Samples = append(tr.Samples, Sample{
+				T:    t,
+				Km:   km,
+				Pos:  r.PosAt(km),
+				MPH:  mph,
+				Road: road,
+				Zone: r.TimezoneAt(km),
+				Day:  day,
+			})
+			km += mph * KmPerMile / 3600
+			t++
+		}
+	}
+	return tr
+}
+
+// DurationSec returns total driving time (excluding overnight gaps).
+func (tr *Trace) DurationSec() float64 { return float64(len(tr.Samples)) }
+
+// At returns the index of the last sample with T <= t, or -1 if t precedes
+// the trace. Samples are 1 s apart within a day, so this is a binary search.
+func (tr *Trace) At(t float64) int {
+	lo, hi := 0, len(tr.Samples)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if tr.Samples[mid].T <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// Slice returns the samples with T in [t0, t1).
+func (tr *Trace) Slice(t0, t1 float64) []Sample {
+	i := tr.At(t0)
+	if i < 0 {
+		i = 0
+	}
+	for i < len(tr.Samples) && tr.Samples[i].T < t0 {
+		i++
+	}
+	j := i
+	for j < len(tr.Samples) && tr.Samples[j].T < t1 {
+		j++
+	}
+	return tr.Samples[i:j]
+}
+
+// MilesBetween returns the miles driven between simulation times t0 and t1.
+func (tr *Trace) MilesBetween(t0, t1 float64) float64 {
+	s := tr.Slice(t0, t1)
+	if len(s) < 2 {
+		return 0
+	}
+	return (s[len(s)-1].Km - s[0].Km) / KmPerMile
+}

@@ -1,0 +1,169 @@
+package geo
+
+import (
+	"math"
+	"testing"
+
+	"wheels/internal/sim"
+)
+
+func testTrace(t *testing.T) *Trace {
+	t.Helper()
+	return Drive(NewRoute(), sim.NewRNG(23).Stream("drive"))
+}
+
+func TestDriveDeterminism(t *testing.T) {
+	a := Drive(NewRoute(), sim.NewRNG(23).Stream("drive"))
+	b := Drive(NewRoute(), sim.NewRNG(23).Stream("drive"))
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("traces diverge at sample %d", i)
+		}
+	}
+}
+
+func TestDriveCoversRoute(t *testing.T) {
+	tr := testTrace(t)
+	r := tr.Route
+	last := tr.Samples[len(tr.Samples)-1]
+	if last.Km < r.LengthKm()-1 {
+		t.Errorf("trace ends at km %.1f, route is %.1f km", last.Km, r.LengthKm())
+	}
+	if last.Day != 8 {
+		t.Errorf("trace ends on day %d, want 8", last.Day)
+	}
+}
+
+func TestDriveMonotonic(t *testing.T) {
+	tr := testTrace(t)
+	for i := 1; i < len(tr.Samples); i++ {
+		if tr.Samples[i].T <= tr.Samples[i-1].T {
+			t.Fatalf("time not strictly increasing at sample %d", i)
+		}
+		if tr.Samples[i].Km < tr.Samples[i-1].Km {
+			t.Fatalf("distance decreased at sample %d", i)
+		}
+	}
+}
+
+func TestDriveSpeedBinsByRoadClass(t *testing.T) {
+	tr := testTrace(t)
+	// Each road class must concentrate in its expected speed bin.
+	inBin := map[RoadClass]int{}
+	total := map[RoadClass]int{}
+	want := map[RoadClass]SpeedBin{RoadCity: SpeedLow, RoadSuburban: SpeedMid, RoadHighway: SpeedHigh}
+	for _, s := range tr.Samples {
+		total[s.Road]++
+		if s.Bin() == want[s.Road] {
+			inBin[s.Road]++
+		}
+	}
+	for class, bin := range want {
+		if total[class] == 0 {
+			t.Fatalf("no samples on %v roads", class)
+		}
+		frac := float64(inBin[class]) / float64(total[class])
+		if frac < 0.55 {
+			t.Errorf("%v samples in %v bin: %.2f, want > 0.55", class, bin, frac)
+		}
+	}
+}
+
+func TestDriveDailySchedule(t *testing.T) {
+	tr := testTrace(t)
+	// Every day's driving must fit in under 14 hours and days must not
+	// overlap in time.
+	dayStart := map[int]float64{}
+	dayEnd := map[int]float64{}
+	for _, s := range tr.Samples {
+		if _, ok := dayStart[s.Day]; !ok {
+			dayStart[s.Day] = s.T
+		}
+		dayEnd[s.Day] = s.T
+	}
+	for day := 1; day <= 8; day++ {
+		span := dayEnd[day] - dayStart[day]
+		if span <= 0 || span > 14*3600 {
+			t.Errorf("day %d spans %.1f h, want (0, 14]", day, span/3600)
+		}
+		if day > 1 && dayStart[day] <= dayEnd[day-1] {
+			t.Errorf("day %d starts before day %d ends", day, day-1)
+		}
+	}
+}
+
+func TestDriveTotalDuration(t *testing.T) {
+	tr := testTrace(t)
+	h := tr.DurationSec() / 3600
+	// 5711 km over 8 days at mixed speeds: roughly 50-75 hours of driving.
+	if h < 45 || h > 80 {
+		t.Errorf("total driving time = %.1f h, want 45-80", h)
+	}
+}
+
+func TestTraceAt(t *testing.T) {
+	tr := testTrace(t)
+	if got := tr.At(tr.Samples[0].T - 1); got != -1 {
+		t.Errorf("At(before start) = %d, want -1", got)
+	}
+	mid := tr.Samples[1000].T
+	if got := tr.At(mid); tr.Samples[got].T != mid {
+		t.Errorf("At(exact sample time) returned T=%v, want %v", tr.Samples[got].T, mid)
+	}
+	if got := tr.At(mid + 0.5); tr.Samples[got].T != mid {
+		t.Errorf("At(t+0.5) returned T=%v, want %v", tr.Samples[got].T, mid)
+	}
+	last := tr.At(math.Inf(1))
+	if last != len(tr.Samples)-1 {
+		t.Errorf("At(inf) = %d, want last index", last)
+	}
+}
+
+func TestTraceSliceAndMiles(t *testing.T) {
+	tr := testTrace(t)
+	t0 := tr.Samples[500].T
+	s := tr.Slice(t0, t0+30)
+	if len(s) != 30 {
+		t.Fatalf("30 s slice has %d samples, want 30", len(s))
+	}
+	miles := tr.MilesBetween(t0, t0+30)
+	if miles < 0 || miles > 0.8 {
+		t.Errorf("miles in 30 s = %.2f, want within [0, 0.8]", miles)
+	}
+	if got := tr.MilesBetween(t0, t0); got != 0 {
+		t.Errorf("zero-width interval drove %v miles", got)
+	}
+}
+
+func TestDayStartLocalTime(t *testing.T) {
+	tr := testTrace(t)
+	// Day 1 starts at sim time 0 (8:00 PDT).
+	if tr.Samples[0].T != 0 {
+		t.Errorf("day 1 starts at sim %v, want 0", tr.Samples[0].T)
+	}
+	// Each later day starts at 8:00 local: (T mod 86400) must equal the
+	// local-8am UTC offset for the day's starting zone.
+	for day := 2; day <= 8; day++ {
+		var first Sample
+		found := false
+		for _, s := range tr.Samples {
+			if s.Day == day {
+				first = s
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no samples on day %d", day)
+		}
+		wantOffset := (8 - float64(first.Zone.UTCOffsetHours()) - 15) * 3600
+		gotOffset := first.T - float64(day-1)*86400
+		if math.Abs(gotOffset-wantOffset) > 1 {
+			t.Errorf("day %d starts at offset %.0f s, want %.0f (8:00 local in %v)",
+				day, gotOffset, wantOffset, first.Zone)
+		}
+	}
+}

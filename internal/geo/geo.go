@@ -1,0 +1,163 @@
+// Package geo models the geography of the paper's measurement campaign: the
+// LA → Boston driving route (5700+ km, 14 states, 10 major cities, 4 US
+// timezones), road classes along the route, per-day drive schedule, and the
+// vehicle's speed profile. It produces the 1 Hz drive trace that every other
+// subsystem (radio, RAN, transport, apps) consumes.
+package geo
+
+import "math"
+
+// KmPerMile converts statute miles to kilometers.
+const KmPerMile = 1.609344
+
+// EarthRadiusKm is the mean Earth radius used by Haversine.
+const EarthRadiusKm = 6371.0
+
+// LatLon is a WGS-84 coordinate in degrees.
+type LatLon struct {
+	Lat float64
+	Lon float64
+}
+
+// Haversine returns the great-circle distance between two points in km.
+func Haversine(a, b LatLon) float64 {
+	const rad = math.Pi / 180
+	dLat := (b.Lat - a.Lat) * rad
+	dLon := (b.Lon - a.Lon) * rad
+	sLat := math.Sin(dLat / 2)
+	sLon := math.Sin(dLon / 2)
+	h := sLat*sLat + math.Cos(a.Lat*rad)*math.Cos(b.Lat*rad)*sLon*sLon
+	return 2 * EarthRadiusKm * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// Lerp linearly interpolates between two coordinates. Good enough for
+// positioning along a leg; we never need geodesic precision.
+func Lerp(a, b LatLon, t float64) LatLon {
+	return LatLon{
+		Lat: a.Lat + (b.Lat-a.Lat)*t,
+		Lon: a.Lon + (b.Lon-a.Lon)*t,
+	}
+}
+
+// RoadClass classifies the road being driven. The paper's analysis keys on
+// this implicitly through the three speed bins: city driving is mostly
+// 0–20 mph, suburban 20–60 mph, and interstate highways 60+ mph (§4.2, §5.5).
+type RoadClass int
+
+const (
+	// RoadCity is dense urban street driving within a major city.
+	RoadCity RoadClass = iota
+	// RoadSuburban is the in-between: town crossings, ramps, state roads.
+	RoadSuburban
+	// RoadHighway is inter-state highway driving.
+	RoadHighway
+)
+
+// String returns the road class name.
+func (r RoadClass) String() string {
+	switch r {
+	case RoadCity:
+		return "city"
+	case RoadSuburban:
+		return "suburban"
+	case RoadHighway:
+		return "highway"
+	default:
+		return "unknown"
+	}
+}
+
+// Timezone is one of the four continental US timezones crossed by the trip.
+type Timezone int
+
+const (
+	Pacific Timezone = iota
+	Mountain
+	Central
+	Eastern
+	NumTimezones = 4
+)
+
+// String returns the timezone name as used in the paper's figures.
+func (z Timezone) String() string {
+	switch z {
+	case Pacific:
+		return "Pacific"
+	case Mountain:
+		return "Mountain"
+	case Central:
+		return "Central"
+	case Eastern:
+		return "Eastern"
+	default:
+		return "unknown"
+	}
+}
+
+// UTCOffsetHours returns the UTC offset in hours under daylight saving time,
+// which was in effect during the August 2022 trip.
+func (z Timezone) UTCOffsetHours() int {
+	switch z {
+	case Pacific:
+		return -7
+	case Mountain:
+		return -6
+	case Central:
+		return -5
+	default:
+		return -4
+	}
+}
+
+// timezoneForLon maps a longitude to the timezone crossed along this
+// particular route. The boundaries are the approximate longitudes where
+// I-15/I-80/I-90 cross timezone lines: NV/UT border (~-114.0), central
+// Nebraska (~-101.5), and the IL/IN border (~-87.5; Indiana is Eastern).
+func timezoneForLon(lon float64) Timezone {
+	switch {
+	case lon < -114.0:
+		return Pacific
+	case lon < -101.5:
+		return Mountain
+	case lon < -87.5:
+		return Central
+	default:
+		return Eastern
+	}
+}
+
+// SpeedBin is one of the paper's three speed bins (Figs. 2d, 7, 8).
+type SpeedBin int
+
+const (
+	SpeedLow     SpeedBin = iota // 0–20 mph
+	SpeedMid                     // 20–60 mph
+	SpeedHigh                    // 60+ mph
+	NumSpeedBins = 3
+)
+
+// String returns the bin label as used in the paper.
+func (b SpeedBin) String() string {
+	switch b {
+	case SpeedLow:
+		return "0-20mph"
+	case SpeedMid:
+		return "20-60mph"
+	case SpeedHigh:
+		return "60+mph"
+	default:
+		return "unknown"
+	}
+}
+
+// BinForSpeed classifies a speed in mph into the paper's three bins.
+func BinForSpeed(mph float64) SpeedBin {
+	switch {
+	case mph < 20:
+		return SpeedLow
+	case mph < 60:
+		return SpeedMid
+	default:
+		return SpeedHigh
+	}
+}

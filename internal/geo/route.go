@@ -1,0 +1,250 @@
+package geo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// City is a major city visited on the trip. Static baseline measurements
+// (Fig. 3a) and Verizon's Wavelength edge servers are tied to cities.
+type City struct {
+	Name string
+	Pos  LatLon
+	// Edge reports whether an Amazon Wavelength edge server is available in
+	// this city (LA, Las Vegas, Denver, Chicago, Boston per §3).
+	Edge bool
+	// RadiusKm is the extent of city-class driving around the center.
+	RadiusKm float64
+}
+
+// Leg is one city-to-city stretch of the route.
+type Leg struct {
+	From, To  string
+	FromPos   LatLon
+	ToPos     LatLon
+	RoadKm    float64 // driven road distance (great-circle × winding factor)
+	Day       int     // 1-based trip day on which the leg is driven
+	States    []string
+	MidTownKm []float64 // distances (from leg start) of intermediate towns
+	startKm   float64   // cumulative route distance at leg start
+}
+
+// windingFactor inflates great-circle distance to road distance. Calibrated
+// so the total route length lands at the paper's 5711+ km.
+const windingFactor = 1.2318
+
+// cityKm / suburbKm bound the road-class bands at each end of a leg, and
+// townKm is the suburban band around each intermediate town.
+const (
+	cityKm   = 9.0
+	suburbKm = 22.0
+	townKm   = 14.0
+)
+
+// Route is the full LA → Boston route.
+type Route struct {
+	Cities []City
+	Legs   []Leg
+	total  float64
+}
+
+// NewRoute constructs the paper's route: Los Angeles to Boston via Las Vegas,
+// Salt Lake City, Denver, Omaha, Chicago, Indianapolis, Cleveland, and
+// Rochester, driven over 8 days (08/08/2022 – 08/15/2022).
+func NewRoute() *Route {
+	cities := []City{
+		{Name: "Los Angeles", Pos: LatLon{34.052, -118.244}, Edge: true, RadiusKm: 12},
+		{Name: "Las Vegas", Pos: LatLon{36.170, -115.140}, Edge: true, RadiusKm: 9},
+		{Name: "Salt Lake City", Pos: LatLon{40.761, -111.891}, RadiusKm: 8},
+		{Name: "Denver", Pos: LatLon{39.739, -104.990}, Edge: true, RadiusKm: 10},
+		{Name: "Omaha", Pos: LatLon{41.257, -95.934}, RadiusKm: 7},
+		{Name: "Chicago", Pos: LatLon{41.878, -87.630}, Edge: true, RadiusKm: 12},
+		{Name: "Indianapolis", Pos: LatLon{39.768, -86.158}, RadiusKm: 8},
+		{Name: "Cleveland", Pos: LatLon{41.499, -81.694}, RadiusKm: 8},
+		{Name: "Rochester", Pos: LatLon{43.157, -77.615}, RadiusKm: 7},
+		{Name: "Boston", Pos: LatLon{42.360, -71.058}, Edge: true, RadiusKm: 10},
+	}
+	type legSpec struct {
+		day    int
+		states []string
+		towns  int // intermediate towns on the leg
+	}
+	specs := []legSpec{
+		{1, []string{"CA", "NV"}, 2},
+		{2, []string{"NV", "AZ", "UT"}, 3},
+		{3, []string{"UT", "WY", "CO"}, 3},
+		{4, []string{"CO", "NE"}, 4},
+		{5, []string{"NE", "IA", "IL"}, 4},
+		{6, []string{"IL", "IN"}, 2},
+		{6, []string{"IN", "OH"}, 2},
+		{7, []string{"OH", "PA", "NY"}, 2},
+		{8, []string{"NY", "MA"}, 3},
+	}
+	r := &Route{Cities: cities}
+	var cum float64
+	for i, spec := range specs {
+		from, to := cities[i], cities[i+1]
+		road := Haversine(from.Pos, to.Pos) * windingFactor
+		leg := Leg{
+			From:    from.Name,
+			To:      to.Name,
+			FromPos: from.Pos,
+			ToPos:   to.Pos,
+			RoadKm:  road,
+			Day:     spec.day,
+			States:  spec.states,
+			startKm: cum,
+		}
+		// Place intermediate towns evenly between the suburban bands.
+		usable := road - 2*suburbKm
+		for t := 1; t <= spec.towns; t++ {
+			leg.MidTownKm = append(leg.MidTownKm,
+				suburbKm+usable*float64(t)/float64(spec.towns+1))
+		}
+		r.Legs = append(r.Legs, leg)
+		cum += road
+	}
+	r.total = cum
+	return r
+}
+
+// LengthKm returns the total road length of the route.
+func (r *Route) LengthKm() float64 { return r.total }
+
+// LengthMiles returns the total road length in miles.
+func (r *Route) LengthMiles() float64 { return r.total / KmPerMile }
+
+// Days returns the number of trip days.
+func (r *Route) Days() int { return r.Legs[len(r.Legs)-1].Day }
+
+// Counties estimates the number of counties crossed (Table 1 reports
+// "100+"): US counties along the interstate corridors average ~45-55 km of
+// road each, with one extra for each major-city core.
+func (r *Route) Counties() int {
+	const countyKm = 50.0
+	n := 0
+	for _, l := range r.Legs {
+		per := int(l.RoadKm / countyKm)
+		if per < 1 {
+			per = 1
+		}
+		n += per
+	}
+	return n + len(r.Cities)
+}
+
+// States returns the number of distinct states crossed.
+func (r *Route) States() int {
+	seen := map[string]bool{}
+	for _, l := range r.Legs {
+		for _, s := range l.States {
+			seen[s] = true
+		}
+	}
+	return len(seen)
+}
+
+// legAt returns the leg containing route distance km and the offset into it.
+func (r *Route) legAt(km float64) (*Leg, float64) {
+	if km < 0 {
+		km = 0
+	}
+	if km >= r.total {
+		last := &r.Legs[len(r.Legs)-1]
+		return last, last.RoadKm
+	}
+	i := sort.Search(len(r.Legs), func(i int) bool {
+		return r.Legs[i].startKm+r.Legs[i].RoadKm > km
+	})
+	leg := &r.Legs[i]
+	return leg, km - leg.startKm
+}
+
+// PosAt returns the coordinate at route distance km, interpolating along the
+// leg's great-circle chord.
+func (r *Route) PosAt(km float64) LatLon {
+	leg, off := r.legAt(km)
+	return Lerp(leg.FromPos, leg.ToPos, off/leg.RoadKm)
+}
+
+// TimezoneAt returns the timezone at route distance km.
+func (r *Route) TimezoneAt(km float64) Timezone {
+	return timezoneForLon(r.PosAt(km).Lon)
+}
+
+// RoadClassAt returns the road class at route distance km: city within
+// cityKm of a leg endpoint, suburban within suburbKm of an endpoint or
+// townKm/2 of an intermediate town, highway otherwise.
+func (r *Route) RoadClassAt(km float64) RoadClass {
+	leg, off := r.legAt(km)
+	end := leg.RoadKm
+	switch {
+	case off < cityKm || end-off < cityKm:
+		return RoadCity
+	case off < suburbKm || end-off < suburbKm:
+		return RoadSuburban
+	}
+	for _, t := range leg.MidTownKm {
+		if off > t-townKm/2 && off < t+townKm/2 {
+			return RoadSuburban
+		}
+	}
+	return RoadHighway
+}
+
+// CityAt returns the city whose urban area contains route distance km, if
+// any. Only leg endpoints count: intermediate towns are not major cities.
+func (r *Route) CityAt(km float64) (City, bool) {
+	leg, off := r.legAt(km)
+	if off < cityKm {
+		return r.cityByName(leg.From), true
+	}
+	if leg.RoadKm-off < cityKm {
+		return r.cityByName(leg.To), true
+	}
+	return City{}, false
+}
+
+// DayAt returns the 1-based trip day for route distance km.
+func (r *Route) DayAt(km float64) int {
+	leg, _ := r.legAt(km)
+	return leg.Day
+}
+
+// DayRangeKm returns the [start, end) route-distance interval driven on the
+// given 1-based day.
+func (r *Route) DayRangeKm(day int) (start, end float64, err error) {
+	start, end = -1, -1
+	for _, l := range r.Legs {
+		if l.Day == day {
+			if start < 0 {
+				start = l.startKm
+			}
+			end = l.startKm + l.RoadKm
+		}
+	}
+	if start < 0 {
+		return 0, 0, fmt.Errorf("geo: no legs on day %d (trip has %d days)", day, r.Days())
+	}
+	return start, end, nil
+}
+
+func (r *Route) cityByName(name string) City {
+	for _, c := range r.Cities {
+		if c.Name == name {
+			return c
+		}
+	}
+	return City{Name: name}
+}
+
+// EdgeCities returns the cities hosting Wavelength edge servers.
+func (r *Route) EdgeCities() []City {
+	var out []City
+	for _, c := range r.Cities {
+		if c.Edge {
+			out = append(out, c)
+		}
+	}
+	return out
+}

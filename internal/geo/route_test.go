@@ -1,0 +1,188 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHaversineKnownDistances(t *testing.T) {
+	la := LatLon{34.052, -118.244}
+	boston := LatLon{42.360, -71.058}
+	d := Haversine(la, boston)
+	// Great-circle LA–Boston is about 4,170 km.
+	if d < 4100 || d < 0 || d > 4250 {
+		t.Errorf("Haversine(LA, Boston) = %.0f km, want about 4170", d)
+	}
+	if got := Haversine(la, la); got != 0 {
+		t.Errorf("Haversine(x, x) = %v, want 0", got)
+	}
+}
+
+func TestHaversineSymmetry(t *testing.T) {
+	if err := quick.Check(func(a1, o1, a2, o2 uint8) bool {
+		p := LatLon{float64(a1)/4 - 30, float64(o1) - 128}
+		q := LatLon{float64(a2)/4 - 30, float64(o2) - 128}
+		return math.Abs(Haversine(p, q)-Haversine(q, p)) < 1e-9
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteLengthMatchesPaper(t *testing.T) {
+	r := NewRoute()
+	// Table 1: total geographical distance travelled 5711+ km.
+	if got := r.LengthKm(); got < 5650 || got > 5800 {
+		t.Errorf("route length = %.0f km, want about 5711", got)
+	}
+}
+
+func TestRouteStatesAndDays(t *testing.T) {
+	r := NewRoute()
+	if got := r.States(); got != 14 {
+		t.Errorf("states = %d, want 14 (Table 1)", got)
+	}
+	if got := r.Days(); got != 8 {
+		t.Errorf("days = %d, want 8", got)
+	}
+	if got := len(r.Cities); got != 10 {
+		t.Errorf("major cities = %d, want 10 (Table 1)", got)
+	}
+}
+
+func TestRouteEdgeCities(t *testing.T) {
+	r := NewRoute()
+	edges := r.EdgeCities()
+	if len(edges) != 5 {
+		t.Fatalf("edge cities = %d, want 5 (LA, Las Vegas, Denver, Chicago, Boston)", len(edges))
+	}
+	want := map[string]bool{"Los Angeles": true, "Las Vegas": true, "Denver": true, "Chicago": true, "Boston": true}
+	for _, c := range edges {
+		if !want[c.Name] {
+			t.Errorf("unexpected edge city %q", c.Name)
+		}
+	}
+}
+
+func TestTimezoneProgression(t *testing.T) {
+	r := NewRoute()
+	if z := r.TimezoneAt(0); z != Pacific {
+		t.Errorf("timezone at LA = %v, want Pacific", z)
+	}
+	if z := r.TimezoneAt(r.LengthKm() - 1); z != Eastern {
+		t.Errorf("timezone at Boston = %v, want Eastern", z)
+	}
+	// Timezones must be non-decreasing along the eastbound route.
+	prev := Pacific
+	for km := 0.0; km < r.LengthKm(); km += 10 {
+		z := r.TimezoneAt(km)
+		if z < prev {
+			t.Fatalf("timezone went backward at km %.0f: %v after %v", km, z, prev)
+		}
+		prev = z
+	}
+	// All four timezones are visited.
+	seen := map[Timezone]bool{}
+	for km := 0.0; km < r.LengthKm(); km += 5 {
+		seen[r.TimezoneAt(km)] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("visited %d timezones, want 4", len(seen))
+	}
+}
+
+func TestRoadClassStructure(t *testing.T) {
+	r := NewRoute()
+	if c := r.RoadClassAt(0); c != RoadCity {
+		t.Errorf("class at km 0 = %v, want city", c)
+	}
+	if c := r.RoadClassAt(15); c != RoadSuburban {
+		t.Errorf("class at km 15 = %v, want suburban", c)
+	}
+	if c := r.RoadClassAt(100); c != RoadHighway {
+		t.Errorf("class at km 100 = %v, want highway", c)
+	}
+	// Highway must dominate total distance.
+	counts := map[RoadClass]int{}
+	for km := 0.0; km < r.LengthKm(); km += 1 {
+		counts[r.RoadClassAt(km)]++
+	}
+	total := counts[RoadCity] + counts[RoadSuburban] + counts[RoadHighway]
+	if frac := float64(counts[RoadHighway]) / float64(total); frac < 0.6 {
+		t.Errorf("highway fraction = %.2f, want > 0.6", frac)
+	}
+	if counts[RoadCity] == 0 || counts[RoadSuburban] == 0 {
+		t.Error("route has no city or no suburban segments")
+	}
+}
+
+func TestCityAt(t *testing.T) {
+	r := NewRoute()
+	c, ok := r.CityAt(0)
+	if !ok || c.Name != "Los Angeles" {
+		t.Errorf("CityAt(0) = %v, %v; want Los Angeles", c.Name, ok)
+	}
+	if _, ok := r.CityAt(200); ok {
+		t.Error("CityAt(200 km) reported a city on open highway")
+	}
+	c, ok = r.CityAt(r.LengthKm() - 1)
+	if !ok || c.Name != "Boston" {
+		t.Errorf("CityAt(end) = %v, %v; want Boston", c.Name, ok)
+	}
+}
+
+func TestDayRanges(t *testing.T) {
+	r := NewRoute()
+	var prevEnd float64
+	for day := 1; day <= r.Days(); day++ {
+		s, e, err := r.DayRangeKm(day)
+		if err != nil {
+			t.Fatalf("DayRangeKm(%d): %v", day, err)
+		}
+		if s != prevEnd {
+			t.Errorf("day %d starts at %.1f, want %.1f (contiguous days)", day, s, prevEnd)
+		}
+		if e <= s {
+			t.Errorf("day %d has non-positive span [%f, %f)", day, s, e)
+		}
+		prevEnd = e
+	}
+	if math.Abs(prevEnd-r.LengthKm()) > 1e-6 {
+		t.Errorf("days cover %.1f km, route is %.1f km", prevEnd, r.LengthKm())
+	}
+	if _, _, err := r.DayRangeKm(99); err == nil {
+		t.Error("DayRangeKm(99) succeeded, want error")
+	}
+}
+
+func TestPosAtMonotoneLongitude(t *testing.T) {
+	r := NewRoute()
+	// The trip heads broadly east; longitude at the end must exceed start.
+	if r.PosAt(r.LengthKm()).Lon <= r.PosAt(0).Lon {
+		t.Error("route does not end east of its start")
+	}
+	// PosAt clamps out-of-range inputs.
+	if got := r.PosAt(-5); got != r.PosAt(0) {
+		t.Errorf("PosAt(-5) = %v, want clamp to start", got)
+	}
+}
+
+func TestBinForSpeed(t *testing.T) {
+	cases := []struct {
+		mph  float64
+		want SpeedBin
+	}{{0, SpeedLow}, {19.9, SpeedLow}, {20, SpeedMid}, {59.9, SpeedMid}, {60, SpeedHigh}, {80, SpeedHigh}}
+	for _, c := range cases {
+		if got := BinForSpeed(c.mph); got != c.want {
+			t.Errorf("BinForSpeed(%v) = %v, want %v", c.mph, got, c.want)
+		}
+	}
+}
+
+func TestCountiesEstimate(t *testing.T) {
+	r := NewRoute()
+	// Table 1: "100+" counties over the 5711 km trip.
+	if got := r.Counties(); got < 100 || got > 150 {
+		t.Errorf("counties = %d, want 100-150", got)
+	}
+}

@@ -1,0 +1,153 @@
+// Package mapexport renders the Fig. 1 coverage maps as GeoJSON: for each
+// carrier and view (active XCAL vs passive handover-logger), a
+// FeatureCollection of route segments colored by the serving technology.
+// The files drop straight into geojson.io or any GIS tool, reproducing the
+// paper's route maps from the simulated dataset.
+package mapexport
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"wheels/internal/dataset"
+	"wheels/internal/geo"
+	"wheels/internal/radio"
+)
+
+// View selects which measurement's coverage is drawn.
+type View string
+
+const (
+	// ViewActive is the XCAL view during backlogged throughput tests.
+	ViewActive View = "active"
+	// ViewPassive is the idle handover-logger view.
+	ViewPassive View = "passive"
+)
+
+// TechColor returns the hex color used for a technology (a
+// colorblind-friendly ramp from 4G blues to 5G oranges).
+func TechColor(t radio.Tech) string {
+	switch t {
+	case radio.LTE:
+		return "#9ecae1"
+	case radio.LTEA:
+		return "#3182bd"
+	case radio.NRLow:
+		return "#fdbe85"
+	case radio.NRMid:
+		return "#e6550d"
+	case radio.NRmmW:
+		return "#a63603"
+	default:
+		return "#999999"
+	}
+}
+
+// noServiceColor marks bins with no samples or no service.
+const noServiceColor = "#cccccc"
+
+// GeoJSON document structure (the subset we emit).
+type featureCollection struct {
+	Type     string    `json:"type"`
+	Features []feature `json:"features"`
+}
+
+type feature struct {
+	Type       string         `json:"type"`
+	Geometry   lineString     `json:"geometry"`
+	Properties map[string]any `json:"properties"`
+}
+
+type lineString struct {
+	Type        string       `json:"type"`
+	Coordinates [][2]float64 `json:"coordinates"` // [lon, lat]
+}
+
+// Coverage renders one carrier+view as GeoJSON. binKm is the spatial
+// resolution (segments of equal technology merge into single features).
+func Coverage(route *geo.Route, ds *dataset.Dataset, op radio.Operator, view View, binKm float64) ([]byte, error) {
+	if binKm <= 0 {
+		return nil, fmt.Errorf("mapexport: binKm must be positive, got %v", binKm)
+	}
+	nbins := int(route.LengthKm()/binKm) + 1
+	counts := make([]map[radio.Tech]int, nbins)
+	bump := func(km float64, tech radio.Tech) {
+		b := int(km / binKm)
+		if b < 0 || b >= nbins {
+			return
+		}
+		if counts[b] == nil {
+			counts[b] = map[radio.Tech]int{}
+		}
+		counts[b][tech]++
+	}
+	switch view {
+	case ViewActive:
+		for _, s := range ds.Thr {
+			if !s.Static && s.Op == op {
+				bump(s.Km, s.Tech)
+			}
+		}
+	case ViewPassive:
+		for _, s := range ds.Passive {
+			if s.Op == op && !s.NoSvc {
+				bump(s.Km, s.Tech)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("mapexport: unknown view %q", view)
+	}
+
+	// Majority technology per bin; -1 = no data.
+	techAt := make([]int, nbins)
+	for b := range techAt {
+		techAt[b] = -1
+		best := 0
+		for tech, n := range counts[b] {
+			if n > best {
+				best = n
+				techAt[b] = int(tech)
+			}
+		}
+	}
+
+	// Merge equal-tech runs into LineString features.
+	fc := featureCollection{Type: "FeatureCollection"}
+	for start := 0; start < nbins; {
+		end := start
+		for end+1 < nbins && techAt[end+1] == techAt[start] {
+			end++
+		}
+		var coords [][2]float64
+		for b := start; b <= end+1 && b <= nbins; b++ {
+			km := float64(b) * binKm
+			if km > route.LengthKm() {
+				km = route.LengthKm()
+			}
+			p := route.PosAt(km)
+			coords = append(coords, [2]float64{p.Lon, p.Lat})
+		}
+		props := map[string]any{
+			"operator": op.String(),
+			"view":     string(view),
+			"startKm":  float64(start) * binKm,
+			"endKm":    float64(end+1) * binKm,
+		}
+		if techAt[start] >= 0 {
+			tech := radio.Tech(techAt[start])
+			props["technology"] = tech.String()
+			props["stroke"] = TechColor(tech)
+		} else {
+			props["technology"] = "no data"
+			props["stroke"] = noServiceColor
+		}
+		props["stroke-width"] = 4
+		fc.Features = append(fc.Features, feature{
+			Type:       "Feature",
+			Geometry:   lineString{Type: "LineString", Coordinates: coords},
+			Properties: props,
+		})
+		start = end + 1
+	}
+	return json.MarshalIndent(fc, "", "  ")
+}

@@ -1,0 +1,125 @@
+package mapexport
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"wheels/internal/dataset"
+	"wheels/internal/geo"
+	"wheels/internal/radio"
+)
+
+func testDS() *dataset.Dataset {
+	t0 := time.Date(2022, 8, 8, 15, 0, 0, 0, time.UTC)
+	ds := &dataset.Dataset{}
+	// Active: LTE for the first 100 km, mid-band for the next 100.
+	for km := 0.0; km < 200; km += 2 {
+		tech := radio.LTE
+		if km >= 100 {
+			tech = radio.NRMid
+		}
+		ds.Thr = append(ds.Thr, dataset.ThroughputSample{
+			Op: radio.TMobile, Dir: radio.Downlink, Km: km, Tech: tech, Bps: 1e6,
+			TimeUTC: t0, MPH: 60,
+		})
+	}
+	// Passive: LTE everywhere, with a no-service hole.
+	for km := 0.0; km < 200; km += 2 {
+		ds.Passive = append(ds.Passive, dataset.PassiveSample{
+			Op: radio.TMobile, Km: km, Tech: radio.LTE, TimeUTC: t0, NoSvc: km >= 50 && km < 60,
+		})
+	}
+	return ds
+}
+
+func TestCoverageGeoJSONStructure(t *testing.T) {
+	route := geo.NewRoute()
+	out, err := Coverage(route, testDS(), radio.TMobile, ViewActive, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fc struct {
+		Type     string `json:"type"`
+		Features []struct {
+			Type     string `json:"type"`
+			Geometry struct {
+				Type        string       `json:"type"`
+				Coordinates [][2]float64 `json:"coordinates"`
+			} `json:"geometry"`
+			Properties map[string]any `json:"properties"`
+		} `json:"features"`
+	}
+	if err := json.Unmarshal(out, &fc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if fc.Type != "FeatureCollection" || len(fc.Features) < 3 {
+		t.Fatalf("type=%s features=%d", fc.Type, len(fc.Features))
+	}
+	sawLTE, sawMid := false, false
+	for _, f := range fc.Features {
+		if f.Geometry.Type != "LineString" || len(f.Geometry.Coordinates) < 2 {
+			t.Fatalf("bad geometry: %+v", f.Geometry)
+		}
+		for _, c := range f.Geometry.Coordinates {
+			lon, lat := c[0], c[1]
+			if lon < -125 || lon > -65 || lat < 30 || lat > 50 {
+				t.Fatalf("coordinate outside the continental US: %v", c)
+			}
+		}
+		switch f.Properties["technology"] {
+		case "LTE":
+			sawLTE = true
+			if f.Properties["stroke"] != TechColor(radio.LTE) {
+				t.Error("LTE stroke color wrong")
+			}
+		case "5G-mid":
+			sawMid = true
+		}
+	}
+	if !sawLTE || !sawMid {
+		t.Errorf("segment technologies missing: LTE=%v mid=%v", sawLTE, sawMid)
+	}
+}
+
+func TestCoveragePassiveViewSkipsNoService(t *testing.T) {
+	route := geo.NewRoute()
+	out, err := Coverage(route, testDS(), radio.TMobile, ViewPassive, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fc featureCollection
+	if err := json.Unmarshal(out, &fc); err != nil {
+		t.Fatal(err)
+	}
+	noData := 0
+	for _, f := range fc.Features {
+		if f.Properties["technology"] == "no data" {
+			noData++
+		}
+	}
+	if noData == 0 {
+		t.Error("the 50-60 km no-service hole did not surface as a no-data segment")
+	}
+}
+
+func TestCoverageErrors(t *testing.T) {
+	route := geo.NewRoute()
+	if _, err := Coverage(route, testDS(), radio.TMobile, "weird", 10); err == nil {
+		t.Error("unknown view accepted")
+	}
+	if _, err := Coverage(route, testDS(), radio.TMobile, ViewActive, 0); err == nil {
+		t.Error("zero bin size accepted")
+	}
+}
+
+func TestTechColorsDistinct(t *testing.T) {
+	seen := map[string]radio.Tech{}
+	for _, tech := range radio.Techs() {
+		c := TechColor(tech)
+		if prev, dup := seen[c]; dup {
+			t.Errorf("technologies %v and %v share color %s", prev, tech, c)
+		}
+		seen[c] = tech
+	}
+}

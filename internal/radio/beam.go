@@ -1,0 +1,126 @@
+package radio
+
+import (
+	"math"
+
+	"wheels/internal/sim"
+)
+
+// Beam management for mmWave links. §5.5 of the paper traces the carriers'
+// different mmWave RSRP distributions to their phased-array configurations:
+// "Verizon uses a smaller number of wider beams compared to AT&T, which
+// result in lower gain, and hence, lower RSRP". This module models that
+// explicitly: a codebook of N beams covering the sector, each with a
+// Gaussian main-lobe profile whose peak gain follows from its width, a
+// tracker that re-selects the best beam as the vehicle's bearing changes,
+// and sweep-induced micro-outages when tracking falls behind.
+
+// BeamConfig is an operator's mmWave phased-array configuration.
+type BeamConfig struct {
+	NumBeams int     // beams covering the 120° sector
+	PeakGain float64 // boresight gain relative to the widest reference, dB
+	SweepMs  float64 // time to re-sweep the codebook after losing the beam
+}
+
+// BeamConfigFor returns the per-operator array configuration. Peak gains
+// are chosen so the beam-averaged gain reproduces the BeamGainDB offsets
+// used by the RSRP model: fewer, wider beams → lower gain.
+func BeamConfigFor(op Operator) BeamConfig {
+	switch op {
+	case Verizon:
+		return BeamConfig{NumBeams: 8, PeakGain: -6, SweepMs: 14}
+	case ATT:
+		return BeamConfig{NumBeams: 32, PeakGain: 3, SweepMs: 26}
+	default: // TMobile's thin mmWave deployment
+		return BeamConfig{NumBeams: 16, PeakGain: -1, SweepMs: 20}
+	}
+}
+
+// sectorDeg is the arc covered by the codebook.
+const sectorDeg = 120.0
+
+// BeamWidthDeg returns each beam's 3 dB width.
+func (c BeamConfig) BeamWidthDeg() float64 { return sectorDeg / float64(c.NumBeams) }
+
+// GainAt returns the array gain in dB for a UE at the given bearing (deg,
+// 0 = sector center) when the given beam index is selected. The main lobe
+// is Gaussian in dB with the 3 dB point at half the beam width.
+func (c BeamConfig) GainAt(bearingDeg float64, beam int) float64 {
+	center := c.beamCenter(beam)
+	w := c.BeamWidthDeg()
+	off := bearingDeg - center
+	// Gaussian main lobe: -3 dB at off = w/2.
+	loss := 3 * (off / (w / 2)) * (off / (w / 2))
+	if loss > 25 {
+		loss = 25 // side-lobe floor
+	}
+	return c.PeakGain - loss
+}
+
+// beamCenter returns beam i's boresight bearing.
+func (c BeamConfig) beamCenter(i int) float64 {
+	w := c.BeamWidthDeg()
+	return -sectorDeg/2 + w/2 + float64(i)*w
+}
+
+// BestBeam returns the beam whose center is nearest the bearing.
+func (c BeamConfig) BestBeam(bearingDeg float64) int {
+	w := c.BeamWidthDeg()
+	i := int(math.Floor((bearingDeg + sectorDeg/2) / w))
+	if i < 0 {
+		i = 0
+	}
+	if i >= c.NumBeams {
+		i = c.NumBeams - 1
+	}
+	return i
+}
+
+// BeamTracker follows a moving UE with the serving beam: it re-selects
+// when the UE leaves the current beam's 3 dB width, paying the sweep time
+// as a micro-outage. Narrow beams (AT&T) give more gain but sweep more
+// often at speed — the trade the paper's RSRP observation implies.
+type BeamTracker struct {
+	Config BeamConfig
+
+	bearing  *sim.GaussMarkov // UE bearing within the sector as it drives
+	beam     int
+	sweeping float64 // remaining sweep time, seconds
+	sweeps   int
+}
+
+// NewBeamTracker returns a tracker with the UE's bearing wandering across
+// the sector as the vehicle moves past the site.
+func NewBeamTracker(rng *sim.RNG, op Operator) *BeamTracker {
+	return &BeamTracker{
+		Config:  BeamConfigFor(op),
+		bearing: sim.NewGaussMarkov(rng.Stream("bearing"), 0, 30, 8),
+	}
+}
+
+// Sweeps returns how many beam re-selections have occurred.
+func (t *BeamTracker) Sweeps() int { return t.sweeps }
+
+// Step advances the tracker by dt seconds at the given vehicle speed and
+// returns the current array gain in dB and whether the link is mid-sweep
+// (no usable gain). Bearing churn scales with speed.
+func (t *BeamTracker) Step(dt, mph float64) (gainDB float64, sweeping bool) {
+	b := t.bearing.Step(dt * (0.3 + mph/25))
+	if t.sweeping > 0 {
+		t.sweeping -= dt
+		if t.sweeping > 0 {
+			return -30, true
+		}
+		t.beam = t.Config.BestBeam(b)
+	}
+	// Out of the serving beam's half-width: trigger a sweep.
+	if math.Abs(b-t.Config.beamCenter(t.beam)) > t.Config.BeamWidthDeg()/2 {
+		best := t.Config.BestBeam(b)
+		if best != t.beam {
+			t.sweeping = t.Config.SweepMs / 1000
+			t.sweeps++
+			return -30, true
+		}
+	}
+	return t.Config.GainAt(b, t.beam), false
+}

@@ -1,0 +1,134 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wheels/internal/sim"
+)
+
+func TestBeamConfigShapes(t *testing.T) {
+	v := BeamConfigFor(Verizon)
+	a := BeamConfigFor(ATT)
+	// §5.5: Verizon uses fewer, wider beams with lower gain than AT&T.
+	if v.NumBeams >= a.NumBeams {
+		t.Errorf("Verizon beams (%d) not fewer than AT&T (%d)", v.NumBeams, a.NumBeams)
+	}
+	if v.BeamWidthDeg() <= a.BeamWidthDeg() {
+		t.Errorf("Verizon beams not wider: %.1f vs %.1f deg", v.BeamWidthDeg(), a.BeamWidthDeg())
+	}
+	if v.PeakGain >= a.PeakGain {
+		t.Errorf("Verizon peak gain (%v) not below AT&T (%v)", v.PeakGain, a.PeakGain)
+	}
+}
+
+func TestBeamGainProfile(t *testing.T) {
+	c := BeamConfigFor(ATT)
+	for beam := 0; beam < c.NumBeams; beam++ {
+		center := c.beamCenter(beam)
+		peak := c.GainAt(center, beam)
+		if math.Abs(peak-c.PeakGain) > 1e-9 {
+			t.Fatalf("beam %d boresight gain = %v, want %v", beam, peak, c.PeakGain)
+		}
+		// -3 dB at the half-width point.
+		edge := c.GainAt(center+c.BeamWidthDeg()/2, beam)
+		if math.Abs(edge-(c.PeakGain-3)) > 1e-9 {
+			t.Fatalf("beam %d edge gain = %v, want peak-3", beam, edge)
+		}
+		// Far off-axis clamps at the side-lobe floor.
+		if far := c.GainAt(center+60, beam); far != c.PeakGain-25 {
+			t.Fatalf("beam %d far-off gain = %v, want floor", beam, far)
+		}
+	}
+}
+
+func TestBestBeamCoversSector(t *testing.T) {
+	for _, op := range Operators() {
+		c := BeamConfigFor(op)
+		if err := quick.Check(func(raw uint8) bool {
+			bearing := float64(raw)/255*sectorDeg - sectorDeg/2
+			beam := c.BestBeam(bearing)
+			if beam < 0 || beam >= c.NumBeams {
+				return false
+			}
+			// The chosen beam's gain must be within 3 dB of peak (the UE
+			// is inside some beam's half-width by construction).
+			return c.GainAt(bearing, beam) >= c.PeakGain-3-1e-9
+		}, nil); err != nil {
+			t.Errorf("%v: %v", op, err)
+		}
+		// Out-of-sector bearings clamp.
+		if c.BestBeam(-999) != 0 || c.BestBeam(999) != c.NumBeams-1 {
+			t.Errorf("%v: BestBeam does not clamp", op)
+		}
+	}
+}
+
+func TestBeamTrackerSweepsMoreAtSpeed(t *testing.T) {
+	count := func(op Operator, mph float64) int {
+		tr := NewBeamTracker(sim.NewRNG(23).Stream("beam", op.String()), op)
+		for i := 0; i < 20000; i++ {
+			tr.Step(0.05, mph)
+		}
+		return tr.Sweeps()
+	}
+	slow := count(ATT, 3)
+	fast := count(ATT, 65)
+	if fast <= slow {
+		t.Errorf("sweeps at 65 mph (%d) not above 3 mph (%d)", fast, slow)
+	}
+	// Narrow AT&T beams sweep more often than Verizon's wide ones at the
+	// same speed.
+	att := count(ATT, 30)
+	vz := count(Verizon, 30)
+	if att <= vz {
+		t.Errorf("AT&T sweeps (%d) not above Verizon (%d) at equal speed", att, vz)
+	}
+}
+
+func TestBeamTrackerGainBounds(t *testing.T) {
+	tr := NewBeamTracker(sim.NewRNG(7).Stream("beam"), Verizon)
+	cfg := tr.Config
+	for i := 0; i < 50000; i++ {
+		g, sweeping := tr.Step(0.02, 40)
+		if sweeping {
+			if g != -30 {
+				t.Fatal("sweeping step returned usable gain")
+			}
+			continue
+		}
+		if g > cfg.PeakGain+1e-9 || g < cfg.PeakGain-25-1e-9 {
+			t.Fatalf("gain %v outside [peak-25, peak]", g)
+		}
+	}
+	if tr.Sweeps() == 0 {
+		t.Error("no sweeps over a long drive")
+	}
+}
+
+func TestBeamAverageGainMatchesRSRPOffsets(t *testing.T) {
+	// The time-averaged tracker gain should land in the neighbourhood of
+	// the static BeamGainDB offsets the RSRP model uses, keeping the two
+	// representations consistent.
+	avg := func(op Operator) float64 {
+		tr := NewBeamTracker(sim.NewRNG(23).Stream("avg", op.String()), op)
+		var sum float64
+		n := 0
+		for i := 0; i < 40000; i++ {
+			g, sweeping := tr.Step(0.05, 20)
+			if !sweeping {
+				sum += g
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	v, a := avg(Verizon), avg(ATT)
+	if v >= a {
+		t.Errorf("average gains: Verizon %.1f not below AT&T %.1f", v, a)
+	}
+	if diff := (a - v) - (BeamGainDB(ATT, NRmmW) - BeamGainDB(Verizon, NRmmW)); math.Abs(diff) > 4 {
+		t.Errorf("beam-model gain gap inconsistent with RSRP offsets by %.1f dB", diff)
+	}
+}

@@ -1,0 +1,116 @@
+package radio
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wheels/internal/geo"
+	"wheels/internal/sim"
+)
+
+// Property tests: the link model must stay inside physical bounds for
+// arbitrary (distance, speed, environment) inputs, not just the calibrated
+// operating points.
+
+func TestLinkStateBoundsProperty(t *testing.T) {
+	links := map[Tech]*Link{}
+	for _, tech := range Techs() {
+		links[tech] = NewLink(sim.NewRNG(99).Stream("prop", tech.String()), TMobile, tech)
+	}
+	roads := []geo.RoadClass{geo.RoadCity, geo.RoadSuburban, geo.RoadHighway}
+	if err := quick.Check(func(techRaw, roadRaw uint8, distRaw, mphRaw uint16) bool {
+		tech := Techs()[int(techRaw)%len(Techs())]
+		road := roads[int(roadRaw)%len(roads)]
+		dist := float64(distRaw) / 65535 * 12 // 0..12 km
+		mph := float64(mphRaw) / 65535 * 85
+		l := links[tech]
+		st := l.Step(0.5, dist, mph, road)
+		if st.RSRPdBm > -55 || st.RSRPdBm < -140 {
+			return false
+		}
+		if st.SINRdB < sinrMinDB || st.SINRdB > sinrMaxDB {
+			return false
+		}
+		if st.MCS < 0 || st.MCS > MaxMCS {
+			return false
+		}
+		if st.BLER < 0.01 || st.BLER > 0.5 {
+			return false
+		}
+		if st.CCDown < 1 || st.CCDown > l.Band.MaxCCDown {
+			return false
+		}
+		if st.CapDL < 0 || st.CapUL < 0 {
+			return false
+		}
+		// Capacity never exceeds the band's theoretical peak plus the NSA
+		// anchor contribution.
+		peak := l.Band.PeakRateBps(Downlink) + anchorMHz*1e6*8
+		return st.CapDL <= peak
+	}, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEfficiencyMonotoneProperty(t *testing.T) {
+	if err := quick.Check(func(a, b uint8, maxSERaw uint8) bool {
+		m1, m2 := int(a)%29, int(b)%29
+		if m1 > m2 {
+			m1, m2 = m2, m1
+		}
+		maxSE := 1 + float64(maxSERaw)/255*10
+		return Efficiency(m1, maxSE) <= Efficiency(m2, maxSE)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanRSRPMonotoneInDistanceProperty(t *testing.T) {
+	b := Bands(Verizon, LTE)
+	if err := quick.Check(func(d1Raw, d2Raw uint16) bool {
+		d1 := 0.03 + float64(d1Raw)/65535*8
+		d2 := d1 + float64(d2Raw)/65535*4 + 1e-4
+		return MeanRSRP(b, d1, geo.RoadHighway, 0) >= MeanRSRP(b, d2, geo.RoadHighway, 0)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterferencePenaltyProperty(t *testing.T) {
+	if err := quick.Check(func(fRaw uint16) bool {
+		f := float64(fRaw) / 65535 * 3
+		p := interferencePenaltyDB(f)
+		if p < 0 || p > 34 {
+			return false
+		}
+		// Monotone non-decreasing.
+		return interferencePenaltyDB(f+0.1) >= p
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if interferencePenaltyDB(-1) != 0 {
+		t.Error("negative distance fraction not clamped")
+	}
+}
+
+func TestBlockHoldsProperty(t *testing.T) {
+	// The stationary blocked fraction block/(clear+block) must rise with
+	// speed for every technology and stay within (0, 0.5).
+	for _, tech := range Techs() {
+		prev := -1.0
+		for mph := 0.0; mph <= 80; mph += 5 {
+			clear, block := blockHolds(tech, mph)
+			if clear <= 0 || block <= 0 {
+				t.Fatalf("%v at %v mph: non-positive holds", tech, mph)
+			}
+			frac := block / (clear + block)
+			if frac <= prev-1e-9 {
+				t.Fatalf("%v: blocked fraction fell from %.4f to %.4f at %v mph", tech, prev, frac, mph)
+			}
+			if frac >= 0.5 {
+				t.Fatalf("%v at %v mph: blocked fraction %.2f too high", tech, mph, frac)
+			}
+			prev = frac
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package radio models the cellular PHY layer: technologies and bands,
+// radio propagation (path loss, shadowing, mmWave blockage), link adaptation
+// (SINR → CQI → MCS, BLER), carrier aggregation, and the resulting link
+// capacity. It produces the low-level KPIs (RSRP, MCS, BLER, CA) that the
+// paper's XCAL tooling logs and that Table 2 correlates with throughput.
+package radio
+
+// Tech is a cellular technology as classified in the paper: two 4G flavors
+// and three 5G bands.
+type Tech int
+
+const (
+	LTE Tech = iota
+	LTEA
+	NRLow    // 5G low-band (< 1 GHz)
+	NRMid    // 5G mid-band (2.5–3.7 GHz)
+	NRmmW    // 5G mmWave (28/39 GHz)
+	NumTechs = 5
+)
+
+// String returns the label used in the paper's figures.
+func (t Tech) String() string {
+	switch t {
+	case LTE:
+		return "LTE"
+	case LTEA:
+		return "LTE-A"
+	case NRLow:
+		return "5G-low"
+	case NRMid:
+		return "5G-mid"
+	case NRmmW:
+		return "5G-mmWave"
+	default:
+		return "unknown"
+	}
+}
+
+// Is5G reports whether the technology is any flavor of 5G NR.
+func (t Tech) Is5G() bool { return t >= NRLow }
+
+// IsHighSpeed reports whether the technology is "high-speed 5G" in the
+// paper's sense: mid-band or mmWave (§4.2). The paper's HT/LT split in
+// Fig. 6 uses the same definition.
+func (t Tech) IsHighSpeed() bool { return t == NRMid || t == NRmmW }
+
+// Techs lists all technologies in ascending capability order.
+func Techs() []Tech { return []Tech{LTE, LTEA, NRLow, NRMid, NRmmW} }
+
+// Operator is one of the three major US carriers measured by the paper.
+type Operator int
+
+const (
+	Verizon Operator = iota
+	TMobile
+	ATT
+	NumOperators = 3
+)
+
+// String returns the carrier name.
+func (o Operator) String() string {
+	switch o {
+	case Verizon:
+		return "Verizon"
+	case TMobile:
+		return "T-Mobile"
+	case ATT:
+		return "AT&T"
+	default:
+		return "unknown"
+	}
+}
+
+// Short returns the single-letter abbreviation used in Table 1.
+func (o Operator) Short() string {
+	switch o {
+	case Verizon:
+		return "V"
+	case TMobile:
+		return "T"
+	case ATT:
+		return "A"
+	default:
+		return "?"
+	}
+}
+
+// Operators lists all three carriers in the paper's order.
+func Operators() []Operator { return []Operator{Verizon, TMobile, ATT} }
+
+// Direction is the traffic direction of a test or transfer.
+type Direction int
+
+const (
+	Downlink Direction = iota
+	Uplink
+)
+
+// String returns "DL" or "UL" as abbreviated in the paper's tables.
+func (d Direction) String() string {
+	if d == Downlink {
+		return "DL"
+	}
+	return "UL"
+}
+
+// Directions lists both traffic directions.
+func Directions() []Direction { return []Direction{Downlink, Uplink} }

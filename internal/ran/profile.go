@@ -1,0 +1,133 @@
+// Package ran models the cellular control plane as experienced by the UE:
+// which technology the operator serves at each point (the traffic-aware
+// elevation policy behind the paper's §4.1 finding that passive logging
+// badly under-reports 5G coverage), serving-cell selection, and the
+// handover state machine with its measured duration distributions.
+package ran
+
+import (
+	"wheels/internal/geo"
+	"wheels/internal/radio"
+)
+
+// Traffic describes the traffic pattern the UE is generating, which drives
+// the operator's technology-elevation decision (challenge C3): operators
+// elevate aggressively under backlogged downlink traffic, less so for
+// uplink, and barely at all for idle/ICMP traffic.
+type Traffic int
+
+const (
+	// Idle is the handover-logger workload: 38-byte pings every 200 ms,
+	// just enough to keep the radio out of sleep.
+	Idle Traffic = iota
+	// RTTProbe is the ping test: light ICMP traffic. §5.1 observed AT&T
+	// kept RTT tests on LTE/LTE-A even where 5G was available.
+	RTTProbe
+	// BacklogDL is a saturating downlink TCP transfer (nuttcp).
+	BacklogDL
+	// BacklogUL is a saturating uplink TCP transfer.
+	BacklogUL
+	// AppDL is a downlink-heavy application (360° video, cloud gaming).
+	AppDL
+	// AppUL is an uplink-heavy application (AR/CAV offloading).
+	AppUL
+)
+
+// String names the traffic profile.
+func (tr Traffic) String() string {
+	switch tr {
+	case Idle:
+		return "idle"
+	case RTTProbe:
+		return "rtt-probe"
+	case BacklogDL:
+		return "backlog-dl"
+	case BacklogUL:
+		return "backlog-ul"
+	case AppDL:
+		return "app-dl"
+	case AppUL:
+		return "app-ul"
+	default:
+		return "unknown"
+	}
+}
+
+// Direction returns the dominant traffic direction of the profile.
+func (tr Traffic) Direction() radio.Direction {
+	if tr == BacklogUL || tr == AppUL {
+		return radio.Uplink
+	}
+	return radio.Downlink
+}
+
+// elevationProb returns the probability, at one policy evaluation, that the
+// operator serves the UE on the given technology when it is available and
+// everything better (for this traffic) has been declined. The residual
+// always falls through to LTE-A/LTE.
+//
+// The tables encode the paper's observations:
+//   - Backlogged DL gets high-speed 5G aggressively (Fig. 2b: DL high-speed
+//     share exceeds UL for all carriers).
+//   - Backlogged UL prefers 5G-low or LTE over mid/mmWave for Verizon and
+//     AT&T; T-Mobile still elevates to its mid-band fairly often.
+//   - Idle/ICMP traffic mostly stays on 4G; AT&T essentially never elevates
+//     an idle UE (Fig. 1d shows the AT&T handover-logger saw only LTE/LTE-A
+//     across the entire route), and T-Mobile's idle policy differs between
+//     the west and east halves of the country (Figs. 1c vs 1f).
+func elevationProb(op radio.Operator, t radio.Tech, tr Traffic, zone geo.Timezone) float64 {
+	east := zone == geo.Central || zone == geo.Eastern
+	switch tr {
+	case Idle:
+		switch op {
+		case radio.ATT:
+			return 0 // never elevates idle UEs
+		case radio.Verizon:
+			return map[radio.Tech]float64{radio.NRmmW: 0.01, radio.NRMid: 0.04, radio.NRLow: 0.15}[t]
+		default: // TMobile: east half agrees with active view, west half does not
+			if east {
+				return map[radio.Tech]float64{radio.NRmmW: 0.02, radio.NRMid: 0.55, radio.NRLow: 0.65}[t]
+			}
+			return map[radio.Tech]float64{radio.NRmmW: 0.0, radio.NRMid: 0.06, radio.NRLow: 0.12}[t]
+		}
+	case RTTProbe:
+		switch op {
+		case radio.ATT:
+			return map[radio.Tech]float64{radio.NRmmW: 0.02, radio.NRMid: 0.10, radio.NRLow: 0.20}[t]
+		case radio.Verizon:
+			return map[radio.Tech]float64{radio.NRmmW: 0.08, radio.NRMid: 0.35, radio.NRLow: 0.45}[t]
+		default:
+			if east {
+				return map[radio.Tech]float64{radio.NRmmW: 0.05, radio.NRMid: 0.60, radio.NRLow: 0.70}[t]
+			}
+			return map[radio.Tech]float64{radio.NRmmW: 0.02, radio.NRMid: 0.35, radio.NRLow: 0.45}[t]
+		}
+	case BacklogDL, AppDL:
+		switch op {
+		case radio.Verizon:
+			return map[radio.Tech]float64{radio.NRmmW: 0.92, radio.NRMid: 0.88, radio.NRLow: 0.80}[t]
+		case radio.TMobile:
+			return map[radio.Tech]float64{radio.NRmmW: 0.85, radio.NRMid: 0.92, radio.NRLow: 0.85}[t]
+		default:
+			return map[radio.Tech]float64{radio.NRmmW: 0.85, radio.NRMid: 0.85, radio.NRLow: 0.80}[t]
+		}
+	default: // BacklogUL, AppUL
+		switch op {
+		case radio.Verizon:
+			return map[radio.Tech]float64{radio.NRmmW: 0.45, radio.NRMid: 0.40, radio.NRLow: 0.70}[t]
+		case radio.TMobile:
+			return map[radio.Tech]float64{radio.NRmmW: 0.40, radio.NRMid: 0.65, radio.NRLow: 0.80}[t]
+		default:
+			return map[radio.Tech]float64{radio.NRmmW: 0.30, radio.NRMid: 0.35, radio.NRLow: 0.65}[t]
+		}
+	}
+}
+
+// lteaProb is the probability that LTE-A (rather than plain LTE) serves the
+// UE when both 4G flavors are available and no 5G tier was selected.
+func lteaProb(op radio.Operator) float64 {
+	if op == radio.ATT {
+		return 0.85 // AT&T's much larger LTE-A share (Fig. 2a)
+	}
+	return 0.70
+}

@@ -1,0 +1,76 @@
+package ran
+
+import "wheels/internal/sim"
+
+// RRC connection-state model. §3: the handover-logger app sends a 38-byte
+// ping every 200 ms "to prevent the cellular radio from going to sleep
+// mode" — because after an inactivity timeout the network releases the UE
+// to RRC idle, and the next packet pays a connection-setup delay of
+// hundreds of milliseconds. This type makes that cost explicit, so the
+// keepalive design decision can be evaluated (see the ablation bench).
+
+// RRCState is the UE's RRC connection state.
+type RRCState int
+
+const (
+	RRCIdle RRCState = iota
+	RRCConnected
+)
+
+// String names the state.
+func (s RRCState) String() string {
+	if s == RRCConnected {
+		return "connected"
+	}
+	return "idle"
+}
+
+// RRC connection-management constants, typical of 2022 deployments.
+const (
+	// InactivityTimeoutSec is how long the network keeps an idle-traffic
+	// UE in RRC connected before releasing it.
+	InactivityTimeoutSec = 10.0
+	// promotionMedianMs is the median idle→connected setup latency
+	// (random access + RRC setup + core signaling).
+	promotionMedianMs = 180.0
+	promotionSigma    = 0.35
+)
+
+// RRCMachine tracks connected/idle transitions driven by traffic arrivals.
+type RRCMachine struct {
+	rng       *sim.RNG
+	state     RRCState
+	idleSince float64
+	lastData  float64
+	// Promotions counts idle→connected transitions (each one costs
+	// signaling on the UE and the network).
+	Promotions int
+}
+
+// NewRRCMachine returns a machine in RRC idle.
+func NewRRCMachine(rng *sim.RNG) *RRCMachine {
+	return &RRCMachine{rng: rng.Stream("rrc"), state: RRCIdle}
+}
+
+// State returns the current RRC state at time t, applying the inactivity
+// timeout lazily.
+func (m *RRCMachine) State(t float64) RRCState {
+	if m.state == RRCConnected && t-m.lastData > InactivityTimeoutSec {
+		m.state = RRCIdle
+		m.idleSince = m.lastData + InactivityTimeoutSec
+	}
+	return m.state
+}
+
+// OnTraffic records a packet at time t and returns the extra latency (ms)
+// that packet pays: zero when already connected, a random promotion delay
+// when the radio was idle.
+func (m *RRCMachine) OnTraffic(t float64) float64 {
+	defer func() { m.lastData = t }()
+	if m.State(t) == RRCConnected {
+		return 0
+	}
+	m.state = RRCConnected
+	m.Promotions++
+	return m.rng.LogNormalMedian(promotionMedianMs, promotionSigma)
+}

@@ -1,0 +1,70 @@
+package ran
+
+import (
+	"testing"
+
+	"wheels/internal/sim"
+)
+
+func TestRRCPromotionAndTimeout(t *testing.T) {
+	m := NewRRCMachine(sim.NewRNG(23))
+	if m.State(0) != RRCIdle {
+		t.Fatal("machine not idle at start")
+	}
+	// First packet promotes and pays a setup delay.
+	d := m.OnTraffic(0)
+	if d < 50 || d > 1500 {
+		t.Errorf("promotion delay = %.0f ms, want hundreds", d)
+	}
+	if m.State(0.1) != RRCConnected {
+		t.Error("not connected after traffic")
+	}
+	// Traffic within the timeout stays connected and free.
+	if d := m.OnTraffic(5); d != 0 {
+		t.Errorf("connected-state packet paid %.0f ms", d)
+	}
+	// Silence past the timeout releases to idle.
+	if m.State(5+InactivityTimeoutSec+1) != RRCIdle {
+		t.Error("machine did not release after the inactivity timeout")
+	}
+	if d := m.OnTraffic(20); d == 0 {
+		t.Error("post-release packet did not pay a promotion delay")
+	}
+	if m.Promotions != 2 {
+		t.Errorf("promotions = %d, want 2", m.Promotions)
+	}
+}
+
+func TestRRCKeepaliveRationale(t *testing.T) {
+	// The paper's handover-logger pings every 200 ms exactly to avoid
+	// promotion delays. Compare the delay budget of a 200 ms keepalive
+	// against a 15 s probe interval over ten minutes.
+	run := func(intervalSec float64) (promotions int, totalDelayMs float64) {
+		m := NewRRCMachine(sim.NewRNG(23))
+		for tt := 0.0; tt < 600; tt += intervalSec {
+			totalDelayMs += m.OnTraffic(tt)
+		}
+		return m.Promotions, totalDelayMs
+	}
+	keepaliveProm, keepaliveDelay := run(0.2)
+	sparseProm, sparseDelay := run(15)
+	if keepaliveProm != 1 {
+		t.Errorf("200 ms keepalive promoted %d times, want 1 (stay connected)", keepaliveProm)
+	}
+	if sparseProm < 30 {
+		t.Errorf("15 s probes promoted only %d times; every probe should pay", sparseProm)
+	}
+	if sparseDelay < 10*keepaliveDelay {
+		t.Errorf("sparse probing delay %.0f ms not ≫ keepalive %.0f ms", sparseDelay, keepaliveDelay)
+	}
+}
+
+func TestRRCDeterminism(t *testing.T) {
+	a, b := NewRRCMachine(sim.NewRNG(5)), NewRRCMachine(sim.NewRNG(5))
+	for i := 0; i < 20; i++ {
+		tt := float64(i) * 20
+		if a.OnTraffic(tt) != b.OnTraffic(tt) {
+			t.Fatal("identical machines diverged")
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package ran
+
+import "fmt"
+
+// MsgType is an RRC control-plane message category, as decoded by tools
+// like XCAL from the UE's diagnostic interface. The simulator emits the
+// canonical NSA sequences: measurement report → reconfiguration (the
+// handover command) → reconfiguration complete, plus setup on attach and
+// re-establishment after a service outage.
+type MsgType int
+
+const (
+	MsgRRCSetup MsgType = iota
+	MsgMeasurementReport
+	MsgRRCReconfiguration
+	MsgRRCReconfigurationComplete
+	MsgRRCReestablishment
+)
+
+// String returns the 3GPP-style message name.
+func (m MsgType) String() string {
+	switch m {
+	case MsgRRCSetup:
+		return "RRCSetup"
+	case MsgMeasurementReport:
+		return "MeasurementReport"
+	case MsgRRCReconfiguration:
+		return "RRCReconfiguration"
+	case MsgRRCReconfigurationComplete:
+		return "RRCReconfigurationComplete"
+	case MsgRRCReestablishment:
+		return "RRCReestablishment"
+	default:
+		return "unknown"
+	}
+}
+
+// SignalingMsg is one control-plane message with the serving (or target)
+// cell it concerns.
+type SignalingMsg struct {
+	T      float64 // simulation time
+	Type   MsgType
+	Cell   string // cell the message concerns (target cell for HO messages)
+	Detail string
+}
+
+// String renders the message as a log line.
+func (m SignalingMsg) String() string {
+	return fmt.Sprintf("%.3f %s %s %s", m.T, m.Type, m.Cell, m.Detail)
+}
+
+// emit appends a signaling message to the UE's log.
+func (u *UE) emit(t float64, typ MsgType, cell, detail string) {
+	u.msgs = append(u.msgs, SignalingMsg{T: t, Type: typ, Cell: cell, Detail: detail})
+}
+
+// TakeSignaling returns and clears the accumulated control-plane messages.
+func (u *UE) TakeSignaling() []SignalingMsg {
+	m := u.msgs
+	u.msgs = nil
+	return m
+}

@@ -1,0 +1,100 @@
+package ran
+
+import (
+	"testing"
+
+	"wheels/internal/radio"
+)
+
+func TestSignalingSequenceValid(t *testing.T) {
+	route, _, ue := testSetup(t, radio.TMobile)
+	driveWithProfile(route, ue, BacklogDL, 0, 400)
+	msgs := ue.TakeSignaling()
+	if len(msgs) == 0 {
+		t.Fatal("no signaling messages over 400 km")
+	}
+	if msgs[0].Type != MsgRRCSetup {
+		t.Errorf("first message = %v, want RRCSetup (initial attach)", msgs[0].Type)
+	}
+	// Every RRCReconfiguration must be followed (eventually) by a Complete
+	// for the same cell, and messages must be time-ordered per emission.
+	pendingHO := 0
+	var lastT float64
+	for i, m := range msgs {
+		if m.T < lastT-3 { // Complete messages are stamped ho-duration ahead
+			t.Fatalf("message %d at %.3f far behind predecessor at %.3f", i, m.T, lastT)
+		}
+		if m.T > lastT {
+			lastT = m.T
+		}
+		switch m.Type {
+		case MsgRRCReconfiguration:
+			pendingHO++
+		case MsgRRCReconfigurationComplete:
+			pendingHO--
+			if pendingHO < 0 {
+				t.Fatal("RRCReconfigurationComplete without a pending RRCReconfiguration")
+			}
+		}
+	}
+	if pendingHO != 0 {
+		t.Errorf("%d handover commands never completed", pendingHO)
+	}
+}
+
+func TestSignalingMeasurementReportPrecedesPolicyHO(t *testing.T) {
+	route, _, ue := testSetup(t, radio.Verizon)
+	driveWithProfile(route, ue, BacklogDL, 0, 600)
+	msgs := ue.TakeSignaling()
+	reports, reconfigs := 0, 0
+	reportThenReconfig := 0
+	for i, m := range msgs {
+		switch m.Type {
+		case MsgMeasurementReport:
+			reports++
+			if i+1 < len(msgs) && msgs[i+1].Type == MsgRRCReconfiguration && msgs[i+1].Cell == m.Cell {
+				reportThenReconfig++
+			}
+		case MsgRRCReconfiguration:
+			reconfigs++
+		}
+	}
+	if reports == 0 {
+		t.Fatal("no measurement reports emitted")
+	}
+	if reportThenReconfig != reports {
+		t.Errorf("%d of %d measurement reports not immediately followed by a handover command", reports-reportThenReconfig, reports)
+	}
+	// Forced handovers (coverage loss) skip the report, so commands should
+	// outnumber reports.
+	if reconfigs < reports {
+		t.Errorf("reconfigurations (%d) fewer than measurement reports (%d)", reconfigs, reports)
+	}
+}
+
+func TestSignalingMatchesHandoverCount(t *testing.T) {
+	route, _, ue := testSetup(t, radio.ATT)
+	driveWithProfile(route, ue, BacklogDL, 0, 300)
+	hos := len(ue.TakeHandovers())
+	reconfigs := 0
+	for _, m := range ue.TakeSignaling() {
+		if m.Type == MsgRRCReconfiguration {
+			reconfigs++
+		}
+	}
+	if reconfigs != hos {
+		t.Errorf("handover commands = %d, handover events = %d", reconfigs, hos)
+	}
+}
+
+func TestSignalingStringForms(t *testing.T) {
+	for m := MsgRRCSetup; m <= MsgRRCReestablishment; m++ {
+		if m.String() == "unknown" {
+			t.Errorf("message type %d has no name", m)
+		}
+	}
+	msg := SignalingMsg{T: 1.5, Type: MsgRRCSetup, Cell: "V-LTE-1"}
+	if msg.String() == "" {
+		t.Error("empty log line")
+	}
+}

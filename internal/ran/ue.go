@@ -1,0 +1,256 @@
+package ran
+
+import (
+	"math"
+
+	"wheels/internal/deploy"
+	"wheels/internal/geo"
+	"wheels/internal/radio"
+	"wheels/internal/sim"
+)
+
+// Snapshot is the UE-side radio state for one simulation step: the serving
+// technology and cell, the PHY KPIs, and the capacity actually usable by
+// traffic (zero during handover execution or service outage).
+type Snapshot struct {
+	T      float64
+	Tech   radio.Tech
+	Cell   deploy.Cell
+	Link   radio.LinkState
+	InHO   bool
+	Outage bool
+	CapDL  float64 // bits/s usable by the application right now
+	CapUL  float64
+}
+
+// HandoverEvent records one handover with its control-plane interruption.
+type HandoverEvent struct {
+	T       float64 // start of the interruption
+	DurSec  float64
+	From    deploy.Cell
+	To      deploy.Cell
+	Traffic Traffic
+}
+
+// Vertical reports whether the handover crossed technologies.
+func (h HandoverEvent) Vertical() bool { return h.From.Tech != h.To.Tech }
+
+// Kind classifies the handover the way Fig. 12 does: 4G->4G, 4G->5G,
+// 5G->4G, or 5G->5G.
+func (h HandoverEvent) Kind() string {
+	g := func(t radio.Tech) string {
+		if t.Is5G() {
+			return "5G"
+		}
+		return "4G"
+	}
+	return g(h.From.Tech) + "->" + g(h.To.Tech)
+}
+
+// hoDurationMedianMs returns the per-operator handover interruption medians
+// measured by the paper (Fig. 11b), split by traffic direction.
+func hoDurationMedianMs(op radio.Operator, dir radio.Direction) float64 {
+	switch op {
+	case radio.Verizon:
+		if dir == radio.Downlink {
+			return 53
+		}
+		return 49
+	case radio.TMobile:
+		if dir == radio.Downlink {
+			return 76
+		}
+		return 75
+	default:
+		if dir == radio.Downlink {
+			return 58
+		}
+		return 57
+	}
+}
+
+// hoDurationSigma is the log-normal spread of handover durations; 0.42
+// puts the 75th percentile ~1.33× the median, matching Fig. 11b.
+const hoDurationSigma = 0.42
+
+// Policy evaluation cadence: how often the operator reconsiders which
+// technology should serve the UE. Jittered to avoid lockstep artifacts.
+const (
+	evalMinSec = 9.0
+	evalMaxSec = 16.0
+)
+
+// hoHysteresisFrac is the fraction of the inter-site spacing by which a
+// neighbor must be closer before a horizontal handover triggers (an
+// A3-event-style margin).
+const hoHysteresisFrac = 0.08
+
+// UE is one phone on one carrier: it tracks the serving technology and
+// cell, executes the elevation policy against the operator's deployment,
+// and emits handover events. One UE instance persists across tests so that
+// radio state carries over exactly as it did on the real phones.
+type UE struct {
+	Op  radio.Operator
+	Dep *deploy.Deployment
+
+	rng      *sim.RNG
+	links    map[radio.Tech]*radio.Link
+	tech     radio.Tech
+	cell     deploy.Cell
+	attached bool
+	hoUntil  float64
+	nextEval float64
+	events   []HandoverEvent
+	msgs     []SignalingMsg
+	cells    map[string]bool // unique cells camped on
+	wasOut   bool            // last step ended in an outage
+}
+
+// NewUE returns a UE for the operator over the given deployment.
+func NewUE(rng *sim.RNG, dep *deploy.Deployment) *UE {
+	u := &UE{
+		Op:    dep.Op,
+		Dep:   dep,
+		rng:   rng.Stream("ue", dep.Op.String()),
+		links: map[radio.Tech]*radio.Link{},
+		cells: map[string]bool{},
+	}
+	for _, t := range radio.Techs() {
+		u.links[t] = radio.NewLink(u.rng.Stream("link", t.String()), dep.Op, t)
+	}
+	return u
+}
+
+// TakeHandovers returns and clears the accumulated handover events.
+func (u *UE) TakeHandovers() []HandoverEvent {
+	ev := u.events
+	u.events = nil
+	return ev
+}
+
+// UniqueCells returns the number of distinct cells camped on so far.
+func (u *UE) UniqueCells() int { return len(u.cells) }
+
+// ServingTech returns the current serving technology and whether the UE is
+// attached at all.
+func (u *UE) ServingTech() (radio.Tech, bool) { return u.tech, u.attached }
+
+// chooseTech runs one policy evaluation: walk the 5G tiers from fastest to
+// slowest, elevating with the traffic- and operator-dependent probability,
+// then fall back to LTE-A/LTE.
+func (u *UE) chooseTech(avail []radio.Tech, tr Traffic, zone geo.Timezone) radio.Tech {
+	has := map[radio.Tech]bool{}
+	for _, t := range avail {
+		has[t] = true
+	}
+	for _, t := range []radio.Tech{radio.NRmmW, radio.NRMid, radio.NRLow} {
+		if has[t] && u.rng.Bool(elevationProb(u.Op, t, tr, zone)) {
+			return t
+		}
+	}
+	switch {
+	case has[radio.LTEA] && has[radio.LTE]:
+		if u.rng.Bool(lteaProb(u.Op)) {
+			return radio.LTEA
+		}
+		return radio.LTE
+	case has[radio.LTEA]:
+		return radio.LTEA
+	case has[radio.LTE]:
+		return radio.LTE
+	default:
+		// Only 5G is deployed here (rare); take the best of it.
+		return avail[len(avail)-1]
+	}
+}
+
+// handover moves the UE to the target cell, records the event and its RRC
+// message sequence, and starts the interruption timer. The new cell's
+// channel state is independent. forced marks handovers triggered by losing
+// the serving technology's coverage, which skip the measurement report (the
+// network reacts to a radio-link problem, not to a UE measurement).
+func (u *UE) handover(t float64, to deploy.Cell, tr Traffic, forced bool) {
+	dur := u.rng.LogNormalMedian(hoDurationMedianMs(u.Op, tr.Direction()), hoDurationSigma) / 1000
+	u.events = append(u.events, HandoverEvent{T: t, DurSec: dur, From: u.cell, To: to, Traffic: tr})
+	if !forced {
+		u.emit(t, MsgMeasurementReport, to.ID(), "neighbor above threshold")
+	}
+	u.emit(t, MsgRRCReconfiguration, to.ID(), "handover command from "+u.cell.ID())
+	u.emit(t+dur, MsgRRCReconfigurationComplete, to.ID(), "")
+	u.cell = to
+	u.tech = to.Tech
+	u.hoUntil = t + dur
+	u.links[to.Tech].Reset()
+	u.cells[to.ID()] = true
+}
+
+// attach camps the UE on the best policy choice without a handover event
+// (initial attach or service recovery after an outage).
+func (u *UE) attach(t float64, km float64, avail []radio.Tech, tr Traffic, zone geo.Timezone) {
+	tech := u.chooseTech(avail, tr, zone)
+	cell, _ := u.Dep.CellAt(km, tech)
+	u.cell = cell
+	u.tech = tech
+	u.attached = true
+	u.links[tech].Reset()
+	u.cells[cell.ID()] = true
+	u.nextEval = t + u.rng.Uniform(evalMinSec, evalMaxSec)
+	if u.wasOut {
+		u.emit(t, MsgRRCReestablishment, cell.ID(), "service recovered")
+	} else {
+		u.emit(t, MsgRRCSetup, cell.ID(), "initial attach")
+	}
+}
+
+// Step advances the UE by dt seconds at the given route position and
+// returns the radio snapshot. The traffic profile drives the elevation
+// policy.
+func (u *UE) Step(t, dt, km, mph float64, road geo.RoadClass, zone geo.Timezone, tr Traffic) Snapshot {
+	avail := u.Dep.Available(km)
+	if len(avail) == 0 {
+		// Dead zone: out of service entirely.
+		u.attached = false
+		u.wasOut = true
+		return Snapshot{T: t, Outage: true, Tech: u.tech, Cell: u.cell,
+			Link: radio.LinkState{Tech: u.tech, RSRPdBm: -140, SINRdB: -10}}
+	}
+	if !u.attached {
+		u.attach(t, km, avail, tr, zone)
+		u.wasOut = false
+	}
+
+	// Serving technology lost coverage: immediate forced vertical handover.
+	if !u.Dep.HasTech(km, u.tech) {
+		tech := u.chooseTech(avail, tr, zone)
+		cell, _ := u.Dep.CellAt(km, tech)
+		u.handover(t, cell, tr, true)
+	} else if t >= u.nextEval {
+		// Periodic policy evaluation: the operator reconsiders elevation.
+		u.nextEval = t + u.rng.Uniform(evalMinSec, evalMaxSec)
+		if tech := u.chooseTech(avail, tr, zone); tech != u.tech {
+			cell, _ := u.Dep.CellAt(km, tech)
+			u.handover(t, cell, tr, false)
+		}
+	}
+
+	// Horizontal handover: a same-technology neighbor is meaningfully
+	// closer than the serving cell.
+	spacing := radio.Bands(u.Op, u.tech).CellSpacingKm
+	servDist := math.Hypot(km-u.cell.CenterKm, u.cell.LateralKm)
+	if nearest, nd := u.Dep.CellAt(km, u.tech); nearest.Index != u.cell.Index &&
+		nd < servDist-hoHysteresisFrac*spacing {
+		u.handover(t, nearest, tr, false)
+		servDist = nd
+	}
+
+	link := u.links[u.tech]
+	st := link.Step(dt, servDist, mph, road)
+	snap := Snapshot{T: t, Tech: u.tech, Cell: u.cell, Link: st}
+	if t < u.hoUntil {
+		snap.InHO = true
+	} else {
+		snap.CapDL = st.CapDL
+		snap.CapUL = st.CapUL
+	}
+	return snap
+}

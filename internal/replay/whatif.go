@@ -1,0 +1,121 @@
+package replay
+
+import (
+	"fmt"
+	"strings"
+
+	"wheels/internal/apps"
+	"wheels/internal/apps/gaming"
+	"wheels/internal/apps/offload"
+	"wheels/internal/apps/video"
+	"wheels/internal/dataset"
+	"wheels/internal/radio"
+)
+
+// Scenario is a named counterfactual.
+type Scenario struct {
+	Name       string
+	Transforms []Transform
+}
+
+// Scenarios returns the standard what-if set, keyed to the paper's §8
+// recommendations.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{Name: "baseline"},
+		{Name: "2x bandwidth", Transforms: []Transform{ScaleCapacity(2)}},
+		{Name: "half RTT", Transforms: []Transform{ScaleRTT(0.5)}},
+		{Name: "edge everywhere", Transforms: []Transform{CapRTT(25)}},
+		{Name: "no outages", Transforms: []Transform{NoOutages()}},
+		{Name: "all of the above", Transforms: []Transform{
+			ScaleCapacity(2), CapRTT(25), NoOutages(),
+		}},
+	}
+}
+
+// Outcome aggregates one app's replayed QoE over many traces.
+type Outcome struct {
+	Runs int
+	// Median of the app's primary metric: QoE (video), send bitrate Mbps
+	// (gaming), E2E ms (AR/CAV).
+	Median float64
+	// BadFrac is the fraction of runs past the app's "bad" threshold:
+	// negative QoE, <10 Mbps bitrate, >300 ms E2E.
+	BadFrac float64
+}
+
+// median of a non-empty slice (helper; returns 0 on empty).
+func median(v []float64) float64 { return apps.Median(v) }
+
+// ReplayVideo re-runs the streaming model over every DL trace.
+func ReplayVideo(traces []Trace, durSec float64, transforms ...Transform) Outcome {
+	var qoe []float64
+	bad := 0
+	for _, tr := range traces {
+		res := video.Run(tr.Net(transforms...), durSec)
+		qoe = append(qoe, res.QoE)
+		if res.QoE < 0 {
+			bad++
+		}
+	}
+	return Outcome{Runs: len(qoe), Median: median(qoe), BadFrac: frac(bad, len(qoe))}
+}
+
+// ReplayGaming re-runs the cloud-gaming model over every DL trace.
+func ReplayGaming(traces []Trace, durSec float64, transforms ...Transform) Outcome {
+	var br []float64
+	bad := 0
+	for _, tr := range traces {
+		res := gaming.Run(tr.Net(transforms...), durSec)
+		br = append(br, res.SendBitrate)
+		if res.SendBitrate < 10 {
+			bad++
+		}
+	}
+	return Outcome{Runs: len(br), Median: median(br), BadFrac: frac(bad, len(br))}
+}
+
+// ReplayAR re-runs the AR offloading model (compressed, local tracking)
+// over every UL trace.
+func ReplayAR(traces []Trace, transforms ...Transform) Outcome {
+	var e2e []float64
+	bad := 0
+	for _, tr := range traces {
+		res := offload.Run(tr.Net(transforms...), offload.ARConfig(), true, true)
+		if res.OffloadFPS == 0 {
+			bad++
+			continue
+		}
+		e2e = append(e2e, res.MedianE2EMs)
+		if res.MedianE2EMs > 300 {
+			bad++
+		}
+	}
+	return Outcome{Runs: len(traces), Median: median(e2e), BadFrac: frac(bad, len(traces))}
+}
+
+func frac(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// WhatIf runs the standard scenario set for the three replayable apps and
+// renders a comparison table.
+func WhatIf(ds *dataset.Dataset, videoSec, gamingSec float64) string {
+	dl := Extract(ds, radio.Downlink)
+	ul := Extract(ds, radio.Uplink)
+	var b strings.Builder
+	b.WriteString("What-if replay over recorded traces (paper §8 recommendations)\n")
+	fmt.Fprintf(&b, "  %d DL traces, %d UL traces\n", len(dl), len(ul))
+	b.WriteString("  scenario            video QoE (neg%)   gaming Mbps (<10%)   AR E2E ms (bad%)\n")
+	for _, sc := range Scenarios() {
+		v := ReplayVideo(dl, videoSec, sc.Transforms...)
+		g := ReplayGaming(dl, gamingSec, sc.Transforms...)
+		a := ReplayAR(ul, sc.Transforms...)
+		fmt.Fprintf(&b, "  %-18s %9.1f (%3.0f%%) %12.1f (%3.0f%%) %12.0f (%3.0f%%)\n",
+			sc.Name, v.Median, 100*v.BadFrac, g.Median, 100*g.BadFrac, a.Median, 100*a.BadFrac)
+	}
+	return b.String()
+}

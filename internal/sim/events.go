@@ -1,0 +1,128 @@
+package sim
+
+import "container/heap"
+
+// Event is a callback scheduled to run at a simulation time.
+type Event struct {
+	At   float64 // simulation time in seconds
+	Run  func()
+	seq  int64 // tie-breaker preserving schedule order at equal times
+	idx  int   // heap index; -1 once popped or cancelled
+	dead bool
+}
+
+// Cancel marks the event so the scheduler skips it when its time comes.
+// Cancelling an already-executed event is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a discrete-event simulation loop: events execute in
+// non-decreasing time order, with FIFO order among events scheduled for the
+// same instant. Event callbacks may schedule further events.
+type Scheduler struct {
+	clock *Clock
+	queue eventHeap
+	seq   int64
+}
+
+// NewScheduler returns a scheduler driving the given clock.
+func NewScheduler(clock *Clock) *Scheduler {
+	return &Scheduler{clock: clock}
+}
+
+// Clock returns the scheduler's clock.
+func (s *Scheduler) Clock() *Clock { return s.clock }
+
+// Now returns the current simulation time in seconds.
+func (s *Scheduler) Now() float64 { return s.clock.Now() }
+
+// At schedules fn to run at absolute simulation time t. Times in the past
+// run at the current time (the clock never rewinds).
+func (s *Scheduler) At(t float64, fn func()) *Event {
+	if t < s.clock.Now() {
+		t = s.clock.Now()
+	}
+	s.seq++
+	e := &Event{At: t, Run: fn, seq: s.seq}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run dt seconds from now.
+func (s *Scheduler) After(dt float64, fn func()) *Event {
+	if dt < 0 {
+		dt = 0
+	}
+	return s.At(s.clock.Now()+dt, fn)
+}
+
+// Pending reports the number of live events in the queue.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// RunUntil executes events in order until the queue is empty or the next
+// event is after deadline. The clock is left at min(deadline, time of last
+// executed event); if the queue drains early the clock still advances to the
+// deadline, so fixed-horizon experiments end at a well-defined time.
+func (s *Scheduler) RunUntil(deadline float64) {
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.At > deadline {
+			break
+		}
+		heap.Pop(&s.queue)
+		if next.dead {
+			continue
+		}
+		s.clock.Set(next.At)
+		next.Run()
+	}
+	s.clock.Set(deadline)
+}
+
+// Run executes events until the queue is empty.
+func (s *Scheduler) Run() {
+	for len(s.queue) > 0 {
+		next := heap.Pop(&s.queue).(*Event)
+		if next.dead {
+			continue
+		}
+		s.clock.Set(next.At)
+		next.Run()
+	}
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockConversions(t *testing.T) {
+	c := NewClock()
+	if got := c.At(0); !got.Equal(TripStart.UTC()) {
+		t.Errorf("At(0) = %v, want %v", got, TripStart.UTC())
+	}
+	c.Advance(3600)
+	if got := c.WallTime().Sub(TripStart.UTC()); got != time.Hour {
+		t.Errorf("after Advance(3600), offset = %v, want 1h", got)
+	}
+}
+
+func TestClockNeverRewinds(t *testing.T) {
+	c := NewClock()
+	c.Advance(100)
+	c.Advance(-50)
+	if c.Now() != 100 {
+		t.Errorf("negative Advance moved clock to %v", c.Now())
+	}
+	c.Set(50)
+	if c.Now() != 100 {
+		t.Errorf("backward Set moved clock to %v", c.Now())
+	}
+}
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler(NewClock())
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("execution order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestSchedulerFIFOAtEqualTimes(t *testing.T) {
+	s := NewScheduler(NewClock())
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("events at equal times ran out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	s := NewScheduler(NewClock())
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			s.After(1, tick)
+		}
+	}
+	s.After(1, tick)
+	s.Run()
+	if count != 5 {
+		t.Errorf("nested ticks = %d, want 5", count)
+	}
+	if s.Now() != 5 {
+		t.Errorf("final time = %v, want 5", s.Now())
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler(NewClock())
+	ran := false
+	e := s.At(1, func() { ran = true })
+	e.Cancel()
+	s.Run()
+	if ran {
+		t.Error("cancelled event executed")
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler(NewClock())
+	var ran []float64
+	s.At(1, func() { ran = append(ran, 1) })
+	s.At(5, func() { ran = append(ran, 5) })
+	s.At(10, func() { ran = append(ran, 10) })
+	s.RunUntil(6)
+	if len(ran) != 2 {
+		t.Fatalf("RunUntil(6) executed %v, want events at 1 and 5", ran)
+	}
+	if s.Now() != 6 {
+		t.Errorf("clock after RunUntil(6) = %v, want 6", s.Now())
+	}
+	s.Run()
+	if len(ran) != 3 {
+		t.Errorf("remaining event did not run: %v", ran)
+	}
+}
+
+func TestSchedulerRunUntilAdvancesOnEmptyQueue(t *testing.T) {
+	s := NewScheduler(NewClock())
+	s.RunUntil(42)
+	if s.Now() != 42 {
+		t.Errorf("clock = %v, want 42", s.Now())
+	}
+}
+
+func TestSchedulerPastEventRunsNow(t *testing.T) {
+	s := NewScheduler(NewClock())
+	s.Clock().Advance(10)
+	var at float64 = -1
+	s.At(5, func() { at = s.Now() })
+	s.Run()
+	if at != 10 {
+		t.Errorf("past-scheduled event ran at %v, want 10", at)
+	}
+}
+
+func TestSchedulerPending(t *testing.T) {
+	s := NewScheduler(NewClock())
+	a := s.At(1, func() {})
+	s.At(2, func() {})
+	if got := s.Pending(); got != 2 {
+		t.Errorf("Pending = %d, want 2", got)
+	}
+	a.Cancel()
+	if got := s.Pending(); got != 1 {
+		t.Errorf("Pending after cancel = %d, want 1", got)
+	}
+}

@@ -1,0 +1,146 @@
+package transport
+
+import "math"
+
+// BBRFlow is a fluid-model approximation of BBR (bottleneck bandwidth and
+// round-trip propagation time) congestion control. The paper measured with
+// CUBIC — nuttcp's default — and much of the driving throughput collapse
+// traces to CUBIC's loss-driven window dynamics; BBR is the natural modern
+// comparator because it paces to a bandwidth estimate instead of filling
+// queues until loss. The model cycles BBR's ProbeBW gain schedule, keeps a
+// windowed max-bandwidth estimate, and restarts from STARTUP after long
+// outages.
+type BBRFlow struct {
+	state     bbrState
+	btlBw     float64 // bottleneck bandwidth estimate, bits/s
+	bwWindow  []bwSample
+	rtProp    float64 // min RTT estimate, seconds
+	cycleIdx  int
+	cycleT    float64
+	fullBwCnt int
+	lastBw    float64
+	stalledS  float64
+	delivered float64
+	t         float64
+}
+
+type bbrState int
+
+const (
+	bbrStartup bbrState = iota
+	bbrProbeBW
+)
+
+type bwSample struct {
+	t  float64
+	bw float64
+}
+
+// bbrCycle is the ProbeBW pacing-gain cycle (RFC-draft values).
+var bbrCycle = []float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
+
+const (
+	bbrStartupGain = 2.885
+	bbrBwWindowSec = 10.0
+	bbrCycleSec    = 0.2 // one pacing-gain phase ~ a few RTTs
+)
+
+// NewBBRFlow returns a flow in STARTUP.
+func NewBBRFlow() *BBRFlow {
+	return &BBRFlow{state: bbrStartup, btlBw: 1e6, rtProp: 0.1}
+}
+
+// DeliveredBytes returns cumulative goodput in bytes.
+func (f *BBRFlow) DeliveredBytes() float64 { return f.delivered }
+
+// updateBw records a delivery-rate sample and refreshes the windowed max.
+func (f *BBRFlow) updateBw(bw float64) {
+	f.bwWindow = append(f.bwWindow, bwSample{t: f.t, bw: bw})
+	cut := 0
+	for cut < len(f.bwWindow) && f.bwWindow[cut].t < f.t-bbrBwWindowSec {
+		cut++
+	}
+	f.bwWindow = f.bwWindow[cut:]
+	max := 0.0
+	for _, s := range f.bwWindow {
+		if s.bw > max {
+			max = s.bw
+		}
+	}
+	f.btlBw = math.Max(max, 1e5)
+}
+
+// Step advances the flow by dt seconds over a bottleneck of capBps with
+// base RTT baseRTTms and returns the bytes delivered.
+func (f *BBRFlow) Step(dt float64, capBps, baseRTTms float64) float64 {
+	f.t += dt
+	rtt := baseRTTms / 1000
+	if rtt < f.rtProp || f.rtProp == 0 {
+		f.rtProp = math.Max(rtt, 1e-3)
+	}
+	if capBps <= 1 {
+		f.stalledS += dt
+		if f.stalledS > 1 {
+			// Long outage: estimates are stale, restart discovery.
+			f.state = bbrStartup
+			f.btlBw = 1e6
+			f.bwWindow = f.bwWindow[:0]
+			f.fullBwCnt = 0
+		}
+		return 0
+	}
+	f.stalledS = 0
+
+	gain := bbrStartupGain
+	if f.state == bbrProbeBW {
+		f.cycleT += dt
+		if f.cycleT >= bbrCycleSec {
+			f.cycleT = 0
+			f.cycleIdx = (f.cycleIdx + 1) % len(bbrCycle)
+		}
+		gain = bbrCycle[f.cycleIdx]
+	}
+
+	// Pace at gain × estimate; the link delivers at most its capacity.
+	sendBps := gain * f.btlBw
+	deliveredBps := math.Min(sendBps, capBps)
+	f.delivered += deliveredBps / 8 * dt
+	f.updateBw(deliveredBps)
+
+	if f.state == bbrStartup {
+		// Leave STARTUP once bandwidth stops growing 25% per round.
+		if f.btlBw < f.lastBw*1.25 {
+			f.fullBwCnt++
+			if f.fullBwCnt >= 3 {
+				f.state = bbrProbeBW
+			}
+		} else {
+			f.fullBwCnt = 0
+		}
+		f.lastBw = f.btlBw
+	}
+	return deliveredBps / 8 * dt
+}
+
+// RunBulkBBR runs a single BBR connection over the path, mirroring RunBulk.
+func RunBulkBBR(p Path, durSec float64) BulkResult {
+	flow := NewBBRFlow()
+	res := BulkResult{DurSec: durSec}
+	var window float64
+	nextSample := SampleIntervalSec
+	for t := 0.0; t < durSec; t += tickSec {
+		st := p.Step(tickSec)
+		cap := st.CapBps
+		if st.Outage {
+			cap = 0
+		}
+		window += flow.Step(tickSec, cap, st.BaseRTTms)
+		if t+tickSec >= nextSample {
+			res.SamplesBps = append(res.SamplesBps, window*8/SampleIntervalSec)
+			window = 0
+			nextSample += SampleIntervalSec
+		}
+	}
+	res.DeliveredBytes = flow.DeliveredBytes()
+	return res
+}

@@ -1,0 +1,151 @@
+package transport
+
+import "math"
+
+// TCP CUBIC constants (RFC 8312).
+const (
+	mssBytes  = 1448.0
+	cubicC    = 0.4 // scaling constant, packets/s³
+	cubicBeta = 0.7 // multiplicative decrease factor
+	initCwnd  = 10  // packets
+	minCwnd   = 2
+	rtoMinSec = 1.0
+	queueMinB = 65536.0 // minimum bottleneck buffer
+	queueMs   = 60.0    // bottleneck buffer depth in ms at link rate
+)
+
+// CubicFlow is a fluid-model simulation of one TCP CUBIC connection over a
+// time-varying bottleneck (the radio link), with a droptail queue,
+// slow start, CUBIC window growth, fast recovery, and retransmission
+// timeouts across outages. This is what turns raw link capacity into the
+// application-layer throughput nuttcp reports: losses at capacity drops and
+// slow post-loss ramp-up are a large part of why driving throughput is so
+// much worse than static (Fig. 3).
+type CubicFlow struct {
+	cwnd     float64 // packets
+	ssthresh float64
+	wMax     float64 // packets, window before last reduction
+	epochT   float64 // seconds since last loss event
+	inSS     bool
+
+	queueB    float64 // bottleneck queue occupancy, bytes
+	srttSec   float64
+	stalledS  float64 // time with zero delivery (RTO detection)
+	sinceLoss float64 // time since the last window reduction
+	delivered float64 // total bytes delivered
+}
+
+// NewCubicFlow returns a freshly started flow (slow start from initCwnd).
+func NewCubicFlow() *CubicFlow {
+	return &CubicFlow{
+		cwnd:     initCwnd,
+		ssthresh: math.Inf(1),
+		inSS:     true,
+		srttSec:  0.05,
+	}
+}
+
+// DeliveredBytes returns cumulative goodput in bytes.
+func (f *CubicFlow) DeliveredBytes() float64 { return f.delivered }
+
+// Cwnd returns the current congestion window in packets.
+func (f *CubicFlow) Cwnd() float64 { return f.cwnd }
+
+// SRTTms returns the smoothed RTT including queueing delay, in ms.
+func (f *CubicFlow) SRTTms() float64 { return f.srttSec * 1000 }
+
+// cubicWindow is the CUBIC window function W(t) = C(t-K)³ + Wmax.
+func (f *CubicFlow) cubicWindow(t float64) float64 {
+	k := math.Cbrt(f.wMax * (1 - cubicBeta) / cubicC)
+	return cubicC*math.Pow(t-k, 3) + f.wMax
+}
+
+// onLoss applies CUBIC's multiplicative decrease and starts a new epoch.
+func (f *CubicFlow) onLoss() {
+	f.wMax = f.cwnd
+	f.cwnd *= cubicBeta
+	if f.cwnd < minCwnd {
+		f.cwnd = minCwnd
+	}
+	f.ssthresh = f.cwnd
+	f.epochT = 0
+	f.inSS = false
+}
+
+// onRTO collapses the window after a retransmission timeout (link outage).
+func (f *CubicFlow) onRTO() {
+	f.ssthresh = f.cwnd / 2
+	if f.ssthresh < minCwnd {
+		f.ssthresh = minCwnd
+	}
+	f.wMax = f.cwnd
+	f.cwnd = minCwnd
+	f.inSS = true
+	f.epochT = 0
+	f.stalledS = 0
+}
+
+// Step advances the flow by dt seconds over a bottleneck of capBps with a
+// path base RTT of baseRTTms (propagation + access, excluding this flow's
+// own queueing). It returns the bytes delivered during the step.
+func (f *CubicFlow) Step(dt float64, capBps, baseRTTms float64) float64 {
+	baseRTT := baseRTTms / 1000
+	if capBps <= 1 {
+		// Outage or handover execution: nothing delivered; queue holds.
+		f.stalledS += dt
+		if f.stalledS > math.Max(rtoMinSec, 2*f.srttSec) {
+			f.onRTO()
+		}
+		f.srttSec = baseRTT + 0.2 // ACK clock frozen; pessimistic estimate
+		return 0
+	}
+	f.stalledS = 0
+
+	queueCap := math.Max(queueMinB, capBps/8*queueMs/1000)
+	rtt := baseRTT + f.queueB/(capBps/8)
+	f.srttSec = 0.8*f.srttSec + 0.2*rtt
+
+	// Sending rate is window-limited: cwnd per RTT.
+	sendBps := f.cwnd * mssBytes * 8 / rtt
+
+	// The bottleneck serves capBps; excess fills the queue.
+	arriveB := sendBps / 8 * dt
+	serveB := capBps / 8 * dt
+	deliveredB := math.Min(arriveB+f.queueB, serveB)
+	f.queueB += arriveB - deliveredB
+	lost := false
+	if f.queueB > queueCap {
+		f.queueB = queueCap
+		lost = true
+	}
+	if f.queueB < 0 {
+		f.queueB = 0
+	}
+	f.delivered += deliveredB
+
+	ackedPkts := deliveredB / mssBytes
+	f.sinceLoss += dt
+	// TCP reduces the window at most once per RTT per loss event: a full
+	// queue persisting across ticks is one congestion episode, not many.
+	if lost && f.sinceLoss > f.srttSec {
+		f.onLoss()
+		f.sinceLoss = 0
+	} else if f.inSS {
+		f.cwnd += ackedPkts // double per RTT
+		if f.cwnd >= f.ssthresh {
+			f.inSS = false
+			f.wMax = f.cwnd
+			f.epochT = 0
+		}
+	} else {
+		f.epochT += dt
+		target := f.cubicWindow(f.epochT)
+		if target > f.cwnd {
+			// Approach the CUBIC target over one RTT.
+			f.cwnd += (target - f.cwnd) * math.Min(1, dt/rtt)
+		} else {
+			f.cwnd += 0.5 * ackedPkts / f.cwnd // Reno-friendly floor
+		}
+	}
+	return deliveredB
+}

@@ -1,0 +1,109 @@
+package transport
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wheels/internal/sim"
+)
+
+// seqPath replays an arbitrary capacity sequence, one value per tick.
+type seqPath struct {
+	caps []float64
+	rtt  float64
+	i    int
+}
+
+func (p *seqPath) Step(float64) PathState {
+	c := p.caps[p.i%len(p.caps)]
+	p.i++
+	return PathState{CapBps: c, BaseRTTms: p.rtt}
+}
+
+// TestCubicNeverExceedsFluidBoundProperty: for arbitrary capacity series,
+// CUBIC's delivered bytes can never exceed the fluid (perfect transport)
+// bound over the same series.
+func TestCubicNeverExceedsFluidBoundProperty(t *testing.T) {
+	rng := sim.NewRNG(31).Stream("prop")
+	if err := quick.Check(func(seedRaw uint16, rttRaw uint8) bool {
+		n := 8 + int(seedRaw)%24
+		caps := make([]float64, n)
+		for i := range caps {
+			caps[i] = rng.Uniform(0, 200e6)
+			if rng.Bool(0.15) {
+				caps[i] = 0 // outage ticks
+			}
+		}
+		rtt := 10 + float64(rttRaw)/255*150
+		cubic := RunBulk(&seqPath{caps: caps, rtt: rtt}, 10)
+		fluid := RunFluid(&seqPath{caps: caps, rtt: rtt}, 10)
+		return cubic.DeliveredBytes <= fluid.DeliveredBytes*1.0001+1
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBBRNeverExceedsFluidBoundProperty: same invariant for BBR.
+func TestBBRNeverExceedsFluidBoundProperty(t *testing.T) {
+	rng := sim.NewRNG(37).Stream("prop")
+	if err := quick.Check(func(seedRaw uint16) bool {
+		n := 8 + int(seedRaw)%24
+		caps := make([]float64, n)
+		for i := range caps {
+			caps[i] = rng.Uniform(0, 500e6)
+		}
+		bbr := RunBulkBBR(&seqPath{caps: caps, rtt: 40}, 10)
+		fluid := RunFluid(&seqPath{caps: caps, rtt: 40}, 10)
+		return bbr.DeliveredBytes <= fluid.DeliveredBytes*1.0001+1
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSpeedTestWithinBoundsProperty: the multi-connection aggregate also
+// respects the fluid bound, and its peak never exceeds its own max sample.
+func TestSpeedTestWithinBoundsProperty(t *testing.T) {
+	rng := sim.NewRNG(41).Stream("prop")
+	if err := quick.Check(func(seedRaw uint16, connsRaw uint8) bool {
+		n := 8 + int(seedRaw)%16
+		caps := make([]float64, n)
+		for i := range caps {
+			caps[i] = rng.Uniform(1e6, 300e6)
+		}
+		conns := 1 + int(connsRaw)%12
+		st := RunSpeedTest(&seqPath{caps: caps, rtt: 50}, 10, conns)
+		fluid := RunFluid(&seqPath{caps: caps, rtt: 50}, 10)
+		var sum, max float64
+		for _, v := range st.SamplesBps {
+			sum += v / 8 * SampleIntervalSec
+			if v > max {
+				max = v
+			}
+		}
+		return sum <= fluid.DeliveredBytes*1.0001+1 && st.PeakBps <= max+1
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCubicDeliveredMatchesSamplesProperty: the per-500ms samples must sum
+// to (approximately) the total delivered bytes.
+func TestCubicDeliveredMatchesSamplesProperty(t *testing.T) {
+	if err := quick.Check(func(capRaw uint16) bool {
+		cap := 1e6 + float64(capRaw)/65535*400e6
+		res := RunBulk(constPath{cap: cap, rtt: 40}, 10)
+		var sum float64
+		for _, v := range res.SamplesBps {
+			sum += v / 8 * SampleIntervalSec
+		}
+		diff := res.DeliveredBytes - sum
+		if diff < 0 {
+			diff = -diff
+		}
+		// The final partial window may be unsampled; allow one interval of
+		// capacity as slack.
+		return diff <= cap/8*SampleIntervalSec+1
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+package transport
+
+import "math"
+
+// PathState is the end-to-end path condition for one simulation tick, as
+// seen by a transfer in one direction.
+type PathState struct {
+	CapBps    float64 // radio capacity available in the transfer direction
+	BaseRTTms float64 // access + wire + inflation, excluding own queueing
+	Outage    bool    // no service (dead zone or handover execution)
+}
+
+// Path produces the evolving path state; the campaign adapts a UE plus a
+// server selection into this interface.
+type Path interface {
+	Step(dt float64) PathState
+}
+
+// tickSec is the transport simulation tick.
+const tickSec = 0.02
+
+// SampleIntervalSec matches XCAL's 500 ms application-layer throughput
+// logging (§5).
+const SampleIntervalSec = 0.5
+
+// BulkResult is the outcome of one nuttcp-style bulk transfer test.
+type BulkResult struct {
+	SamplesBps     []float64 // application-layer throughput per 500 ms
+	DeliveredBytes float64
+	DurSec         float64
+}
+
+// MeanBps returns the test-level mean throughput (Fig. 9's per-test mean).
+func (r BulkResult) MeanBps() float64 {
+	if len(r.SamplesBps) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range r.SamplesBps {
+		sum += v
+	}
+	return sum / float64(len(r.SamplesBps))
+}
+
+// StdFrac returns the standard deviation of the 500 ms samples as a
+// fraction of the mean (Fig. 9's lower row), or 0 for an all-zero test.
+func (r BulkResult) StdFrac() float64 {
+	mean := r.MeanBps()
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, v := range r.SamplesBps {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(r.SamplesBps))) / mean
+}
+
+// RunBulk runs a single-connection TCP CUBIC bulk transfer over the path
+// for durSec seconds, sampling application-layer throughput every 500 ms
+// exactly as the paper's nuttcp + XCAL setup does.
+func RunBulk(p Path, durSec float64) BulkResult {
+	flow := NewCubicFlow()
+	res := BulkResult{DurSec: durSec}
+	var window float64 // bytes delivered in the current 500 ms
+	nextSample := SampleIntervalSec
+	for t := 0.0; t < durSec; t += tickSec {
+		st := p.Step(tickSec)
+		cap := st.CapBps
+		if st.Outage {
+			cap = 0
+		}
+		window += flow.Step(tickSec, cap, st.BaseRTTms)
+		if t+tickSec >= nextSample {
+			res.SamplesBps = append(res.SamplesBps, window*8/SampleIntervalSec)
+			window = 0
+			nextSample += SampleIntervalSec
+		}
+	}
+	res.DeliveredBytes = flow.DeliveredBytes()
+	return res
+}
+
+// RunFluid is the idealized-transport baseline used by the ablation
+// benches: it delivers exactly the link capacity at every instant, with no
+// congestion control, no loss recovery, and no ramp-up. The gap between
+// RunFluid and RunBulk is the share of the driving-throughput collapse
+// attributable to TCP dynamics rather than the radio itself.
+func RunFluid(p Path, durSec float64) BulkResult {
+	res := BulkResult{DurSec: durSec}
+	var window float64
+	nextSample := SampleIntervalSec
+	for t := 0.0; t < durSec; t += tickSec {
+		st := p.Step(tickSec)
+		if !st.Outage {
+			window += st.CapBps / 8 * tickSec
+			res.DeliveredBytes += st.CapBps / 8 * tickSec
+		}
+		if t+tickSec >= nextSample {
+			res.SamplesBps = append(res.SamplesBps, window*8/SampleIntervalSec)
+			window = 0
+			nextSample += SampleIntervalSec
+		}
+	}
+	return res
+}
+
+// RTTResult is the outcome of one ping test.
+type RTTResult struct {
+	SamplesMs []float64 // successful echo RTTs
+	Sent      int
+	Lost      int
+}
+
+// Mean returns the mean of the successful samples (0 if none).
+func (r RTTResult) Mean() float64 {
+	if len(r.SamplesMs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range r.SamplesMs {
+		sum += v
+	}
+	return sum / float64(len(r.SamplesMs))
+}
+
+// RunRTT runs the paper's ping test: one ICMP echo every intervalSec for
+// durSec seconds. Pings sent during an outage are lost.
+func RunRTT(p Path, durSec, intervalSec float64) RTTResult {
+	var res RTTResult
+	nextPing := 0.0
+	for t := 0.0; t < durSec; t += tickSec {
+		st := p.Step(tickSec)
+		if t >= nextPing {
+			nextPing += intervalSec
+			res.Sent++
+			if st.Outage {
+				res.Lost++
+				continue
+			}
+			res.SamplesMs = append(res.SamplesMs, st.BaseRTTms)
+		}
+	}
+	return res
+}

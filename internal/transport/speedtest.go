@@ -1,0 +1,102 @@
+package transport
+
+import "math"
+
+// This file models the methodology gap the paper calls out in Table 3 /
+// §5.6: commercial bandwidth apps (Ookla SpeedTest) measure *peak*
+// bandwidth using several parallel TCP connections to a nearby server,
+// while the paper's nuttcp setup uses a single connection to a remote
+// cloud — "our intent was to measure performance experienced by most
+// cloud-based apps". RunSpeedTest reproduces the commercial methodology so
+// the two can be compared on identical radio conditions.
+
+// SpeedTestConns is the number of parallel connections commercial testing
+// apps typically open.
+const SpeedTestConns = 8
+
+// SpeedTestResult is the outcome of one multi-connection speed test.
+type SpeedTestResult struct {
+	// PeakBps is what the app reports: the mean of the top half of the
+	// per-interval aggregate samples (discarding ramp-up), approximating
+	// the commercial apps' peak-oriented aggregation.
+	PeakBps float64
+	// MeanBps is the plain mean over the whole test, for comparison.
+	MeanBps    float64
+	DurSec     float64
+	Conns      int
+	SamplesBps []float64
+}
+
+// RunSpeedTest runs conns parallel CUBIC flows over the same bottleneck
+// (they share the radio link's capacity fairly) for durSec seconds.
+// Parallel flows recover from individual losses independently, so the
+// aggregate tracks capacity much more tightly than a single flow — the
+// main reason SpeedTest numbers exceed single-connection measurements.
+func RunSpeedTest(p Path, durSec float64, conns int) SpeedTestResult {
+	if conns < 1 {
+		conns = 1
+	}
+	flows := make([]*CubicFlow, conns)
+	for i := range flows {
+		flows[i] = NewCubicFlow()
+	}
+	res := SpeedTestResult{DurSec: durSec, Conns: conns}
+	var window float64
+	nextSample := SampleIntervalSec
+	for t := 0.0; t < durSec; t += tickSec {
+		st := p.Step(tickSec)
+		cap := st.CapBps
+		if st.Outage {
+			cap = 0
+		}
+		// Fair share with work conservation: each flow gets an equal slice
+		// of the bottleneck; a window-limited flow's leftover goes to the
+		// others (approximated by two passes).
+		share := cap / float64(conns)
+		var leftover float64
+		var delivered float64
+		hungry := make([]*CubicFlow, 0, conns)
+		for _, f := range flows {
+			want := f.cwnd * mssBytes * 8 / math.Max(f.srttSec, 1e-3)
+			if want < share {
+				delivered += f.Step(tickSec, share, st.BaseRTTms)
+				leftover += share - want
+			} else {
+				hungry = append(hungry, f)
+			}
+		}
+		if len(hungry) > 0 {
+			bonus := leftover / float64(len(hungry))
+			for _, f := range hungry {
+				delivered += f.Step(tickSec, share+bonus, st.BaseRTTms)
+			}
+		}
+		window += delivered
+		if t+tickSec >= nextSample {
+			res.SamplesBps = append(res.SamplesBps, window*8/SampleIntervalSec)
+			window = 0
+			nextSample += SampleIntervalSec
+		}
+	}
+	if len(res.SamplesBps) == 0 {
+		return res
+	}
+	var sum float64
+	for _, v := range res.SamplesBps {
+		sum += v
+	}
+	res.MeanBps = sum / float64(len(res.SamplesBps))
+	// Peak aggregation: mean of the top half of samples.
+	sorted := append([]float64(nil), res.SamplesBps...)
+	for i := 1; i < len(sorted); i++ { // insertion sort; sample counts are tiny
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	top := sorted[len(sorted)/2:]
+	for _, v := range top {
+		res.PeakBps += v
+	}
+	res.PeakBps /= float64(len(top))
+	return res
+}

@@ -1,0 +1,99 @@
+package xcal
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// AppTimeFormat is a timestamp convention used by one of the applications
+// in the testbed. Some apps logged UTC, others local wall time with no zone
+// indicator (§B) — the latter cannot be interpreted without knowing where
+// the phone was.
+type AppTimeFormat int
+
+const (
+	// AppUTC logs RFC3339-style UTC timestamps.
+	AppUTC AppTimeFormat = iota
+	// AppLocalNoZone logs "MM/DD/YYYY HH:MM:SS.mmm" in the phone's current
+	// local time with no zone indicator.
+	AppLocalNoZone
+)
+
+const localNoZoneLayout = "01/02/2006 15:04:05.000"
+
+// AppEntry is one application-level measurement: a 500 ms throughput sample
+// (bps) or a ping RTT (ms), depending on the test.
+type AppEntry struct {
+	TimeUTC time.Time
+	Value   float64
+}
+
+// WriteAppLog serializes entries in the given timestamp convention.
+// offsetHours is the UTC offset of the phone's local clock at logging time
+// (used only by AppLocalNoZone).
+func WriteAppLog(w io.Writer, entries []AppEntry, format AppTimeFormat, offsetHours int) error {
+	bw := bufio.NewWriter(w)
+	zone := time.FixedZone("local", offsetHours*3600)
+	for _, e := range entries {
+		var stamp string
+		switch format {
+		case AppUTC:
+			stamp = e.TimeUTC.UTC().Format("2006-01-02T15:04:05.000Z")
+		case AppLocalNoZone:
+			stamp = e.TimeUTC.In(zone).Format(localNoZoneLayout)
+		default:
+			return fmt.Errorf("xcal: unknown app log format %d", format)
+		}
+		if _, err := fmt.Fprintf(bw, "%s,%s\n", stamp, strconv.FormatFloat(e.Value, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseAppLog parses an app log. For AppLocalNoZone the caller must supply
+// the UTC offset the phone's clock had while logging — exactly the context
+// the paper's post-processing had to reconstruct from the route.
+func ParseAppLog(r io.Reader, format AppTimeFormat, offsetHours int) ([]AppEntry, error) {
+	var out []AppEntry
+	zone := time.FixedZone("local", offsetHours*3600)
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		idx := strings.LastIndexByte(text, ',')
+		if idx < 0 {
+			return nil, fmt.Errorf("xcal: app log line %d: no separator", line)
+		}
+		var ts time.Time
+		var err error
+		switch format {
+		case AppUTC:
+			ts, err = time.Parse("2006-01-02T15:04:05.000Z", text[:idx])
+		case AppLocalNoZone:
+			ts, err = time.ParseInLocation(localNoZoneLayout, text[:idx], zone)
+		default:
+			return nil, fmt.Errorf("xcal: unknown app log format %d", format)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xcal: app log line %d: %v", line, err)
+		}
+		v, err := strconv.ParseFloat(text[idx+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("xcal: app log line %d: value: %v", line, err)
+		}
+		out = append(out, AppEntry{TimeUTC: ts.UTC(), Value: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

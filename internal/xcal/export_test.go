@@ -1,0 +1,108 @@
+package xcal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"wheels/internal/radio"
+)
+
+func exportSample(t *testing.T, dir string, op radio.Operator, tag string, start time.Time, offset int) {
+	t.Helper()
+	e := &Exporter{Dir: dir}
+	kpis := []KPIEntry{
+		{TimeUTC: start, Tech: radio.NRMid, RSRPdBm: -95, SINRdB: 14, MCS: 20, BLER: 0.05, CCDown: 2, CCUp: 1, MPH: 60},
+		{TimeUTC: start.Add(500 * time.Millisecond), Tech: radio.NRMid, RSRPdBm: -96, SINRdB: 13, MCS: 19, BLER: 0.06, CCDown: 2, CCUp: 1, MPH: 61},
+	}
+	sigs := []SignalEvent{{
+		TimeUTC: start.Add(time.Second), FromTech: radio.NRMid, ToTech: radio.LTEA,
+		FromCell: "X-1", ToCell: "X-2", DurMs: 60,
+	}}
+	app := []AppEntry{
+		{TimeUTC: start, Value: 42e6},
+		{TimeUTC: start.Add(500 * time.Millisecond), Value: 43e6},
+	}
+	if err := e.ExportTest(op, tag, start, offset, kpis, sigs, app); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExportAndRebuild(t *testing.T) {
+	dir := t.TempDir()
+	start := time.Date(2022, 8, 10, 17, 30, 0, 0, time.UTC)
+	exportSample(t, dir, radio.Verizon, "bulk-dl-7", start, -6)
+	exportSample(t, dir, radio.TMobile, "bulk-ul-8", start.Add(time.Hour), -6)
+
+	tests, err := Rebuild(dir, func(time.Time) int { return -6 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tests) != 2 {
+		t.Fatalf("rebuilt %d tests, want 2", len(tests))
+	}
+	for _, rt := range tests {
+		if len(rt.Rows) != 2 || rt.Unmatched != 0 {
+			t.Errorf("%s/%s: rows=%d unmatched=%d", rt.Op, rt.Test, len(rt.Rows), rt.Unmatched)
+		}
+		if len(rt.Signals) != 1 || rt.Signals[0].DurMs != 60 {
+			t.Errorf("signals not recovered: %+v", rt.Signals)
+		}
+		if rt.Rows[0].AppValue != 42e6 {
+			t.Errorf("app value = %v", rt.Rows[0].AppValue)
+		}
+	}
+}
+
+func TestRebuildDetectsInconsistentTimezone(t *testing.T) {
+	dir := t.TempDir()
+	start := time.Date(2022, 8, 10, 17, 30, 0, 0, time.UTC)
+	exportSample(t, dir, radio.ATT, "rtt-3", start, -6)
+	// An offset function that never matches any candidate offset.
+	if _, err := Rebuild(dir, func(time.Time) int { return 3 }); err == nil {
+		t.Error("Rebuild succeeded with no consistent timezone")
+	}
+}
+
+func TestRebuildMissingAppLog(t *testing.T) {
+	dir := t.TempDir()
+	start := time.Date(2022, 8, 10, 17, 30, 0, 0, time.UTC)
+	exportSample(t, dir, radio.ATT, "rtt-3", start, -5)
+	// Delete the app log; the rebuild must fail loudly, not silently drop.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".log" {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	if _, err := Rebuild(dir, func(time.Time) int { return -5 }); err == nil {
+		t.Error("Rebuild succeeded without the app log")
+	}
+}
+
+func TestRebuildIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	start := time.Date(2022, 8, 10, 17, 30, 0, 0, time.UTC)
+	exportSample(t, dir, radio.Verizon, "bulk-dl-1", start, -7)
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tests, err := Rebuild(dir, func(time.Time) int { return -7 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tests) != 1 {
+		t.Errorf("rebuilt %d tests, want 1", len(tests))
+	}
+}
+
+func TestRebuildEmptyDir(t *testing.T) {
+	tests, err := Rebuild(t.TempDir(), func(time.Time) int { return -5 })
+	if err != nil || len(tests) != 0 {
+		t.Errorf("empty dir: %v, %d tests", err, len(tests))
+	}
+	if _, err := Rebuild(filepath.Join(t.TempDir(), "nope"), func(time.Time) int { return -5 }); err == nil {
+		t.Error("missing dir accepted")
+	}
+}

@@ -1,0 +1,108 @@
+package xcal
+
+import (
+	"strings"
+	"testing"
+)
+
+// The parsers ingest files whose formats are deliberately awkward (no year,
+// no zone, mixed conventions); fuzzing guards against panics and
+// round-trip inconsistencies on arbitrary input. The seeds run as part of
+// the normal test suite; `go test -fuzz FuzzParseLog ./internal/xcal` digs
+// deeper.
+
+func FuzzParseLog(f *testing.F) {
+	f.Add("08-10 13:30:15.500,KPI,LTE,-90.0,5.0,3,0.1000,1,1,10.0\n")
+	f.Add("08-10 13:30:15.500,HO,LTE,LTE-A,a,b,53.0\n")
+	f.Add("")
+	f.Add("garbage\n\n,,,,\n")
+	f.Add("08-10 13:30:15.500,KPI")
+	f.Fuzz(func(t *testing.T, content string) {
+		log, err := ParseLog(strings.NewReader(content))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Anything accepted must re-serialize and re-parse to the same
+		// number of rows.
+		var buf strings.Builder
+		if err := WriteLog(&buf, log); err != nil {
+			t.Fatalf("accepted log failed to serialize: %v", err)
+		}
+		back, err := ParseLog(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if len(back.KPIs) != len(log.KPIs) || len(back.Signals) != len(log.Signals) {
+			t.Fatalf("round trip changed row counts: %d/%d -> %d/%d",
+				len(log.KPIs), len(log.Signals), len(back.KPIs), len(back.Signals))
+		}
+	})
+}
+
+func FuzzParseAppLog(f *testing.F) {
+	f.Add("2022-08-10T17:30:15.500Z,42500000\n", true)
+	f.Add("08/10/2022 13:30:15.500,81.5\n", false)
+	f.Add(",", true)
+	f.Add("no-comma-here", false)
+	f.Fuzz(func(t *testing.T, content string, utcFormat bool) {
+		format := AppLocalNoZone
+		if utcFormat {
+			format = AppUTC
+		}
+		entries, err := ParseAppLog(strings.NewReader(content), format, -6)
+		if err != nil {
+			return
+		}
+		for _, e := range entries {
+			if e.TimeUTC.IsZero() && e.Value == 0 {
+				continue // zero entries are representable
+			}
+		}
+	})
+}
+
+func FuzzParseFilename(f *testing.F) {
+	f.Add("XCAL_V_bulk-dl_20220810_113015.drm")
+	f.Add("XCAL_T_rtt-9_20220815_235959.drm")
+	f.Add("XCAL_Q_x_2022.drm")
+	f.Add("")
+	f.Add("XCAL_V_.drm")
+	f.Fuzz(func(t *testing.T, name string) {
+		op, test, wall, err := ParseFilename(name)
+		if err != nil {
+			return
+		}
+		// Accepted names must rebuild to an equivalent name for some
+		// offset (the filename is zone-less; offset 0 reproduces the wall
+		// clock exactly).
+		rebuilt := Filename(op, test, wall, 0)
+		op2, test2, wall2, err := ParseFilename(rebuilt)
+		if err != nil {
+			t.Fatalf("rebuilt name %q failed to parse: %v", rebuilt, err)
+		}
+		if op2 != op || test2 != test || !wall2.Equal(wall) {
+			t.Fatalf("round trip changed identity: %v/%q/%v -> %v/%q/%v",
+				op, test, wall, op2, test2, wall2)
+		}
+	})
+}
+
+func FuzzParseContentTime(f *testing.F) {
+	f.Add("08-10 13:30:15.500")
+	f.Add("13-45 99:99:99.999")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		ts, err := ParseContentTime(s)
+		if err != nil {
+			return
+		}
+		if got := FormatContentTime(ts); got != s {
+			// time.Parse normalizes some inputs (e.g. leading spaces); the
+			// formatted form must at least re-parse to the same instant.
+			back, err := ParseContentTime(got)
+			if err != nil || !back.Equal(ts) {
+				t.Fatalf("content time %q -> %v -> %q not stable", s, ts, got)
+			}
+		}
+	})
+}

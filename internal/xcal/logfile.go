@@ -1,0 +1,133 @@
+package xcal
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"wheels/internal/radio"
+)
+
+// Row tags in the .drm content.
+const (
+	rowKPI = "KPI"
+	rowSig = "HO"
+)
+
+// WriteLog serializes a Log in the .drm content format: one line per KPI
+// row or signaling event, timestamps in EDT with no year.
+func WriteLog(w io.Writer, log *Log) error {
+	bw := bufio.NewWriter(w)
+	for _, k := range log.KPIs {
+		_, err := fmt.Fprintf(bw, "%s,%s,%s,%.1f,%.1f,%d,%.4f,%d,%d,%.1f\n",
+			FormatContentTime(k.TimeUTC), rowKPI, k.Tech, k.RSRPdBm, k.SINRdB,
+			k.MCS, k.BLER, k.CCDown, k.CCUp, k.MPH)
+		if err != nil {
+			return err
+		}
+	}
+	for _, s := range log.Signals {
+		_, err := fmt.Fprintf(bw, "%s,%s,%s,%s,%s,%s,%.1f\n",
+			FormatContentTime(s.TimeUTC), rowSig, s.FromTech, s.ToTech,
+			s.FromCell, s.ToCell, s.DurMs)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func parseTech(s string) (radio.Tech, error) {
+	for _, t := range radio.Techs() {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("xcal: unknown technology %q", s)
+}
+
+// ParseLog parses .drm content. Rows are returned in file order; KPI and
+// signaling rows may interleave.
+func ParseLog(r io.Reader) (*Log, error) {
+	log := &Log{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("xcal: line %d: too few fields", line)
+		}
+		ts, err := ParseContentTime(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("xcal: line %d: %v", line, err)
+		}
+		switch fields[1] {
+		case rowKPI:
+			if len(fields) != 10 {
+				return nil, fmt.Errorf("xcal: line %d: KPI row has %d fields, want 10", line, len(fields))
+			}
+			tech, err := parseTech(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("xcal: line %d: %v", line, err)
+			}
+			var k KPIEntry
+			k.TimeUTC = ts
+			k.Tech = tech
+			if k.RSRPdBm, err = strconv.ParseFloat(fields[3], 64); err != nil {
+				return nil, fmt.Errorf("xcal: line %d: rsrp: %v", line, err)
+			}
+			if k.SINRdB, err = strconv.ParseFloat(fields[4], 64); err != nil {
+				return nil, fmt.Errorf("xcal: line %d: sinr: %v", line, err)
+			}
+			if k.MCS, err = strconv.Atoi(fields[5]); err != nil {
+				return nil, fmt.Errorf("xcal: line %d: mcs: %v", line, err)
+			}
+			if k.BLER, err = strconv.ParseFloat(fields[6], 64); err != nil {
+				return nil, fmt.Errorf("xcal: line %d: bler: %v", line, err)
+			}
+			if k.CCDown, err = strconv.Atoi(fields[7]); err != nil {
+				return nil, fmt.Errorf("xcal: line %d: ccdown: %v", line, err)
+			}
+			if k.CCUp, err = strconv.Atoi(fields[8]); err != nil {
+				return nil, fmt.Errorf("xcal: line %d: ccup: %v", line, err)
+			}
+			if k.MPH, err = strconv.ParseFloat(fields[9], 64); err != nil {
+				return nil, fmt.Errorf("xcal: line %d: mph: %v", line, err)
+			}
+			log.KPIs = append(log.KPIs, k)
+		case rowSig:
+			if len(fields) != 7 {
+				return nil, fmt.Errorf("xcal: line %d: HO row has %d fields, want 7", line, len(fields))
+			}
+			from, err := parseTech(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("xcal: line %d: %v", line, err)
+			}
+			to, err := parseTech(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("xcal: line %d: %v", line, err)
+			}
+			dur, err := strconv.ParseFloat(fields[6], 64)
+			if err != nil {
+				return nil, fmt.Errorf("xcal: line %d: dur: %v", line, err)
+			}
+			log.Signals = append(log.Signals, SignalEvent{
+				TimeUTC: ts, FromTech: from, ToTech: to,
+				FromCell: fields[4], ToCell: fields[5], DurMs: dur,
+			})
+		default:
+			return nil, fmt.Errorf("xcal: line %d: unknown row tag %q", line, fields[1])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return log, nil
+}

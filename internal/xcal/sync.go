@@ -1,0 +1,77 @@
+package xcal
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// MergedRow is one consolidated record: an application sample joined with
+// the nearest-in-time XCAL KPI row. This is the unit the paper's XCAP-M
+// post-processing pipeline produced for analysis.
+type MergedRow struct {
+	TimeUTC  time.Time
+	AppValue float64
+	KPI      KPIEntry
+}
+
+// MatchToleranceMs is the maximum timestamp distance between an app sample
+// and a KPI row for them to be considered the same 500 ms interval.
+const MatchToleranceMs = 300
+
+// SyncResult reports how the join went.
+type SyncResult struct {
+	Rows      []MergedRow
+	Unmatched int // app entries with no KPI row within tolerance
+}
+
+// Sync joins app entries with KPI rows by timestamp. Both inputs must
+// already be in UTC (use ParseAppLog / ParseLog, which normalize); Sync
+// verifies ordering, sorts if needed, and uses a two-pointer merge.
+func Sync(app []AppEntry, kpis []KPIEntry) SyncResult {
+	a := append([]AppEntry(nil), app...)
+	k := append([]KPIEntry(nil), kpis...)
+	sort.Slice(a, func(i, j int) bool { return a[i].TimeUTC.Before(a[j].TimeUTC) })
+	sort.Slice(k, func(i, j int) bool { return k[i].TimeUTC.Before(k[j].TimeUTC) })
+
+	var res SyncResult
+	tol := MatchToleranceMs * time.Millisecond
+	j := 0
+	for _, e := range a {
+		// Advance j to the KPI row closest to e.
+		for j+1 < len(k) && absDur(k[j+1].TimeUTC.Sub(e.TimeUTC)) <= absDur(k[j].TimeUTC.Sub(e.TimeUTC)) {
+			j++
+		}
+		if len(k) == 0 || absDur(k[j].TimeUTC.Sub(e.TimeUTC)) > tol {
+			res.Unmatched++
+			continue
+		}
+		res.Rows = append(res.Rows, MergedRow{TimeUTC: e.TimeUTC, AppValue: e.Value, KPI: k[j]})
+	}
+	return res
+}
+
+func absDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// MatchFile pairs an app log with its XCAL file: the operator and test tag
+// must agree and the XCAL file's start time (filename local wall time,
+// interpreted with the supplied offset) must fall within slack of the app
+// log's first entry. This is the mapping step of the paper's C2 software:
+// get the offset wrong by a timezone and nothing lines up.
+func MatchFile(appStartUTC time.Time, xcalName string, offsetHours int, slack time.Duration) error {
+	_, _, localWall, err := ParseFilename(xcalName)
+	if err != nil {
+		return err
+	}
+	fileUTC := localWall.Add(-time.Duration(offsetHours) * time.Hour)
+	if d := absDur(fileUTC.Sub(appStartUTC)); d > slack {
+		return fmt.Errorf("xcal: %s starts %v away from app log (offset %+dh); wrong file or wrong timezone",
+			xcalName, d, offsetHours)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+// Package xcal reproduces the paper's measurement-logging substrate and the
+// synchronization software built for challenge C2 (§3, Appendix B):
+//
+//   - XCAL-Solo-style log files (.drm): the filename carries a *local*
+//     timestamp with no zone indicator, while the file contents carry
+//     timestamps in EDT regardless of where in the country they were logged.
+//   - Application logs: some apps log in UTC, others in local time without
+//     a zone indicator.
+//   - A synchronizer that maps each app-layer log to its XCAL counterpart,
+//     normalizes the three timestamp conventions to UTC (taking into account
+//     the four timezones the trip crosses), and joins app samples with the
+//     PHY KPI rows into consolidated records.
+//
+// The formats are deliberately lossy and annoying in exactly the ways the
+// paper describes, so the synchronizer earns its keep.
+package xcal
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"wheels/internal/radio"
+)
+
+// KPIEntry is one XCAL PHY-layer KPI row (logged every 500 ms).
+type KPIEntry struct {
+	TimeUTC time.Time
+	Tech    radio.Tech
+	RSRPdBm float64
+	SINRdB  float64
+	MCS     int
+	BLER    float64
+	CCDown  int
+	CCUp    int
+	MPH     float64
+}
+
+// SignalEvent is one control-plane signaling record (handover).
+type SignalEvent struct {
+	TimeUTC  time.Time
+	FromTech radio.Tech
+	ToTech   radio.Tech
+	FromCell string
+	ToCell   string
+	DurMs    float64
+}
+
+// Log is the parsed content of one XCAL file.
+type Log struct {
+	Op      radio.Operator
+	Test    string // test kind tag from the filename
+	KPIs    []KPIEntry
+	Signals []SignalEvent
+}
+
+// edt is the fixed zone XCAL uses for file *contents*, year-round per the
+// vendor's convention (the trip was in August, daylight time).
+var edt = time.FixedZone("EDT", -4*3600)
+
+// xcalYear is the year implied by XCAL's in-file timestamps, which carry no
+// year field (a real annoyance of the format the paper post-processed).
+const xcalYear = 2022
+
+// contentLayout is the in-file timestamp layout: month-day time, EDT, no year.
+const contentLayout = "01-02 15:04:05.000"
+
+// fileLayout is the timestamp embedded in the filename: local wall time,
+// no zone indicator.
+const fileLayout = "20060102_150405"
+
+// FormatContentTime renders a UTC instant the way XCAL writes rows.
+func FormatContentTime(utc time.Time) string {
+	return utc.In(edt).Format(contentLayout)
+}
+
+// ParseContentTime recovers the UTC instant of an in-file timestamp.
+func ParseContentTime(s string) (time.Time, error) {
+	t, err := time.ParseInLocation(contentLayout, s, edt)
+	if err != nil {
+		return time.Time{}, err
+	}
+	return t.AddDate(xcalYear, 0, 0).UTC(), nil
+}
+
+// Filename builds the XCAL file name: operator short code, test tag, and
+// the start time as local wall clock (offsetHours east of UTC is negative
+// for the US), with no zone indicator — the format whose ambiguity §B calls
+// out.
+func Filename(op radio.Operator, test string, startUTC time.Time, offsetHours int) string {
+	local := startUTC.In(time.FixedZone("local", offsetHours*3600))
+	return fmt.Sprintf("XCAL_%s_%s_%s.drm", op.Short(), test, local.Format(fileLayout))
+}
+
+// ParseFilename extracts the operator, test tag, and *local* start time
+// from an XCAL file name. The returned time is zone-less: the synchronizer
+// must supply the offset from route context to recover UTC.
+func ParseFilename(name string) (op radio.Operator, test string, localWall time.Time, err error) {
+	const prefix, suffix = "XCAL_", ".drm"
+	malformed := func() (radio.Operator, string, time.Time, error) {
+		return 0, "", time.Time{}, fmt.Errorf("xcal: malformed filename %q", name)
+	}
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return malformed()
+	}
+	body := name[len(prefix) : len(name)-len(suffix)] // "<op>_<test>_<yyyyMMdd>_<HHmmss>"
+	if len(body) < len("V_x_20060102_150405") || body[1] != '_' {
+		return malformed()
+	}
+	switch body[0] {
+	case 'V':
+		op = radio.Verizon
+	case 'T':
+		op = radio.TMobile
+	case 'A':
+		op = radio.ATT
+	default:
+		return 0, "", time.Time{}, fmt.Errorf("xcal: unknown operator code %q in %q", body[0], name)
+	}
+	stampStart := len(body) - len(fileLayout)
+	if body[stampStart-1] != '_' {
+		return malformed()
+	}
+	test = body[2 : stampStart-1]
+	if test == "" {
+		return malformed()
+	}
+	localWall, err = time.Parse(fileLayout, body[stampStart:])
+	if err != nil {
+		return 0, "", time.Time{}, fmt.Errorf("xcal: bad timestamp in %q: %v", name, err)
+	}
+	return op, test, localWall, nil
+}

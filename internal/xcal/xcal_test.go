@@ -1,0 +1,213 @@
+package xcal
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"wheels/internal/radio"
+)
+
+var t0 = time.Date(2022, 8, 10, 17, 30, 15, 500e6, time.UTC)
+
+func TestContentTimeRoundTrip(t *testing.T) {
+	s := FormatContentTime(t0)
+	// 17:30 UTC is 13:30 EDT.
+	if s != "08-10 13:30:15.500" {
+		t.Fatalf("FormatContentTime = %q", s)
+	}
+	back, err := ParseContentTime(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(t0) {
+		t.Errorf("round trip = %v, want %v", back, t0)
+	}
+}
+
+func TestFilenameRoundTrip(t *testing.T) {
+	// Logged in Denver: local clock is MDT (UTC-6).
+	name := Filename(radio.Verizon, "bulk-dl", t0, -6)
+	if name != "XCAL_V_bulk-dl_20220810_113015.drm" {
+		t.Fatalf("Filename = %q", name)
+	}
+	op, test, local, err := ParseFilename(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != radio.Verizon || test != "bulk-dl" {
+		t.Errorf("parsed op/test = %v/%q", op, test)
+	}
+	// The parsed wall time is zone-less; re-applying the offset recovers UTC.
+	utc := local.Add(6 * time.Hour)
+	if !utc.Equal(t0.Truncate(time.Second)) {
+		t.Errorf("recovered UTC = %v, want %v", utc, t0.Truncate(time.Second))
+	}
+}
+
+func TestParseFilenameRejectsGarbage(t *testing.T) {
+	for _, name := range []string{
+		"notxcal.drm",
+		"XCAL_Q_bulk-dl_20220810_113015.drm",
+		"XCAL_V_bulk-dl_2022081_113015.drm",
+		"XCAL_V.drm",
+	} {
+		if _, _, _, err := ParseFilename(name); err == nil {
+			t.Errorf("ParseFilename(%q) succeeded", name)
+		}
+	}
+}
+
+func sampleLog() *Log {
+	return &Log{
+		Op:   radio.TMobile,
+		Test: "bulk-dl",
+		KPIs: []KPIEntry{
+			{TimeUTC: t0, Tech: radio.NRMid, RSRPdBm: -97.2, SINRdB: 12.5, MCS: 19, BLER: 0.0832, CCDown: 2, CCUp: 1, MPH: 64.2},
+			{TimeUTC: t0.Add(500 * time.Millisecond), Tech: radio.NRMid, RSRPdBm: -98.1, SINRdB: 11.9, MCS: 18, BLER: 0.0911, CCDown: 2, CCUp: 1, MPH: 64.8},
+		},
+		Signals: []SignalEvent{
+			{TimeUTC: t0.Add(700 * time.Millisecond), FromTech: radio.NRMid, ToTech: radio.LTEA,
+				FromCell: "T-5G-mid-12", ToCell: "T-LTE-A-9", DurMs: 76.0},
+		},
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	orig := sampleLog()
+	if err := WriteLog(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.KPIs) != 2 || len(got.Signals) != 1 {
+		t.Fatalf("parsed %d KPIs / %d signals", len(got.KPIs), len(got.Signals))
+	}
+	// Timestamps survive to the millisecond; floats to the printed precision.
+	if !got.KPIs[0].TimeUTC.Equal(orig.KPIs[0].TimeUTC) {
+		t.Errorf("KPI time = %v, want %v", got.KPIs[0].TimeUTC, orig.KPIs[0].TimeUTC)
+	}
+	if got.KPIs[0].Tech != radio.NRMid || got.KPIs[0].MCS != 19 || got.KPIs[0].CCDown != 2 {
+		t.Errorf("KPI fields corrupted: %+v", got.KPIs[0])
+	}
+	if got.Signals[0].FromCell != "T-5G-mid-12" || got.Signals[0].DurMs != 76 {
+		t.Errorf("signal fields corrupted: %+v", got.Signals[0])
+	}
+}
+
+func TestParseLogRejectsCorruptLines(t *testing.T) {
+	for _, content := range []string{
+		"08-10 13:30:15.500,KPI,LTE,-90\n",                    // short KPI row
+		"08-10 13:30:15.500,WAT,LTE,-90,5,3,0.1,1,1,10\n",     // unknown tag
+		"08-10 13:30:15.500,KPI,4G,-90,5,3,0.1,1,1,10\n",      // unknown tech
+		"not-a-time,KPI,LTE,-90,5,3,0.1,1,1,10\n",             // bad time
+		"08-10 13:30:15.500,KPI,LTE,-90,5,three,0.1,1,1,10\n", // bad mcs
+		"08-10 13:30:15.500,HO,LTE,LTE-A,a,b\n",               // short HO row
+	} {
+		if _, err := ParseLog(strings.NewReader(content)); err == nil {
+			t.Errorf("ParseLog accepted %q", content)
+		}
+	}
+}
+
+func TestAppLogRoundTripUTC(t *testing.T) {
+	entries := []AppEntry{
+		{TimeUTC: t0, Value: 42.5e6},
+		{TimeUTC: t0.Add(500 * time.Millisecond), Value: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteAppLog(&buf, entries, AppUTC, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseAppLog(&buf, AppUTC, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(entries, got) {
+		t.Errorf("round trip = %+v, want %+v", got, entries)
+	}
+}
+
+func TestAppLogRoundTripLocalNoZone(t *testing.T) {
+	entries := []AppEntry{{TimeUTC: t0, Value: 81.5}}
+	var buf bytes.Buffer
+	// Phone clock in Pacific time (UTC-7).
+	if err := WriteAppLog(&buf, entries, AppLocalNoZone, -7); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if !strings.HasPrefix(line, "08/10/2022 10:30:15.500,") {
+		t.Fatalf("local-no-zone line = %q", line)
+	}
+	got, err := ParseAppLog(strings.NewReader(line), AppLocalNoZone, -7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].TimeUTC.Equal(t0) {
+		t.Errorf("recovered UTC = %v, want %v", got[0].TimeUTC, t0)
+	}
+	// Parsing with the WRONG offset shifts the timestamp — the failure mode
+	// the synchronizer exists to prevent.
+	wrong, err := ParseAppLog(strings.NewReader(line), AppLocalNoZone, -4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrong[0].TimeUTC.Equal(t0) {
+		t.Error("parsing with the wrong timezone still recovered the right UTC")
+	}
+}
+
+func TestSyncJoins(t *testing.T) {
+	log := sampleLog()
+	app := []AppEntry{
+		{TimeUTC: t0.Add(80 * time.Millisecond), Value: 10e6},  // near KPI row 0
+		{TimeUTC: t0.Add(520 * time.Millisecond), Value: 12e6}, // near KPI row 1
+		{TimeUTC: t0.Add(5 * time.Second), Value: 1e6},         // no KPI row nearby
+	}
+	res := Sync(app, log.KPIs)
+	if len(res.Rows) != 2 || res.Unmatched != 1 {
+		t.Fatalf("Sync matched %d rows, %d unmatched; want 2/1", len(res.Rows), res.Unmatched)
+	}
+	if res.Rows[0].KPI.MCS != 19 {
+		t.Errorf("first app sample joined with KPI %+v, want MCS 19 row", res.Rows[0].KPI)
+	}
+	if res.Rows[1].KPI.MCS != 18 {
+		t.Errorf("second app sample joined with KPI %+v, want MCS 18 row", res.Rows[1].KPI)
+	}
+}
+
+func TestSyncEmptyKPIs(t *testing.T) {
+	res := Sync([]AppEntry{{TimeUTC: t0, Value: 1}}, nil)
+	if len(res.Rows) != 0 || res.Unmatched != 1 {
+		t.Errorf("Sync with no KPIs = %d rows / %d unmatched", len(res.Rows), res.Unmatched)
+	}
+}
+
+func TestSyncUnsortedInputs(t *testing.T) {
+	log := sampleLog()
+	app := []AppEntry{
+		{TimeUTC: t0.Add(520 * time.Millisecond), Value: 12e6},
+		{TimeUTC: t0.Add(80 * time.Millisecond), Value: 10e6},
+	}
+	kpis := []KPIEntry{log.KPIs[1], log.KPIs[0]} // reversed
+	res := Sync(app, kpis)
+	if len(res.Rows) != 2 {
+		t.Fatalf("Sync on unsorted input matched %d rows, want 2", len(res.Rows))
+	}
+}
+
+func TestMatchFile(t *testing.T) {
+	name := Filename(radio.ATT, "rtt", t0, -5) // logged on a Central-time clock
+	if err := MatchFile(t0, name, -5, 2*time.Minute); err != nil {
+		t.Errorf("MatchFile with correct offset failed: %v", err)
+	}
+	// Wrong timezone: an hour off, outside slack.
+	if err := MatchFile(t0, name, -6, 2*time.Minute); err == nil {
+		t.Error("MatchFile with wrong offset succeeded; the C2 bug would go unnoticed")
+	}
+}
