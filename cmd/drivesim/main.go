@@ -6,9 +6,13 @@
 // Usage:
 //
 //	drivesim [-seed N] [-km N] [-out DIR] [-quick] [-video SEC] [-gaming SEC]
+//	         [-shards N] [-workers N]
 //
 // With no flags it reproduces the paper's full methodology (about a minute
 // of wall time); -quick runs network tests only over the first 200 km.
+// -shards N splits the route into N segments simulated in parallel; the
+// output is deterministic per (seed, shards) but differs sample-by-sample
+// from the serial dataset (see README "Sharded execution").
 package main
 
 import (
@@ -19,6 +23,8 @@ import (
 
 	"wheels/internal/analysis"
 	"wheels/internal/campaign"
+	"wheels/internal/dataset"
+	"wheels/internal/geo"
 )
 
 func main() {
@@ -33,7 +39,9 @@ func main() {
 		gaming  = flag.Float64("gaming", 60, "gaming session length in seconds")
 		gz      = flag.Bool("gzip", false, "write the dataset gzip-compressed (.csv.gz)")
 		rawDir  = flag.String("rawlogs", "", "also write raw XCAL + app log files per bulk test into this directory")
-		verbose = flag.Bool("v", false, "print per-day progress")
+		shards  = flag.Int("shards", 1, "split the route into N segments simulated in parallel (1 = serial engine)")
+		workers = flag.Int("workers", 0, "max shard workers running at once (0 = GOMAXPROCS)")
+		verbose = flag.Bool("v", false, "print per-day progress (serial engine only)")
 	)
 	flag.Parse()
 
@@ -51,10 +59,17 @@ func main() {
 		}
 	}
 
-	c := campaign.New(cfg)
-	fmt.Fprintf(os.Stderr, "simulating %s over %.0f km (seed %d)...\n",
-		describe(cfg), c.Route.LengthKm(), cfg.Seed)
-	ds := c.Run()
+	rt := geo.NewRoute()
+	var ds *dataset.Dataset
+	if *shards > 1 {
+		fmt.Fprintf(os.Stderr, "simulating %s over %.0f km (seed %d, %d shards)...\n",
+			describe(cfg), rt.LengthKm(), cfg.Seed, *shards)
+		ds = campaign.RunSharded(cfg, *shards, *workers)
+	} else {
+		fmt.Fprintf(os.Stderr, "simulating %s over %.0f km (seed %d)...\n",
+			describe(cfg), rt.LengthKm(), cfg.Seed)
+		ds = campaign.New(cfg).Run()
+	}
 
 	save := ds.Save
 	if *gz {
@@ -63,7 +78,7 @@ func main() {
 	if err := save(*out); err != nil {
 		log.Fatalf("saving dataset: %v", err)
 	}
-	fmt.Println(analysis.ComputeTable1(ds, c.Route.LengthKm(), c.Route.States(), len(c.Route.Cities)).Render())
+	fmt.Println(analysis.ComputeTable1(ds, rt.LengthKm(), rt.States(), len(rt.Cities)).Render())
 	fmt.Printf("dataset written to %s\n", *out)
 }
 

@@ -94,7 +94,9 @@ type phone struct {
 	lat *transport.LatencyModel
 }
 
-// Campaign holds the full testbed.
+// Campaign holds the full testbed. A Campaign is either the whole serial
+// run (startKm = stopKm = 0) or one shard worker of a sharded run, bounded
+// to the route segment [startKm, stopKm).
 type Campaign struct {
 	Cfg    Config
 	Route  *geo.Route
@@ -102,6 +104,11 @@ type Campaign struct {
 	Reg    *servers.Registry
 	rng    *sim.RNG
 	phones []*phone
+
+	// Shard bounds; zero values mean the full route. stopKm composes with
+	// Cfg.KmLimit through endKm().
+	startKm float64
+	stopKm  float64
 
 	ds     *dataset.Dataset
 	nextID int
@@ -135,35 +142,73 @@ func New(cfg Config) *Campaign {
 // Dataset returns the dataset collected so far.
 func (c *Campaign) Dataset() *dataset.Dataset { return c.ds }
 
+// warmup settles a shard worker's fresh UEs by letting them camp idle at
+// the shard's first route position for warmupSec before measurements start.
+// Serial campaigns (startKm == 0) skip it: they begin with a cold attach in
+// LA exactly like the real phones did.
+func (c *Campaign) warmup() {
+	if c.startKm <= 0 {
+		return
+	}
+	idx := c.Trace.AtKm(c.startKm)
+	if idx >= len(c.Trace.Samples) {
+		return
+	}
+	s := c.Trace.Samples[idx]
+	for _, ph := range c.phones {
+		ph.ue.Warmup(s.T, s.Km, s.MPH, s.Road, s.Zone, warmupSec)
+	}
+}
+
 // newTestID allocates a campaign-unique test id.
 func (c *Campaign) newTestID() int {
 	c.nextID++
 	return c.nextID
 }
 
-// where interpolates the drive trace at simulation time t.
+// maxExtrapolateSec caps how far past a trace sample where may extrapolate
+// the vehicle position. Samples are 1 s apart within a day, so anything
+// beyond this cap is an inter-day (overnight) gap.
+const maxExtrapolateSec = 2.0
+
+// where interpolates the drive trace at simulation time t. Within a day the
+// position extrapolates from the last sample at its recorded speed; inside
+// an overnight gap it clamps to the next day's first sample (the parked car
+// resumes from where it stopped) rather than silently returning a stale
+// mid-drive sample. Past the end of the trace the final sample is returned.
 func (c *Campaign) where(t float64) geo.Sample {
 	idx := c.Trace.At(t)
 	if idx < 0 {
 		return c.Trace.Samples[0]
 	}
 	s := c.Trace.Samples[idx]
-	if dt := t - s.T; dt > 0 && dt <= 2 {
+	dt := t - s.T
+	switch {
+	case dt > 0 && dt <= maxExtrapolateSec:
 		s.Km += s.MPH * geo.KmPerMile / 3600 * dt
+	case dt > maxExtrapolateSec && idx+1 < len(c.Trace.Samples):
+		return c.Trace.Samples[idx+1]
 	}
 	return s
 }
 
 // endKm returns the route distance at which the campaign stops.
 func (c *Campaign) endKm() float64 {
-	if c.Cfg.KmLimit > 0 && c.Cfg.KmLimit < c.Route.LengthKm() {
-		return c.Cfg.KmLimit
+	end := c.Route.LengthKm()
+	if c.Cfg.KmLimit > 0 && c.Cfg.KmLimit < end {
+		end = c.Cfg.KmLimit
 	}
-	return c.Route.LengthKm()
+	if c.stopKm > 0 && c.stopKm < end {
+		end = c.stopKm
+	}
+	return end
 }
 
-// Run executes the whole campaign and returns the dataset.
+// Run executes the campaign over its route segment (the whole route for a
+// serial campaign, the shard's [startKm, stopKm) for a shard worker) and
+// returns the dataset.
 func (c *Campaign) Run() *dataset.Dataset {
+	c.warmup()
 	if c.Cfg.EnablePassive {
 		c.runPassiveLoggers()
 	}
@@ -171,6 +216,11 @@ func (c *Campaign) Run() *dataset.Dataset {
 	visited := map[string]bool{}
 
 	t := c.Trace.Samples[0].T
+	if c.startKm > 0 {
+		if idx := c.Trace.AtKm(c.startKm); idx < len(c.Trace.Samples) {
+			t = c.Trace.Samples[idx].T
+		}
+	}
 	day := 0
 	for {
 		s := c.where(t)
@@ -192,11 +242,16 @@ func (c *Campaign) Run() *dataset.Dataset {
 			continue
 		}
 
-		// Static baseline battery once per newly entered city.
+		// Static baseline battery once per newly entered city. A city whose
+		// urban area straddles a shard boundary is owned by the shard that
+		// contains the area's start, so sharded runs never duplicate (or
+		// drop) a city battery.
 		if c.Cfg.EnableStatic {
-			if city, ok := c.Route.CityAt(s.Km); ok && !visited[city.Name] {
+			if city, areaStart, ok := c.Route.CityAreaAt(s.Km); ok && !visited[city.Name] {
 				visited[city.Name] = true
-				c.runStaticBattery(t, s, city)
+				if areaStart >= c.startKm {
+					c.runStaticBattery(t, s, city)
+				}
 			}
 		}
 

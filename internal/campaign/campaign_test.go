@@ -1,9 +1,11 @@
 package campaign
 
 import (
+	"math"
 	"testing"
 
 	"wheels/internal/dataset"
+	"wheels/internal/geo"
 	"wheels/internal/radio"
 )
 
@@ -264,5 +266,54 @@ func TestProgressCallback(t *testing.T) {
 		if days[i] != days[i-1]+1 {
 			t.Errorf("progress days not consecutive: %v", days)
 		}
+	}
+}
+
+func TestWhereExtrapolationAndOvernightClamp(t *testing.T) {
+	c := New(QuickConfig(23, 0))
+	samples := c.Trace.Samples
+
+	// Find the first overnight gap: consecutive samples more than
+	// maxExtrapolateSec apart.
+	gap := -1
+	for i := 0; i+1 < len(samples); i++ {
+		if samples[i+1].T-samples[i].T > maxExtrapolateSec {
+			gap = i
+			break
+		}
+	}
+	if gap < 0 {
+		t.Fatal("trace has no overnight gap to test against")
+	}
+	last, next := samples[gap], samples[gap+1]
+
+	// Within the cap the position extrapolates at the sample's speed.
+	got := c.where(last.T + 1)
+	want := last.Km + last.MPH*geo.KmPerMile/3600
+	if math.Abs(got.Km-want) > 1e-9 {
+		t.Errorf("where(T+1s).Km = %.6f, want extrapolated %.6f", got.Km, want)
+	}
+
+	// Beyond the cap — inside the overnight gap — the position clamps to
+	// the next day's first sample instead of extrapolating for hours.
+	got = c.where(last.T + maxExtrapolateSec + 1)
+	if got != next {
+		t.Errorf("where inside overnight gap = day %d km %.2f, want next sample (day %d km %.2f)",
+			got.Day, got.Km, next.Day, next.Km)
+	}
+	mid := last.T + (next.T-last.T)/2
+	if got = c.where(mid); got != next {
+		t.Errorf("where at gap midpoint = km %.2f, want clamped to next sample km %.2f", got.Km, next.Km)
+	}
+
+	// Before the trace starts: the first sample. Past its end: the final
+	// sample, extrapolation capped.
+	if got = c.where(samples[0].T - 10); got != samples[0] {
+		t.Error("where before trace start did not return the first sample")
+	}
+	end := samples[len(samples)-1]
+	got = c.where(end.T + 3600)
+	if got.Km > end.Km+end.MPH*geo.KmPerMile/3600*maxExtrapolateSec+1e-9 {
+		t.Errorf("where past trace end extrapolated unboundedly: km %.3f vs final sample %.3f", got.Km, end.Km)
 	}
 }

@@ -1,0 +1,124 @@
+package campaign
+
+import (
+	"runtime"
+	"sync"
+
+	"wheels/internal/dataset"
+	"wheels/internal/deploy"
+	"wheels/internal/geo"
+	"wheels/internal/radio"
+	"wheels/internal/ran"
+	"wheels/internal/servers"
+	"wheels/internal/sim"
+	"wheels/internal/transport"
+)
+
+// warmupSec is how long each shard worker's fresh UEs camp idle at the
+// shard's first route position before measurements start, so mid-route
+// shards open with settled RRC state instead of a cold attach.
+const warmupSec = 30.0
+
+// sharedTestbed is the immutable campaign substrate built once and reused
+// by every shard worker: route geometry, the drive trace, the server
+// registry, and the per-operator deployments. All of it is read-only after
+// construction — the serial engine already shares it across the fanOut
+// goroutines — so workers can share it without copies. Everything here
+// derives from the seed alone (never from the shard), which is what keeps
+// the route and radio footprint identical across shard counts.
+type sharedTestbed struct {
+	route *geo.Route
+	trace *geo.Trace
+	reg   *servers.Registry
+	deps  []*deploy.Deployment // indexed by operator
+}
+
+func newSharedTestbed(cfg Config) *sharedTestbed {
+	rng := sim.NewRNG(cfg.Seed)
+	route := geo.NewRoute()
+	sh := &sharedTestbed{
+		route: route,
+		trace: geo.Drive(route, rng.Stream("drive")),
+		reg:   servers.NewRegistry(route),
+		deps:  make([]*deploy.Deployment, radio.NumOperators),
+	}
+	for _, op := range radio.Operators() {
+		sh.deps[op] = deploy.New(route, op, rng.Stream("deploy"))
+	}
+	return sh
+}
+
+// newShardWorker builds the campaign worker for one shard over the route
+// segment [startKm, stopKm). Every mutable part of the worker — UEs,
+// latency models, static-link and handover-logger streams — draws from RNG
+// streams keyed by (seed, shard, subsystem, operator), so a shard's draw
+// sequence is self-contained and independent of when (or whether) other
+// shards run.
+func newShardWorker(cfg Config, sh *sharedTestbed, shard int, startKm, stopKm float64) *Campaign {
+	cfg.Progress = nil // per-day progress is a serial-run concept
+	rng := sim.NewRNG(cfg.Seed).Shard(shard)
+	c := &Campaign{
+		Cfg:     cfg,
+		Route:   sh.route,
+		Trace:   sh.trace,
+		Reg:     sh.reg,
+		rng:     rng,
+		startKm: startKm,
+		stopKm:  stopKm,
+		ds:      &dataset.Dataset{Seed: cfg.Seed},
+	}
+	for _, op := range radio.Operators() {
+		dep := sh.deps[op]
+		c.phones = append(c.phones, &phone{
+			op:  op,
+			dep: dep,
+			ue:  ran.NewUE(rng.Stream("test-phone"), dep),
+			lat: transport.NewLatencyModel(rng.Stream("latency"), op),
+		})
+	}
+	return c
+}
+
+// RunSharded splits the campaign's route into `shards` contiguous
+// equal-length segments and runs each as an independent worker, at most
+// `workers` concurrently (0 means GOMAXPROCS). The shard datasets merge in
+// route order with a stable test-id renumbering pass.
+//
+// Contract: the merged dataset is a pure function of (Config, shards) —
+// the same seed and shard count produce a bit-identical dataset regardless
+// of workers, GOMAXPROCS, or scheduling. Different shard counts (including
+// shards <= 1, which falls back to the serial engine) produce datasets
+// that differ sample-by-sample but agree on every qualitative shape
+// invariant in EXPERIMENTS.md; see README "Sharded execution".
+//
+// cfg.Progress is ignored: per-day progress reporting is inherently serial.
+func RunSharded(cfg Config, shards, workers int) *dataset.Dataset {
+	if shards <= 1 {
+		return New(cfg).Run()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sh := newSharedTestbed(cfg)
+	end := sh.route.LengthKm()
+	if cfg.KmLimit > 0 && cfg.KmLimit < end {
+		end = cfg.KmLimit
+	}
+
+	parts := make([]*dataset.Dataset, shards)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			startKm := end * float64(i) / float64(shards)
+			stopKm := end * float64(i+1) / float64(shards)
+			parts[i] = newShardWorker(cfg, sh, i, startKm, stopKm).Run()
+		}(i)
+	}
+	wg.Wait()
+	return dataset.MergeRenumbered(parts...)
+}

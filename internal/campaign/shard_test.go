@@ -1,0 +1,225 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+
+	"wheels/internal/dataset"
+	"wheels/internal/radio"
+)
+
+// exportBytes saves the dataset under a temp dir and returns the
+// concatenated bytes of every CSV file — the byte-level identity the
+// sharding contract promises.
+func exportBytes(t *testing.T, ds *dataset.Dataset) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	if err := ds.Save(dir); err != nil {
+		t.Fatalf("saving dataset: %v", err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatal("export produced no CSV files")
+	}
+	var buf bytes.Buffer
+	for _, name := range names {
+		b, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.WriteString(filepath.Base(name))
+		buf.WriteByte(0)
+		buf.Write(b)
+	}
+	return buf.Bytes()
+}
+
+// shardTestConfig is a reduced campaign that still exercises the sharded
+// code paths that matter for determinism: driving tests, static city
+// batteries, and the passive handover-loggers.
+func shardTestConfig(seed int64, km float64) Config {
+	cfg := QuickConfig(seed, km)
+	cfg.EnablePassive = true
+	cfg.EnableStatic = true
+	return cfg
+}
+
+func TestShardedDeterministicAcrossRunsAndGOMAXPROCS(t *testing.T) {
+	cfg := shardTestConfig(23, 120)
+	const shards = 4
+
+	// Same (seed, shards) twice at the current GOMAXPROCS.
+	a := exportBytes(t, RunSharded(cfg, shards, 2))
+	b := exportBytes(t, RunSharded(cfg, shards, 2))
+	if !bytes.Equal(a, b) {
+		t.Fatal("two sharded runs with the same (seed, shards) exported different CSV bytes")
+	}
+
+	// GOMAXPROCS=1 vs GOMAXPROCS=NumCPU must not change a single byte.
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	single := exportBytes(t, RunSharded(cfg, shards, shards))
+	runtime.GOMAXPROCS(runtime.NumCPU())
+	multi := exportBytes(t, RunSharded(cfg, shards, shards))
+	if !bytes.Equal(single, multi) {
+		t.Fatal("GOMAXPROCS=1 and GOMAXPROCS=NumCPU sharded runs exported different CSV bytes")
+	}
+	if !bytes.Equal(a, single) {
+		t.Fatal("worker-count change (2 vs shards) altered the exported CSV bytes")
+	}
+}
+
+func TestShardedSeedAndShardCountChangeData(t *testing.T) {
+	cfg := shardTestConfig(23, 120)
+	base := exportBytes(t, RunSharded(cfg, 4, 0))
+	if other := exportBytes(t, RunSharded(shardTestConfig(24, 120), 4, 0)); bytes.Equal(base, other) {
+		t.Error("different seeds produced identical sharded datasets")
+	}
+	if other := exportBytes(t, RunSharded(cfg, 3, 0)); bytes.Equal(base, other) {
+		t.Error("different shard counts produced identical datasets (sample-level values must differ)")
+	}
+}
+
+func TestShardedFallsBackToSerial(t *testing.T) {
+	cfg := QuickConfig(23, 60)
+	serial := exportBytes(t, New(cfg).Run())
+	if one := exportBytes(t, RunSharded(cfg, 1, 4)); !bytes.Equal(serial, one) {
+		t.Error("RunSharded with 1 shard does not match the serial engine byte-for-byte")
+	}
+}
+
+func TestShardedTestIDsUniqueAndRouteOrdered(t *testing.T) {
+	ds := RunSharded(shardTestConfig(23, 120), 4, 0)
+	seen := map[int]bool{}
+	lastID := 0
+	for _, ts := range ds.Tests {
+		if seen[ts.ID] {
+			t.Fatalf("test id %d appears twice after the merge", ts.ID)
+		}
+		seen[ts.ID] = true
+		if ts.ID <= lastID && !ts.Static {
+			// Driving test ids must increase along the merged route order.
+			// (Static batteries interleave with the cycle ids inside a
+			// shard, exactly as in a serial run.)
+			t.Fatalf("driving test id %d out of order after id %d", ts.ID, lastID)
+		}
+		if !ts.Static {
+			lastID = ts.ID
+		}
+	}
+	if got := ds.MaxTestID(); got != len(seen) {
+		t.Errorf("ids not contiguous after renumbering: max id %d over %d tests", got, len(seen))
+	}
+	// Throughput/handover/RTT rows must only reference known test ids.
+	for _, s := range ds.Thr {
+		if !seen[s.TestID] {
+			t.Fatalf("throughput sample references unknown test id %d", s.TestID)
+		}
+	}
+	for _, h := range ds.Handovers {
+		if !seen[h.TestID] {
+			t.Fatalf("handover references unknown test id %d", h.TestID)
+		}
+	}
+}
+
+// TestShardedMatchesSerialShape checks the EXPERIMENTS.md qualitative
+// invariants on both engines over the same seed: sample-level values differ
+// by construction, but who wins and by roughly what factor must not.
+func TestShardedMatchesSerialShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hundred-km campaign pair")
+	}
+	cfg := DefaultConfig(23)
+	cfg.EnableApps = false
+	cfg.EnableSpeedTest = false
+	cfg.EnablePassive = false
+	cfg.EnableStatic = true
+	cfg.KmLimit = 500
+
+	for name, ds := range map[string]*dataset.Dataset{
+		"serial":  New(cfg).Run(),
+		"sharded": RunSharded(cfg, 4, 0),
+	} {
+		fiveG := map[radio.Operator]float64{}
+		for _, op := range radio.Operators() {
+			drive, static, n, five := []float64{}, []float64{}, 0, 0
+			for _, s := range ds.Thr {
+				if s.Op != op || s.Dir != radio.Downlink {
+					continue
+				}
+				if s.Static {
+					static = append(static, s.Mbps())
+					continue
+				}
+				drive = append(drive, s.Mbps())
+				n++
+				if s.Tech.Is5G() {
+					five++
+				}
+			}
+			fiveG[op] = float64(five) / float64(n)
+
+			// Fig. 3: driving median collapses to a few percent of static.
+			dm, sm := shapeMedian(drive), shapeMedian(static)
+			if sm < 5*dm {
+				t.Errorf("%s %v: static DL median %.1f not >> driving %.1f", name, op, sm, dm)
+			}
+
+			// Fig. 11: handovers per driven mile, median in the low single
+			// digits (the paper reports 2-3 over the full route; the band
+			// is widened to 1-4 for the truncated 500 km segment).
+			var hpm []float64
+			for _, ts := range ds.Tests {
+				if ts.Op == op && !ts.Static && ts.Miles > 0.05 {
+					hpm = append(hpm, float64(ts.HOCount)/ts.Miles)
+				}
+			}
+			if m := shapeMedian(hpm); m < 1 || m > 4 {
+				t.Errorf("%s %v: HOs/mile median %.2f outside [1, 4]", name, op, m)
+			}
+		}
+
+		// Fig. 2a: T-Mobile's 5G coverage dwarfs Verizon's and AT&T's, and
+		// Verizon and AT&T sit in the same band as each other.
+		tm, vz, att := fiveG[radio.TMobile], fiveG[radio.Verizon], fiveG[radio.ATT]
+		if tm < 1.5*vz || tm < 1.5*att {
+			t.Errorf("%s: T-Mobile 5G share %.2f not >> Verizon %.2f / AT&T %.2f", name, tm, vz, att)
+		}
+		lo, hi := vz, att
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi > 2.5*lo {
+			t.Errorf("%s: Verizon %.2f and AT&T %.2f 5G shares not in the same band", name, vz, att)
+		}
+	}
+}
+
+func shapeMedian(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), v...)
+	sort.Float64s(c)
+	return c[len(c)/2]
+}
+
+// TestShardedRaceSmoke is the -race exercise for the concurrent machinery:
+// all shard workers run simultaneously, and each worker fans out its three
+// phones per test phase, so shard-level and phone-level goroutines overlap.
+func TestShardedRaceSmoke(t *testing.T) {
+	cfg := shardTestConfig(29, 90)
+	ds := RunSharded(cfg, 3, 3)
+	if len(ds.Thr) == 0 || len(ds.Tests) == 0 || len(ds.Passive) == 0 {
+		t.Fatal("race smoke run produced an empty dataset")
+	}
+}

@@ -281,7 +281,8 @@ func (c *Campaign) runPassiveLoggers() {
 	}
 }
 
-// runPassiveLogger walks one carrier's handover-logger along the trace.
+// runPassiveLogger walks one carrier's handover-logger along the trace,
+// bounded to the campaign's route segment in a shard worker.
 func (c *Campaign) runPassiveLogger(op radio.Operator, end float64) []dataset.PassiveSample {
 	var out []dataset.PassiveSample
 	{
@@ -291,7 +292,11 @@ func (c *Campaign) runPassiveLogger(op radio.Operator, end float64) []dataset.Pa
 		if step <= 0 {
 			step = 2
 		}
-		for i := 0; i < len(c.Trace.Samples); i += int(step) {
+		start := 0
+		if c.startKm > 0 {
+			start = c.Trace.AtKm(c.startKm)
+		}
+		for i := start; i < len(c.Trace.Samples); i += int(step) {
 			s := c.Trace.Samples[i]
 			if s.Km >= end {
 				break

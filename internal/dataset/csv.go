@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"wheels/internal/geo"
@@ -70,6 +71,15 @@ func (p *parser) t(s string) time.Time {
 	v, err := time.Parse(timeLayout, s)
 	if err != nil && p.err == nil {
 		p.err = err
+	}
+	return v
+}
+// s validates a free-form string field. CR/LF are rejected: encoding/csv
+// normalizes \r\n to \n inside quoted fields on read, so accepting them
+// would break the export→import→export byte round-trip.
+func (p *parser) s(v string) string {
+	if strings.ContainsAny(v, "\r\n") && p.err == nil {
+		p.err = fmt.Errorf("control characters in string field %q", v)
 	}
 	return v
 }
@@ -289,7 +299,7 @@ func Load(dir string) (*Dataset, error) {
 		var p parser
 		h := HandoverRecord{
 			TestID: p.i(r[0]), Op: p.op(r[1]), TimeUTC: p.t(r[2]), DurSec: p.f(r[3]),
-			FromTech: p.tech(r[4]), ToTech: p.tech(r[5]), FromCell: r[6], ToCell: r[7], Dir: p.dir(r[8]),
+			FromTech: p.tech(r[4]), ToTech: p.tech(r[5]), FromCell: p.s(r[6]), ToCell: p.s(r[7]), Dir: p.dir(r[8]),
 		}
 		d.Handovers = append(d.Handovers, h)
 		return p.err
@@ -300,7 +310,7 @@ func Load(dir string) (*Dataset, error) {
 	err = readCSV(dir, fileTests, 18, func(_ int, r []string) error {
 		var p parser
 		t := TestSummary{
-			ID: p.i(r[0]), Op: p.op(r[1]), Kind: TestKind(r[2]), Dir: p.dir(r[3]), StartUTC: p.t(r[4]),
+			ID: p.i(r[0]), Op: p.op(r[1]), Kind: TestKind(p.s(r[2])), Dir: p.dir(r[3]), StartUTC: p.t(r[4]),
 			DurSec: p.f(r[5]), Zone: p.zone(r[6]), Server: p.kind(r[7]), Static: p.b(r[8]),
 			MeanBps: p.f(r[9]), StdFracBps: p.f(r[10]), MeanRTTms: p.f(r[11]), StdFracRTT: p.f(r[12]),
 			HighSpeedFrac: p.f(r[13]), Miles: p.f(r[14]), HOCount: p.i(r[15]),
@@ -315,7 +325,7 @@ func Load(dir string) (*Dataset, error) {
 	err = readCSV(dir, fileApps, 19, func(_ int, r []string) error {
 		var p parser
 		a := AppRun{
-			ID: p.i(r[0]), Op: p.op(r[1]), App: TestKind(r[2]), StartUTC: p.t(r[3]), DurSec: p.f(r[4]),
+			ID: p.i(r[0]), Op: p.op(r[1]), App: TestKind(p.s(r[2])), StartUTC: p.t(r[3]), DurSec: p.f(r[4]),
 			Server: p.kind(r[5]), Static: p.b(r[6]), Compressed: p.b(r[7]), HighSpeedFrac: p.f(r[8]),
 			HOCount: p.i(r[9]), MedianE2EMs: p.f(r[10]), OffloadFPS: p.f(r[11]), MAP: p.f(r[12]),
 			QoE: p.f(r[13]), RebufFrac: p.f(r[14]), AvgBitrate: p.f(r[15]), SendBitrate: p.f(r[16]),
@@ -330,7 +340,7 @@ func Load(dir string) (*Dataset, error) {
 	err = readCSV(dir, filePassive, 7, func(_ int, r []string) error {
 		var p parser
 		s := PassiveSample{
-			Op: p.op(r[0]), TimeUTC: p.t(r[1]), Km: p.f(r[2]), Tech: p.tech(r[3]), Cell: r[4],
+			Op: p.op(r[0]), TimeUTC: p.t(r[1]), Km: p.f(r[2]), Tech: p.tech(r[3]), Cell: p.s(r[4]),
 			Zone: p.zone(r[5]), NoSvc: p.b(r[6]),
 		}
 		d.Passive = append(d.Passive, s)

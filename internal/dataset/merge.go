@@ -1,0 +1,92 @@
+package dataset
+
+// Merge and renumber helpers for the sharded campaign engine: each route
+// shard produces an independent dataset with locally-numbered test ids
+// (1..k), and the merge pass concatenates the shards in route order while
+// shifting every shard's ids past the running maximum, so the merged
+// dataset has campaign-unique ids that increase along the route exactly as
+// a serial run's would.
+
+// MaxTestID returns the largest test id present in any table of the
+// dataset, or 0 if the dataset holds no id-carrying records.
+func (d *Dataset) MaxTestID() int {
+	max := 0
+	up := func(id int) {
+		if id > max {
+			max = id
+		}
+	}
+	for _, s := range d.Thr {
+		up(s.TestID)
+	}
+	for _, s := range d.RTT {
+		up(s.TestID)
+	}
+	for _, h := range d.Handovers {
+		up(h.TestID)
+	}
+	for _, t := range d.Tests {
+		up(t.ID)
+	}
+	for _, a := range d.Apps {
+		up(a.ID)
+	}
+	return max
+}
+
+// ShiftTestIDs adds delta to every test id in every table. Passive samples
+// carry no test id and are unaffected.
+func (d *Dataset) ShiftTestIDs(delta int) {
+	for i := range d.Thr {
+		d.Thr[i].TestID += delta
+	}
+	for i := range d.RTT {
+		d.RTT[i].TestID += delta
+	}
+	for i := range d.Handovers {
+		d.Handovers[i].TestID += delta
+	}
+	for i := range d.Tests {
+		d.Tests[i].ID += delta
+	}
+	for i := range d.Apps {
+		d.Apps[i].ID += delta
+	}
+}
+
+// Append appends every record of other to d, leaving ids untouched. The
+// caller is responsible for id disjointness (see MergeRenumbered).
+func (d *Dataset) Append(other *Dataset) {
+	d.Thr = append(d.Thr, other.Thr...)
+	d.RTT = append(d.RTT, other.RTT...)
+	d.Handovers = append(d.Handovers, other.Handovers...)
+	d.Tests = append(d.Tests, other.Tests...)
+	d.Apps = append(d.Apps, other.Apps...)
+	d.Passive = append(d.Passive, other.Passive...)
+}
+
+// MergeRenumbered concatenates the parts in order into one dataset,
+// renumbering each part's locally-unique test ids by the running maximum.
+// The parts are mutated by the renumbering and should be discarded. Nil
+// parts are skipped (a shard whose route segment produced no work). The
+// merged Seed is taken from the first non-nil part.
+func MergeRenumbered(parts ...*Dataset) *Dataset {
+	out := &Dataset{}
+	seeded := false
+	offset := 0
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if !seeded {
+			out.Seed = p.Seed
+			seeded = true
+		}
+		p.ShiftTestIDs(offset)
+		if m := p.MaxTestID(); m > offset {
+			offset = m
+		}
+		out.Append(p)
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package dataset
+
+import (
+	"testing"
+	"time"
+
+	"wheels/internal/radio"
+)
+
+// shardPart builds a tiny dataset with locally-numbered ids 1..n across the
+// id-carrying tables, plus one passive sample.
+func shardPart(seed int64, n int) *Dataset {
+	d := &Dataset{Seed: seed}
+	at := time.Date(2022, 8, 8, 15, 0, 0, 0, time.UTC)
+	for id := 1; id <= n; id++ {
+		d.Thr = append(d.Thr, ThroughputSample{TestID: id, Op: radio.Verizon, TimeUTC: at, Bps: 1e6})
+		d.RTT = append(d.RTT, RTTSample{TestID: id, Op: radio.TMobile, TimeUTC: at, Ms: 50})
+		d.Handovers = append(d.Handovers, HandoverRecord{TestID: id, Op: radio.ATT, TimeUTC: at})
+		d.Tests = append(d.Tests, TestSummary{ID: id, Op: radio.Verizon, Kind: TestBulkDL, StartUTC: at})
+		d.Apps = append(d.Apps, AppRun{ID: id, Op: radio.Verizon, App: TestAR, StartUTC: at})
+	}
+	d.Passive = append(d.Passive, PassiveSample{Op: radio.Verizon, TimeUTC: at, Tech: radio.LTE})
+	return d
+}
+
+func TestMergeRenumbered(t *testing.T) {
+	merged := MergeRenumbered(shardPart(23, 3), nil, shardPart(23, 2), shardPart(23, 1))
+	if merged.Seed != 23 {
+		t.Errorf("merged seed = %d, want 23", merged.Seed)
+	}
+	// Ids must be campaign-unique and increase in shard order: 1..3, 4..5, 6.
+	var ids []int
+	for _, ts := range merged.Tests {
+		ids = append(ids, ts.ID)
+	}
+	want := []int{1, 2, 3, 4, 5, 6}
+	if len(ids) != len(want) {
+		t.Fatalf("merged %d test summaries, want %d", len(ids), len(want))
+	}
+	for i, id := range ids {
+		if id != want[i] {
+			t.Fatalf("test ids = %v, want %v", ids, want)
+		}
+	}
+	// Every table shifts consistently: the second shard's first record is 4.
+	if merged.Thr[3].TestID != 4 || merged.RTT[3].TestID != 4 ||
+		merged.Handovers[3].TestID != 4 || merged.Apps[3].ID != 4 {
+		t.Error("tables did not shift consistently across the merge")
+	}
+	if len(merged.Passive) != 3 {
+		t.Errorf("merged %d passive samples, want 3", len(merged.Passive))
+	}
+	if got := merged.MaxTestID(); got != 6 {
+		t.Errorf("MaxTestID = %d, want 6", got)
+	}
+}
+
+func TestShiftTestIDsAndMaxOnEmpty(t *testing.T) {
+	d := &Dataset{}
+	d.ShiftTestIDs(10) // must not panic
+	if got := d.MaxTestID(); got != 0 {
+		t.Errorf("empty MaxTestID = %d, want 0", got)
+	}
+}

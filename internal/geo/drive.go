@@ -108,6 +108,23 @@ func (tr *Trace) At(t float64) int {
 	return lo - 1
 }
 
+// AtKm returns the index of the first sample with Km >= km, or len(Samples)
+// if km is beyond the trace. Km is nondecreasing across the whole trip, so
+// this is a binary search; shard workers use it to find where their route
+// segment begins.
+func (tr *Trace) AtKm(km float64) int {
+	lo, hi := 0, len(tr.Samples)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if tr.Samples[mid].Km < km {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // Slice returns the samples with T in [t0, t1).
 func (tr *Trace) Slice(t0, t1 float64) []Sample {
 	i := tr.At(t0)

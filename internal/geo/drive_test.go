@@ -167,3 +167,27 @@ func TestDayStartLocalTime(t *testing.T) {
 		}
 	}
 }
+
+func TestTraceAtKm(t *testing.T) {
+	r := NewRoute()
+	tr := Drive(r, sim.NewRNG(23).Stream("drive"))
+	// The index returned is the first sample at or past the requested km.
+	for _, km := range []float64{0, 1, 137.5, 2500, r.LengthKm() / 2} {
+		i := tr.AtKm(km)
+		if i >= len(tr.Samples) {
+			t.Fatalf("AtKm(%v) = %d beyond the trace", km, i)
+		}
+		if tr.Samples[i].Km < km {
+			t.Errorf("AtKm(%v): sample %d at km %v is before the target", km, i, tr.Samples[i].Km)
+		}
+		if i > 0 && tr.Samples[i-1].Km >= km {
+			t.Errorf("AtKm(%v): sample %d-1 at km %v already reaches the target", km, i, tr.Samples[i-1].Km)
+		}
+	}
+	if i := tr.AtKm(r.LengthKm() + 100); i != len(tr.Samples) {
+		t.Errorf("AtKm beyond the route = %d, want len(Samples)", i)
+	}
+	if i := tr.AtKm(-1); i != 0 {
+		t.Errorf("AtKm(-1) = %d, want 0", i)
+	}
+}

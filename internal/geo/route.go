@@ -195,14 +195,24 @@ func (r *Route) RoadClassAt(km float64) RoadClass {
 // CityAt returns the city whose urban area contains route distance km, if
 // any. Only leg endpoints count: intermediate towns are not major cities.
 func (r *Route) CityAt(km float64) (City, bool) {
+	city, _, ok := r.CityAreaAt(km)
+	return city, ok
+}
+
+// CityAreaAt returns the city whose urban area contains route distance km
+// together with the route distance at which that area begins. The area
+// start gives shard workers an unambiguous ownership rule: the shard whose
+// km range contains the area start runs the city's static battery, even
+// when the urban area straddles a shard boundary.
+func (r *Route) CityAreaAt(km float64) (City, float64, bool) {
 	leg, off := r.legAt(km)
 	if off < cityKm {
-		return r.cityByName(leg.From), true
+		return r.cityByName(leg.From), leg.startKm, true
 	}
 	if leg.RoadKm-off < cityKm {
-		return r.cityByName(leg.To), true
+		return r.cityByName(leg.To), leg.startKm + leg.RoadKm - cityKm, true
 	}
-	return City{}, false
+	return City{}, 0, false
 }
 
 // DayAt returns the 1-based trip day for route distance km.
