@@ -20,6 +20,7 @@ import (
 	"wheels/internal/deploy"
 	"wheels/internal/geo"
 	"wheels/internal/multipath"
+	"wheels/internal/pathtest"
 	"wheels/internal/radio"
 	"wheels/internal/ran"
 	"wheels/internal/replay"
@@ -484,22 +485,6 @@ func BenchmarkAblation_ElevationPolicy(b *testing.B) {
 	b.ReportMetric(100*active, "backlog5G-%")
 }
 
-// linkPath adapts a driving radio link into a transport.Path.
-type linkPath struct {
-	link *radio.Link
-	km   float64
-}
-
-func (p *linkPath) Step(dt float64) transport.PathState {
-	p.km += 60 * geo.KmPerMile / 3600 * dt
-	dist := p.km - float64(int(p.km/3.2))*3.2 - 1.6
-	if dist < 0 {
-		dist = -dist
-	}
-	st := p.link.Step(dt, dist+0.2, 60, geo.RoadHighway)
-	return transport.PathState{CapBps: st.CapDL, BaseRTTms: 60}
-}
-
 // BenchmarkAblation_TransportModel compares CUBIC against the idealized
 // fluid transport over the same driving link: the gap is the throughput
 // cost of congestion-control dynamics.
@@ -508,8 +493,8 @@ func BenchmarkAblation_TransportModel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		lc := radio.NewLink(sim.NewRNG(23).Stream("tm", "cubic"), radio.TMobile, radio.NRMid)
 		lf := radio.NewLink(sim.NewRNG(23).Stream("tm", "cubic"), radio.TMobile, radio.NRMid)
-		cubic = transport.RunBulk(&linkPath{link: lc}, 30).MeanBps()
-		fluid = transport.RunFluid(&linkPath{link: lf}, 30).MeanBps()
+		cubic = transport.RunBulk(&pathtest.DriveLink{Link: lc}, 30).MeanBps()
+		fluid = transport.RunFluid(&pathtest.DriveLink{Link: lf}, 30).MeanBps()
 	}
 	b.ReportMetric(cubic/1e6, "cubic-Mbps")
 	b.ReportMetric(fluid/1e6, "fluid-Mbps")
@@ -587,8 +572,8 @@ func BenchmarkExtension_BondedTransport(b *testing.B) {
 	mkPaths := func() []transport.Path {
 		var out []transport.Path
 		for _, op := range radio.Operators() {
-			out = append(out, &linkPath{
-				link: radio.NewLink(sim.NewRNG(23).Stream("bond", op.String()), op, radio.NRMid),
+			out = append(out, &pathtest.DriveLink{
+				Link: radio.NewLink(sim.NewRNG(23).Stream("bond", op.String()), op, radio.NRMid),
 			})
 		}
 		return out
@@ -649,8 +634,8 @@ func BenchmarkExtension_CubicVsBBR(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		lc := radio.NewLink(sim.NewRNG(23).Stream("cc", "x"), radio.Verizon, radio.LTEA)
 		lb := radio.NewLink(sim.NewRNG(23).Stream("cc", "x"), radio.Verizon, radio.LTEA)
-		cubic = transport.RunBulk(&linkPath{link: lc}, 30).MeanBps()
-		bbr = transport.RunBulkBBR(&linkPath{link: lb}, 30).MeanBps()
+		cubic = transport.RunBulk(&pathtest.DriveLink{Link: lc}, 30).MeanBps()
+		bbr = transport.RunBulkBBR(&pathtest.DriveLink{Link: lb}, 30).MeanBps()
 	}
 	b.ReportMetric(cubic/1e6, "cubic-Mbps")
 	b.ReportMetric(bbr/1e6, "bbr-Mbps")

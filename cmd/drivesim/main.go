@@ -6,13 +6,15 @@
 // Usage:
 //
 //	drivesim [-seed N] [-km N] [-out DIR] [-quick] [-video SEC] [-gaming SEC]
-//	         [-shards N] [-workers N]
+//	         [-shards N] [-workers N] [-cpuprofile FILE] [-memprofile FILE]
 //
 // With no flags it reproduces the paper's full methodology (about a minute
 // of wall time); -quick runs network tests only over the first 200 km.
 // -shards N splits the route into N segments simulated in parallel; the
 // output is deterministic per (seed, shards) but differs sample-by-sample
 // from the serial dataset (see README "Sharded execution").
+// -cpuprofile and -memprofile write pprof profiles covering the campaign
+// run (see README "Profiling the hot path").
 package main
 
 import (
@@ -20,6 +22,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"wheels/internal/analysis"
 	"wheels/internal/campaign"
@@ -42,6 +46,8 @@ func main() {
 		shards  = flag.Int("shards", 1, "split the route into N segments simulated in parallel (1 = serial engine)")
 		workers = flag.Int("workers", 0, "max shard workers running at once (0 = GOMAXPROCS)")
 		verbose = flag.Bool("v", false, "print per-day progress (serial engine only)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the campaign run to this file")
+		memProf = flag.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	flag.Parse()
 
@@ -59,6 +65,17 @@ func main() {
 		}
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatalf("creating CPU profile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("starting CPU profile: %v", err)
+		}
+	}
+
 	rt := geo.NewRoute()
 	var ds *dataset.Dataset
 	if *shards > 1 {
@@ -69,6 +86,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simulating %s over %.0f km (seed %d)...\n",
 			describe(cfg), rt.LengthKm(), cfg.Seed)
 		ds = campaign.New(cfg).Run()
+	}
+
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			log.Fatalf("creating heap profile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("writing heap profile: %v", err)
+		}
 	}
 
 	save := ds.Save

@@ -58,6 +58,18 @@ type adapter struct {
 	accHOs  int
 	last    ran.Snapshot
 	lastS   geo.Sample
+
+	// trCur memoizes the trace position: a test's clock only moves forward,
+	// so each tick's position lookup is O(1). Adapters run concurrently (one
+	// per phone in fanOut), so each owns its cursor.
+	trCur *geo.TraceCursor
+	// Wire-RTT memo: the propagation delay to the test server depends only
+	// on the vehicle coordinate, which changes once per trace sample (the
+	// extrapolation between samples moves Km, not Pos), so the Haversine is
+	// recomputed only when the coordinate actually moves.
+	wirePos  geo.LatLon
+	wireMs   float64
+	wireInit bool
 }
 
 // newAdapter starts a test at time t for the phone with a pre-allocated
@@ -67,10 +79,11 @@ type adapter struct {
 // tests pass their own state.
 func (c *Campaign) newAdapter(id int, ph *phone, t float64, profile ran.Traffic, dir radio.Direction, static *staticState) *adapter {
 	a := &adapter{c: c, ph: ph, testID: id, t: t, profile: profile, dir: dir, static: static}
+	a.trCur = c.Trace.Cursor()
 	if static != nil {
 		a.server = c.Reg.Select(ph.op, static.pos, static.zone)
 	} else {
-		s := c.where(t)
+		s := c.whereCur(a.trCur, t)
 		a.server = c.Reg.Select(ph.op, s.Pos, s.Zone)
 	}
 	ph.ue.TakeHandovers() // drop events from between tests
@@ -89,7 +102,7 @@ func (a *adapter) advance(dt float64) (capDL, capUL, rttMs float64, outage bool)
 		s = geo.Sample{T: a.t, Km: a.static.km, Pos: a.static.pos, MPH: 0,
 			Road: geo.RoadCity, Zone: a.static.zone}
 	} else {
-		s = a.c.where(a.t)
+		s = a.c.whereCur(a.trCur, a.t)
 		snap = a.ph.ue.Step(a.t, dt, s.Km, s.MPH, s.Road, s.Zone, a.profile)
 		for _, ev := range a.ph.ue.TakeHandovers() {
 			a.accHOs++
@@ -123,8 +136,12 @@ func (a *adapter) advance(dt float64) (capDL, capUL, rttMs float64, outage bool)
 		a.accDur, a.accRSRP, a.accSINR, a.accBLER, a.accHOs = 0, 0, 0, 0, 0
 	}
 
-	wire := servers.PropagationRTTms(s.Pos, a.server)
-	rttMs = a.ph.lat.RTTms(dt, snap.Tech, wire, s.MPH)
+	if !a.wireInit || s.Pos != a.wirePos {
+		a.wireInit = true
+		a.wirePos = s.Pos
+		a.wireMs = servers.PropagationRTTms(s.Pos, a.server)
+	}
+	rttMs = a.ph.lat.RTTms(dt, snap.Tech, a.wireMs, s.MPH)
 	return snap.CapDL, snap.CapUL, rttMs, snap.Outage
 }
 

@@ -177,7 +177,18 @@ const maxExtrapolateSec = 2.0
 // resumes from where it stopped) rather than silently returning a stale
 // mid-drive sample. Past the end of the trace the final sample is returned.
 func (c *Campaign) where(t float64) geo.Sample {
-	idx := c.Trace.At(t)
+	return c.whereAt(c.Trace.At(t), t)
+}
+
+// whereCur is where over a trace cursor. Simulation time advances
+// monotonically within the campaign loop and within each test, so the
+// cursor turns the per-tick binary search into an O(1) index bump. Cursors
+// are not goroutine-safe: the campaign loop and each adapter own their own.
+func (c *Campaign) whereCur(cur *geo.TraceCursor, t float64) geo.Sample {
+	return c.whereAt(cur.At(t), t)
+}
+
+func (c *Campaign) whereAt(idx int, t float64) geo.Sample {
 	if idx < 0 {
 		return c.Trace.Samples[0]
 	}
@@ -221,9 +232,13 @@ func (c *Campaign) Run() *dataset.Dataset {
 			t = c.Trace.Samples[idx].T
 		}
 	}
+	// The loop owns its trace and route cursors: t and s.Km only move
+	// forward here, so every lookup after the first is O(1).
+	cur := c.Trace.Cursor()
+	routeCur := c.Route.Cursor()
 	day := 0
 	for {
-		s := c.where(t)
+		s := c.whereCur(cur, t)
 		if s.Km >= end || t > c.Trace.Samples[len(c.Trace.Samples)-1].T {
 			break
 		}
@@ -234,7 +249,7 @@ func (c *Campaign) Run() *dataset.Dataset {
 			}
 		}
 		// Overnight gap: jump to the next sample's time.
-		if idx := c.Trace.At(t); idx >= 0 && t-c.Trace.Samples[idx].T > 2 {
+		if idx := cur.At(t); idx >= 0 && t-c.Trace.Samples[idx].T > 2 {
 			if idx+1 >= len(c.Trace.Samples) {
 				break
 			}
@@ -247,7 +262,7 @@ func (c *Campaign) Run() *dataset.Dataset {
 		// contains the area's start, so sharded runs never duplicate (or
 		// drop) a city battery.
 		if c.Cfg.EnableStatic {
-			if city, areaStart, ok := c.Route.CityAreaAt(s.Km); ok && !visited[city.Name] {
+			if city, areaStart, ok := routeCur.CityAreaAt(s.Km); ok && !visited[city.Name] {
 				visited[city.Name] = true
 				if areaStart >= c.startKm {
 					c.runStaticBattery(t, s, city)

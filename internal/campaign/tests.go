@@ -41,6 +41,8 @@ func (c *Campaign) runBulk(sink *dataset.Dataset, id int, ph *phone, t float64, 
 	if len(a.rows) < n {
 		n = len(a.rows)
 	}
+	// Rows are km-ordered, so one route cursor serves the whole KPI join.
+	cur := c.Route.Cursor()
 	for i := 0; i < n; i++ {
 		r := a.rows[i]
 		cc := r.ccDL
@@ -50,7 +52,7 @@ func (c *Campaign) runBulk(sink *dataset.Dataset, id int, ph *phone, t float64, 
 		sink.Thr = append(sink.Thr, dataset.ThroughputSample{
 			TestID: a.testID, Op: ph.op, Dir: dir, TimeUTC: utc(r.t), Bps: res.SamplesBps[i],
 			Tech: r.tech, RSRPdBm: r.rsrp, SINRdB: r.sinr, MCS: r.mcs, BLER: r.bler, CC: cc,
-			MPH: r.mph, Km: r.km, Zone: c.Route.TimezoneAt(r.km), Road: c.Route.RoadClassAt(r.km),
+			MPH: r.mph, Km: r.km, Zone: cur.TimezoneAt(r.km), Road: cur.RoadClassAt(r.km),
 			Server: a.server.Kind, Static: static, HOs: r.hos,
 		})
 	}
@@ -296,6 +298,13 @@ func (c *Campaign) runPassiveLogger(op radio.Operator, end float64) []dataset.Pa
 		if c.startKm > 0 {
 			start = c.Trace.AtKm(c.startKm)
 		}
+		// Cell-ID memo: a logger camps on the same cell for many consecutive
+		// samples, so the string form is re-rendered only when the serving
+		// cell actually changes. The init flag matters because the zero
+		// CellKey names a real cell.
+		var lastKey deploy.CellKey
+		var lastID string
+		haveID := false
 		for i := start; i < len(c.Trace.Samples); i += int(step) {
 			s := c.Trace.Samples[i]
 			if s.Km >= end {
@@ -310,7 +319,10 @@ func (c *Campaign) runPassiveLogger(op radio.Operator, end float64) []dataset.Pa
 				rec.Tech = radio.LTE
 			} else {
 				rec.Tech = snap.Tech
-				rec.Cell = snap.Cell.ID()
+				if key := snap.Cell.Key(); !haveID || key != lastKey {
+					lastKey, lastID, haveID = key, key.String(), true
+				}
+				rec.Cell = lastID
 			}
 			out = append(out, rec)
 		}

@@ -12,6 +12,49 @@ import (
 // binKm is the spatial resolution of the availability fields.
 const binKm = 0.1
 
+// TechMask is the packed per-bin technology availability set: bit t is set
+// when radio.Tech(t) is deployed in the bin. One byte replaces the
+// per-query slice the availability API used to allocate, which is what
+// keeps the per-tick radio loop allocation-free.
+type TechMask uint8
+
+// Has reports whether the technology is in the mask.
+func (m TechMask) Has(t radio.Tech) bool { return m&(1<<uint(t)) != 0 }
+
+// Count returns the number of technologies in the mask.
+func (m TechMask) Count() int {
+	n := 0
+	for t := radio.Tech(0); t < radio.NumTechs; t++ {
+		if m.Has(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Best returns the most capable technology in the mask, or (LTE, false) for
+// an empty mask. Technologies are ordered by ascending capability.
+func (m TechMask) Best() (radio.Tech, bool) {
+	for t := radio.Tech(radio.NumTechs - 1); t >= 0; t-- {
+		if m.Has(t) {
+			return t, true
+		}
+	}
+	return radio.LTE, false
+}
+
+// Techs appends the mask's technologies to buf in ascending capability
+// order and returns the result. Pass a stack-backed buffer to avoid
+// allocation.
+func (m TechMask) Techs(buf []radio.Tech) []radio.Tech {
+	for _, t := range radio.Techs() {
+		if m.Has(t) {
+			buf = append(buf, t)
+		}
+	}
+	return buf
+}
+
 // Cell identifies one base station of one operator and technology. Cells of
 // a technology are laid out along the route with the band's inter-site
 // spacing and a lateral offset from the road.
@@ -23,10 +66,34 @@ type Cell struct {
 	LateralKm float64
 }
 
-// ID returns a globally unique cell identifier, stable across runs.
-func (c Cell) ID() string {
-	return fmt.Sprintf("%s-%s-%d", c.Op.Short(), c.Tech, c.Index)
+// CellKey packs a cell's identity (operator, technology, route index) into
+// one comparable word. The hot path tracks camped cells and signaling
+// targets by key; the human-readable string form is derived only at
+// dataset-export time.
+type CellKey uint64
+
+// Key returns the packed identity of the cell.
+func (c Cell) Key() CellKey {
+	return CellKey(uint64(c.Op)<<40 | uint64(c.Tech)<<32 | uint64(uint32(c.Index)))
 }
+
+// Op returns the operator encoded in the key.
+func (k CellKey) Op() radio.Operator { return radio.Operator(k >> 40 & 0xff) }
+
+// Tech returns the technology encoded in the key.
+func (k CellKey) Tech() radio.Tech { return radio.Tech(k >> 32 & 0xff) }
+
+// Index returns the route sequence number encoded in the key.
+func (k CellKey) Index() int { return int(uint32(k)) }
+
+// String renders the key in the stable "<op>-<tech>-<index>" form the
+// dataset exports use.
+func (k CellKey) String() string {
+	return fmt.Sprintf("%s-%s-%d", k.Op().Short(), k.Tech(), k.Index())
+}
+
+// ID returns a globally unique cell identifier, stable across runs.
+func (c Cell) ID() string { return c.Key().String() }
 
 // lateralOffsetKm is the perpendicular distance from road to site per tech:
 // mmWave sites hug the street; macro towers sit farther back.
@@ -37,28 +104,35 @@ func lateralOffsetKm(t radio.Tech) float64 {
 	return 0.25
 }
 
-// Deployment is one operator's radio footprint along a route: a boolean
-// availability field per technology (spatially persistent runs whose
+// Deployment is one operator's radio footprint along a route: a packed
+// availability bitmask per route bin (spatially persistent runs whose
 // density follows the calibrated tables) plus deterministic cell geometry.
 type Deployment struct {
 	Op    radio.Operator
 	Route *geo.Route
 
-	nbins  int
-	fields map[radio.Tech][]bool
+	nbins int
+	masks []TechMask
+
+	// Per-technology band geometry, hoisted out of the per-tick loop so
+	// serving-cell lookups don't re-derive radio.Bands each call.
+	spacingKm [radio.NumTechs]float64
+	lateralKm [radio.NumTechs]float64
 }
 
 // New builds the operator's deployment along the route. All randomness
 // derives from the stream, so the footprint is reproducible per seed.
 func New(route *geo.Route, op radio.Operator, rng *sim.RNG) *Deployment {
 	d := &Deployment{
-		Op:     op,
-		Route:  route,
-		nbins:  int(route.LengthKm()/binKm) + 1,
-		fields: map[radio.Tech][]bool{},
+		Op:    op,
+		Route: route,
+		nbins: int(route.LengthKm()/binKm) + 1,
 	}
+	d.masks = make([]TechMask, d.nbins)
 	for _, t := range radio.Techs() {
-		d.fields[t] = d.buildField(t, rng.Stream("field", op.String(), t.String()))
+		d.buildField(t, rng.Stream("field", op.String(), t.String()))
+		d.spacingKm[t] = radio.Bands(op, t).CellSpacingKm
+		d.lateralKm[t] = lateralOffsetKm(t)
 	}
 	return d
 }
@@ -67,25 +141,28 @@ func New(route *geo.Route, op radio.Operator, rng *sim.RNG) *Deployment {
 // the current covered/uncovered state persists for an exponential run, then
 // re-draws from the local availability probability. This produces the
 // fragmented, spatially correlated coverage the paper observed (Fig. 1).
-func (d *Deployment) buildField(t radio.Tech, rng *sim.RNG) []bool {
-	field := make([]bool, d.nbins)
+// Covered bins set the technology's bit in the packed mask.
+func (d *Deployment) buildField(t radio.Tech, rng *sim.RNG) {
 	mean := runLengthKm[t]
 	remaining := 0.0
 	covered := false
+	cur := d.Route.Cursor()
+	bit := TechMask(1) << uint(t)
 	for i := 0; i < d.nbins; i++ {
 		km := float64(i) * binKm
 		if remaining <= 0 {
-			p := availability(d.Op, t, d.Route.RoadClassAt(km), d.Route.TimezoneAt(km))
+			p := availability(d.Op, t, cur.RoadClassAt(km), cur.TimezoneAt(km))
 			covered = rng.Bool(p)
 			remaining = rng.Exponential(mean)
 			if remaining < binKm {
 				remaining = binKm
 			}
 		}
-		field[i] = covered
+		if covered {
+			d.masks[i] |= bit
+		}
 		remaining -= binKm
 	}
-	return field
 }
 
 func (d *Deployment) bin(km float64) int {
@@ -99,35 +176,44 @@ func (d *Deployment) bin(km float64) int {
 	return i
 }
 
+// AvailMask returns the packed set of technologies deployed at route
+// distance km. This is the allocation-free form of Available.
+func (d *Deployment) AvailMask(km float64) TechMask {
+	return d.masks[d.bin(km)]
+}
+
 // HasTech reports whether the technology is deployed at route distance km.
 func (d *Deployment) HasTech(km float64, t radio.Tech) bool {
-	return d.fields[t][d.bin(km)]
+	return d.masks[d.bin(km)].Has(t)
 }
 
 // Available returns the technologies deployed at route distance km, in
-// ascending capability order.
+// ascending capability order. It is a compatibility wrapper over AvailMask
+// and allocates; per-tick callers should use AvailMask.
 func (d *Deployment) Available(km float64) []radio.Tech {
-	var out []radio.Tech
-	for _, t := range radio.Techs() {
-		if d.HasTech(km, t) {
-			out = append(out, t)
-		}
+	m := d.AvailMask(km)
+	if m == 0 {
+		return nil
 	}
-	return out
+	return m.Techs(make([]radio.Tech, 0, m.Count()))
 }
+
+// SpacingKm returns the inter-site distance of the technology's cell grid,
+// precomputed at construction.
+func (d *Deployment) SpacingKm(t radio.Tech) float64 { return d.spacingKm[t] }
 
 // CellAt returns the serving cell for the technology at route distance km
 // and the UE's 2-D distance to it. The cell grid is deterministic: site i of
 // a band sits at route distance (i+0.5)·spacing with the band's lateral
 // offset, so cell identity is stable across runs and revisits.
 func (d *Deployment) CellAt(km float64, t radio.Tech) (Cell, float64) {
-	spacing := radio.Bands(d.Op, t).CellSpacingKm
+	spacing := d.spacingKm[t]
 	idx := int(km / spacing)
 	if idx < 0 {
 		idx = 0
 	}
 	center := (float64(idx) + 0.5) * spacing
-	lat := lateralOffsetKm(t)
+	lat := d.lateralKm[t]
 	dist := math.Hypot(km-center, lat)
 	return Cell{Op: d.Op, Tech: t, Index: idx, CenterKm: center, LateralKm: lat}, dist
 }
@@ -136,8 +222,8 @@ func (d *Deployment) CellAt(km float64, t radio.Tech) (Cell, float64) {
 // is deployed — a diagnostic used by calibration tests, not by the policy.
 func (d *Deployment) CoverageFraction(t radio.Tech) float64 {
 	n := 0
-	for _, c := range d.fields[t] {
-		if c {
+	for _, m := range d.masks {
+		if m.Has(t) {
 			n++
 		}
 	}
@@ -147,11 +233,5 @@ func (d *Deployment) CoverageFraction(t radio.Tech) float64 {
 // BestAvailable returns the most capable technology deployed at km, or
 // (LTE, false) when the UE has no service at all.
 func (d *Deployment) BestAvailable(km float64) (radio.Tech, bool) {
-	techs := radio.Techs()
-	for i := len(techs) - 1; i >= 0; i-- {
-		if d.HasTech(km, techs[i]) {
-			return techs[i], true
-		}
-	}
-	return radio.LTE, false
+	return d.AvailMask(km).Best()
 }

@@ -53,15 +53,18 @@ func Drive(r *Route, rng *sim.RNG) *Trace {
 	for class, p := range speedParams {
 		speed[class] = sim.NewGaussMarkov(rng.Stream("speed", class.String()), p.mean, p.sigma, p.tau)
 	}
+	// Km only ever advances across the trip, so one route cursor serves the
+	// whole build without repeated leg searches.
+	cur := r.Cursor()
 	for day := 1; day <= r.Days(); day++ {
 		startKm, endKm, err := r.DayRangeKm(day)
 		if err != nil {
 			panic(err) // unreachable: day iterates over the route's own days
 		}
-		t := dayStartSec(day, r.TimezoneAt(startKm))
+		t := dayStartSec(day, cur.TimezoneAt(startKm))
 		km := startKm
 		for km < endKm {
-			road := r.RoadClassAt(km)
+			road := cur.RoadClassAt(km)
 			p := speedParams[road]
 			mph := speed[road].Step(1)
 			if mph < p.lo {
@@ -77,10 +80,10 @@ func Drive(r *Route, rng *sim.RNG) *Trace {
 			tr.Samples = append(tr.Samples, Sample{
 				T:    t,
 				Km:   km,
-				Pos:  r.PosAt(km),
+				Pos:  cur.PosAt(km),
 				MPH:  mph,
 				Road: road,
-				Zone: r.TimezoneAt(km),
+				Zone: cur.TimezoneAt(km),
 				Day:  day,
 			})
 			km += mph * KmPerMile / 3600
@@ -106,6 +109,37 @@ func (tr *Trace) At(t float64) int {
 		}
 	}
 	return lo - 1
+}
+
+// TraceCursor memoizes the last sample index so a caller advancing
+// monotonically in time (a test adapter ticking at 20 ms, the campaign's
+// cycle loop) resolves At in O(1) amortized instead of a binary search over
+// the ~200k-sample trace per tick. Results are identical to Trace.At;
+// backward jumps fall back to the binary search. Not safe for concurrent
+// use; derive one per goroutine.
+type TraceCursor struct {
+	tr  *Trace
+	idx int
+}
+
+// Cursor returns a new trace cursor positioned at the start of the trace.
+func (tr *Trace) Cursor() *TraceCursor { return &TraceCursor{tr: tr} }
+
+// At returns the index of the last sample with T <= t, or -1 if t precedes
+// the trace, exactly as Trace.At does.
+func (c *TraceCursor) At(t float64) int {
+	s := c.tr.Samples
+	if len(s) == 0 || t < s[0].T {
+		return -1
+	}
+	if t < s[c.idx].T {
+		c.idx = c.tr.At(t)
+		return c.idx
+	}
+	for c.idx+1 < len(s) && s[c.idx+1].T <= t {
+		c.idx++
+	}
+	return c.idx
 }
 
 // AtKm returns the index of the first sample with Km >= km, or len(Samples)

@@ -160,23 +160,16 @@ func (r *Route) legAt(km float64) (*Leg, float64) {
 	return leg, km - leg.startKm
 }
 
-// PosAt returns the coordinate at route distance km, interpolating along the
+// posOf interpolates the coordinate at offset off into a leg along the
 // leg's great-circle chord.
-func (r *Route) PosAt(km float64) LatLon {
-	leg, off := r.legAt(km)
+func posOf(leg *Leg, off float64) LatLon {
 	return Lerp(leg.FromPos, leg.ToPos, off/leg.RoadKm)
 }
 
-// TimezoneAt returns the timezone at route distance km.
-func (r *Route) TimezoneAt(km float64) Timezone {
-	return timezoneForLon(r.PosAt(km).Lon)
-}
-
-// RoadClassAt returns the road class at route distance km: city within
-// cityKm of a leg endpoint, suburban within suburbKm of an endpoint or
-// townKm/2 of an intermediate town, highway otherwise.
-func (r *Route) RoadClassAt(km float64) RoadClass {
-	leg, off := r.legAt(km)
+// roadClassOf classifies offset off into a leg: city within cityKm of a leg
+// endpoint, suburban within suburbKm of an endpoint or townKm/2 of an
+// intermediate town, highway otherwise.
+func roadClassOf(leg *Leg, off float64) RoadClass {
 	end := leg.RoadKm
 	switch {
 	case off < cityKm || end-off < cityKm:
@@ -190,6 +183,38 @@ func (r *Route) RoadClassAt(km float64) RoadClass {
 		}
 	}
 	return RoadHighway
+}
+
+// cityAreaOf resolves the city whose urban area contains offset off into a
+// leg, together with the route distance at which that area begins.
+func (r *Route) cityAreaOf(leg *Leg, off float64) (City, float64, bool) {
+	if off < cityKm {
+		return r.cityByName(leg.From), leg.startKm, true
+	}
+	if leg.RoadKm-off < cityKm {
+		return r.cityByName(leg.To), leg.startKm + leg.RoadKm - cityKm, true
+	}
+	return City{}, 0, false
+}
+
+// PosAt returns the coordinate at route distance km, interpolating along the
+// leg's great-circle chord.
+func (r *Route) PosAt(km float64) LatLon {
+	leg, off := r.legAt(km)
+	return posOf(leg, off)
+}
+
+// TimezoneAt returns the timezone at route distance km.
+func (r *Route) TimezoneAt(km float64) Timezone {
+	return timezoneForLon(r.PosAt(km).Lon)
+}
+
+// RoadClassAt returns the road class at route distance km: city within
+// cityKm of a leg endpoint, suburban within suburbKm of an endpoint or
+// townKm/2 of an intermediate town, highway otherwise.
+func (r *Route) RoadClassAt(km float64) RoadClass {
+	leg, off := r.legAt(km)
+	return roadClassOf(leg, off)
 }
 
 // CityAt returns the city whose urban area contains route distance km, if
@@ -206,13 +231,68 @@ func (r *Route) CityAt(km float64) (City, bool) {
 // when the urban area straddles a shard boundary.
 func (r *Route) CityAreaAt(km float64) (City, float64, bool) {
 	leg, off := r.legAt(km)
-	if off < cityKm {
-		return r.cityByName(leg.From), leg.startKm, true
+	return r.cityAreaOf(leg, off)
+}
+
+// Cursor answers the same positional queries as Route but memoizes the
+// current leg, so a caller advancing monotonically along the route (the
+// drive-trace builder, deployment construction, the campaign's per-test KPI
+// join) pays O(1) amortized per lookup instead of a sort.Search per call.
+// Every query returns exactly what the corresponding Route method returns.
+// A Cursor is not safe for concurrent use; derive one per goroutine.
+type Cursor struct {
+	r   *Route
+	leg int
+}
+
+// Cursor returns a new positional cursor starting at the route origin.
+func (r *Route) Cursor() *Cursor { return &Cursor{r: r} }
+
+// legAt mirrors Route.legAt with the memoized leg as the starting point.
+// Backward jumps (rare: a caller rewinding) fall back to the binary search.
+func (c *Cursor) legAt(km float64) (*Leg, float64) {
+	if km < 0 {
+		km = 0
 	}
-	if leg.RoadKm-off < cityKm {
-		return r.cityByName(leg.To), leg.startKm + leg.RoadKm - cityKm, true
+	r := c.r
+	if km >= r.total {
+		last := &r.Legs[len(r.Legs)-1]
+		return last, last.RoadKm
 	}
-	return City{}, 0, false
+	if km < r.Legs[c.leg].startKm {
+		c.leg = sort.Search(len(r.Legs), func(i int) bool {
+			return r.Legs[i].startKm+r.Legs[i].RoadKm > km
+		})
+	}
+	for c.leg+1 < len(r.Legs) && km >= r.Legs[c.leg].startKm+r.Legs[c.leg].RoadKm {
+		c.leg++
+	}
+	leg := &r.Legs[c.leg]
+	return leg, km - leg.startKm
+}
+
+// PosAt returns the coordinate at route distance km.
+func (c *Cursor) PosAt(km float64) LatLon {
+	leg, off := c.legAt(km)
+	return posOf(leg, off)
+}
+
+// TimezoneAt returns the timezone at route distance km.
+func (c *Cursor) TimezoneAt(km float64) Timezone {
+	return timezoneForLon(c.PosAt(km).Lon)
+}
+
+// RoadClassAt returns the road class at route distance km.
+func (c *Cursor) RoadClassAt(km float64) RoadClass {
+	leg, off := c.legAt(km)
+	return roadClassOf(leg, off)
+}
+
+// CityAreaAt returns the city whose urban area contains route distance km
+// together with the route distance at which that area begins.
+func (c *Cursor) CityAreaAt(km float64) (City, float64, bool) {
+	leg, off := c.legAt(km)
+	return c.r.cityAreaOf(leg, off)
 }
 
 // DayAt returns the 1-based trip day for route distance km.

@@ -3,35 +3,15 @@ package multipath
 import (
 	"testing"
 
+	"wheels/internal/pathtest"
 	"wheels/internal/transport"
 )
 
-type constPath struct{ cap, rtt float64 }
-
-func (p constPath) Step(float64) transport.PathState {
-	return transport.PathState{CapBps: p.cap, BaseRTTms: p.rtt}
-}
-
-type outagePath struct {
-	constPath
-	t          float64
-	start, end float64
-}
-
-func (p *outagePath) Step(dt float64) transport.PathState {
-	st := p.constPath.Step(dt)
-	if p.t >= p.start && p.t < p.end {
-		st.Outage = true
-	}
-	p.t += dt
-	return st
-}
-
 func TestAggregatorSumsCapacity(t *testing.T) {
 	a, err := NewAggregator(
-		constPath{cap: 30e6, rtt: 50},
-		constPath{cap: 50e6, rtt: 70},
-		constPath{cap: 20e6, rtt: 60},
+		pathtest.Const{Cap: 30e6, RTT: 50},
+		pathtest.Const{Cap: 50e6, RTT: 70},
+		pathtest.Const{Cap: 20e6, RTT: 60},
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -61,8 +41,8 @@ func TestAggregatorSumsCapacity(t *testing.T) {
 func TestAggregatorBeatsBestSinglePath(t *testing.T) {
 	mk := func() []transport.Path {
 		return []transport.Path{
-			&outagePath{constPath: constPath{cap: 40e6, rtt: 60}, start: 5, end: 12},
-			&outagePath{constPath: constPath{cap: 40e6, rtt: 60}, start: 18, end: 25},
+			&pathtest.Outage{Const: pathtest.Const{Cap: 40e6, RTT: 60}, Start: 5, End: 12},
+			&pathtest.Outage{Const: pathtest.Const{Cap: 40e6, RTT: 60}, Start: 18, End: 25},
 		}
 	}
 	paths := mk()
@@ -118,8 +98,8 @@ func TestScheduleSkipsOutages(t *testing.T) {
 func TestRunProbesRedundancyMasksOutages(t *testing.T) {
 	mk := func() []transport.Path {
 		return []transport.Path{
-			&outagePath{constPath: constPath{cap: 10e6, rtt: 40}, start: 3, end: 9},
-			&outagePath{constPath: constPath{cap: 10e6, rtt: 70}, start: 12, end: 18},
+			&pathtest.Outage{Const: pathtest.Const{Cap: 10e6, RTT: 40}, Start: 3, End: 9},
+			&pathtest.Outage{Const: pathtest.Const{Cap: 10e6, RTT: 70}, Start: 12, End: 18},
 		}
 	}
 	a, _ := NewAggregator(mk()...)

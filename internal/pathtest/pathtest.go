@@ -1,0 +1,61 @@
+// Package pathtest provides shared transport.Path fixtures for tests and
+// benchmarks: a constant path, an outage-injecting path, and a driving
+// radio-link adapter. The transport package's own in-package tests keep
+// local copies (importing this package there would cycle through
+// transport.PathState); every other package should use these.
+package pathtest
+
+import (
+	"wheels/internal/geo"
+	"wheels/internal/radio"
+	"wheels/internal/transport"
+)
+
+// Const is a fixed-capacity, fixed-RTT path.
+type Const struct {
+	Cap float64
+	RTT float64
+}
+
+// Step returns the constant path state.
+func (p Const) Step(float64) transport.PathState {
+	return transport.PathState{CapBps: p.Cap, BaseRTTms: p.RTT}
+}
+
+// Outage injects an outage window [Start, End) into a constant path.
+type Outage struct {
+	Const
+	Start, End float64
+
+	t float64
+}
+
+// Step returns the constant state, marked as an outage inside the window.
+func (p *Outage) Step(dt float64) transport.PathState {
+	st := p.Const.Step(dt)
+	if p.t >= p.Start && p.t < p.End {
+		st.Outage = true
+	}
+	p.t += dt
+	return st
+}
+
+// DriveLink adapts a driving radio link into a transport.Path: the vehicle
+// moves at 60 mph and the serving distance sweeps a sawtooth over a 3.2 km
+// cell spacing, so the link sees the full near-to-edge RSRP range.
+type DriveLink struct {
+	Link *radio.Link
+
+	km float64
+}
+
+// Step advances the drive by dt seconds and returns the downlink path state.
+func (p *DriveLink) Step(dt float64) transport.PathState {
+	p.km += 60 * geo.KmPerMile / 3600 * dt
+	dist := p.km - float64(int(p.km/3.2))*3.2 - 1.6
+	if dist < 0 {
+		dist = -dist
+	}
+	st := p.Link.Step(dt, dist+0.2, 60, geo.RoadHighway)
+	return transport.PathState{CapBps: st.CapDL, BaseRTTms: 60}
+}

@@ -43,6 +43,14 @@ type Link struct {
 
 	inCongest     bool
 	congestFactor float64
+
+	// Per-band invariants hoisted to construction time. The tick loop used
+	// to re-derive all three every Step — two constant-argument Log10 calls
+	// inside eirpDBm/fsplDB plus the beam-gain switch — millions of times
+	// over a drive for values that never change while the link exists.
+	eirp     float64 // eirpDBm(Band)
+	beamGain float64 // BeamGainDB(Op, Tech)
+	fsplRef  float64 // fsplDB(refDistKm, Band.FreqGHz)
 }
 
 // linkTuning collects the model constants in one place.
@@ -127,14 +135,17 @@ func interferencePenaltyDB(distFrac float64) float64 {
 func NewLink(rng *sim.RNG, op Operator, t Tech) *Link {
 	band := Bands(op, t)
 	l := &Link{
-		Op:     op,
-		Tech:   t,
-		Band:   band,
-		shadow: sim.NewGaussMarkov(rng.Stream("shadow"), 0, shadowSigmaDB, shadowTauSec),
-		interf: sim.NewGaussMarkov(rng.Stream("interf"), 0, 2.5, 12),
-		load:   sim.NewGaussMarkov(rng.Stream("load"), 0.6, 0.15, 30),
-		caJit:  sim.NewGaussMarkov(rng.Stream("ca"), 0, 0.8, 25),
-		rng:    rng.Stream("draws"),
+		Op:       op,
+		Tech:     t,
+		Band:     band,
+		eirp:     eirpDBm(band),
+		beamGain: BeamGainDB(op, t),
+		fsplRef:  fsplDB(refDistKm, band.FreqGHz),
+		shadow:   sim.NewGaussMarkov(rng.Stream("shadow"), 0, shadowSigmaDB, shadowTauSec),
+		interf:   sim.NewGaussMarkov(rng.Stream("interf"), 0, 2.5, 12),
+		load:     sim.NewGaussMarkov(rng.Stream("load"), 0.6, 0.15, 30),
+		caJit:    sim.NewGaussMarkov(rng.Stream("ca"), 0, 0.8, 25),
+		rng:      rng.Stream("draws"),
 	}
 	// Blockage chain: state 0 clear, state 1 blocked. mmWave blocks often
 	// (bodies, vehicles, foliage); sub-6 bands only in rare deep fades
@@ -174,7 +185,7 @@ func (l *Link) Step(dt, distKm, mph float64, road geo.RoadClass) LinkState {
 	blocked := l.blocked.Step(dt) == 1
 	st.Blocked = blocked
 
-	rsrp := MeanRSRP(l.Band, distKm, road, BeamGainDB(l.Op, l.Tech)) + l.shadow.Step(dt)
+	rsrp := meanRSRPFrom(l.eirp, l.beamGain, l.fsplRef, distKm, road) + l.shadow.Step(dt)
 	if blocked {
 		rsrp -= blockageLossDB
 	}
@@ -294,7 +305,7 @@ const anchorMHz = 20.0
 // in one direction, accounting for per-carrier MCS dispersion, duty cycle,
 // BLER, control overhead, and cell load.
 func (l *Link) capacity(st LinkState, dir Direction) float64 {
-	b := l.Band
+	b := &l.Band
 	cc := st.CCDown
 	duty := b.DutyDown
 	maxSE := b.MaxSEDown

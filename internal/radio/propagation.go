@@ -37,11 +37,19 @@ func fsplDB(km, ghz float64) float64 {
 // the reference distance plus distance-dependent decay with the
 // environment's exponent.
 func PathLossDB(km, ghz float64, road geo.RoadClass) float64 {
+	return pathLossFromRefDB(fsplDB(refDistKm, ghz), km, road)
+}
+
+// pathLossFromRefDB is PathLossDB with the frequency-dependent term — the
+// free-space loss at the reference distance — already evaluated. Link
+// hoists that term to construction time, leaving one Log10 per tick for the
+// distance-dependent decay.
+func pathLossFromRefDB(fsplRefDB, km float64, road geo.RoadClass) float64 {
 	if km < refDistKm {
 		km = refDistKm
 	}
 	n := pathLossExponent(road)
-	return fsplDB(refDistKm, ghz) + 10*n*math.Log10(km/refDistKm)
+	return fsplRefDB + 10*n*math.Log10(km/refDistKm)
 }
 
 // edgeRSRPdBm is the RSRP the model targets at the nominal cell edge. The
@@ -68,7 +76,14 @@ func eirpDBm(b BandConfig) float64 {
 // MeanRSRP returns the deterministic (pre-shadowing) RSRP in dBm at the
 // given distance from the serving cell.
 func MeanRSRP(b BandConfig, km float64, road geo.RoadClass, beamGainDB float64) float64 {
-	return eirpDBm(b) + beamGainDB - PathLossDB(km, b.FreqGHz, road)
+	return meanRSRPFrom(eirpDBm(b), beamGainDB, fsplDB(refDistKm, b.FreqGHz), km, road)
+}
+
+// meanRSRPFrom is MeanRSRP over precomputed per-band invariants (EIRP, beam
+// gain, reference free-space loss), evaluated in the same order so the
+// result is bit-identical to MeanRSRP.
+func meanRSRPFrom(eirp, beamGainDB, fsplRefDB, km float64, road geo.RoadClass) float64 {
+	return eirp + beamGainDB - pathLossFromRefDB(fsplRefDB, km, road)
 }
 
 // BeamGainDB returns the mmWave beamforming-gain offset for an operator.

@@ -1,0 +1,69 @@
+package ran
+
+import (
+	"testing"
+
+	"wheels/internal/deploy"
+	"wheels/internal/geo"
+	"wheels/internal/radio"
+	"wheels/internal/sim"
+)
+
+// setupFor is testSetup without the *testing.T, shared with benchmarks.
+func setupFor(op radio.Operator) (*geo.Route, *deploy.Deployment, *UE) {
+	route := geo.NewRoute()
+	dep := deploy.New(route, op, sim.NewRNG(23).Stream("deploy"))
+	ue := NewUE(sim.NewRNG(23).Stream("ran-test"), dep)
+	return route, dep, ue
+}
+
+// BenchmarkUEStep times the full per-tick radio loop — availability mask,
+// policy, serving-cell geometry, link fading — at the transport tick width,
+// driving along the route at 60 mph.
+func BenchmarkUEStep(b *testing.B) {
+	route, _, ue := setupFor(radio.TMobile)
+	const dt = 0.02
+	cur := route.Cursor()
+	t, km := 0.0, 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ue.Step(t, dt, km, 60, cur.RoadClassAt(km), cur.TimezoneAt(km), BacklogDL)
+		t += dt
+		km += 60 * geo.KmPerMile / 3600 * dt
+		if km >= route.LengthKm() {
+			km = 0
+			cur = route.Cursor()
+		}
+	}
+}
+
+// TestUEStepSteadyStateAllocationFree pins the no-handover tick at zero
+// heap allocations: once the UE is attached, stepping it in place must not
+// touch the allocator. Handover ticks may allocate (they append events and
+// signaling messages); steady-state ticks are the 98%+ case and must not.
+func TestUEStepSteadyStateAllocationFree(t *testing.T) {
+	_, _, ue := setupFor(radio.TMobile)
+	const (
+		km = 2.0 // inside T-Mobile's LA coverage for seed 23
+		dt = 0.02
+	)
+	road := geo.RoadCity
+	zone := geo.Pacific
+	// Attach (allocates: cell map entry, RRC setup message) before measuring.
+	tm := 0.0
+	ue.Step(tm, dt, km, 0, road, zone, Idle)
+	if _, ok := ue.ServingTech(); !ok {
+		t.Fatalf("UE failed to attach at km %.1f", km)
+	}
+	// 100 runs advance time by 2 s, safely below the 9 s minimum policy
+	// evaluation interval, and the position is fixed, so no handover can
+	// trigger inside the measured window.
+	allocs := testing.AllocsPerRun(100, func() {
+		tm += dt
+		ue.Step(tm, dt, km, 0, road, zone, Idle)
+	})
+	if allocs != 0 {
+		t.Errorf("UE.Step steady-state tick = %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,6 +1,10 @@
 package ran
 
-import "fmt"
+import (
+	"fmt"
+
+	"wheels/internal/deploy"
+)
 
 // MsgType is an RRC control-plane message category, as decoded by tools
 // like XCAL from the UE's diagnostic interface. The simulator emits the
@@ -36,22 +40,33 @@ func (m MsgType) String() string {
 }
 
 // SignalingMsg is one control-plane message with the serving (or target)
-// cell it concerns.
+// cell it concerns. Cells are carried as packed keys on the hot path and
+// rendered to strings only when a log line is actually formatted.
 type SignalingMsg struct {
-	T      float64 // simulation time
-	Type   MsgType
-	Cell   string // cell the message concerns (target cell for HO messages)
-	Detail string
+	T       float64 // simulation time
+	Type    MsgType
+	Cell    deploy.CellKey // cell the message concerns (target cell for HO messages)
+	From    deploy.CellKey // source cell for handover commands
+	HasFrom bool
+	Detail  string
 }
 
 // String renders the message as a log line.
 func (m SignalingMsg) String() string {
+	if m.HasFrom {
+		return fmt.Sprintf("%.3f %s %s %s from %s", m.T, m.Type, m.Cell, m.Detail, m.From)
+	}
 	return fmt.Sprintf("%.3f %s %s %s", m.T, m.Type, m.Cell, m.Detail)
 }
 
 // emit appends a signaling message to the UE's log.
-func (u *UE) emit(t float64, typ MsgType, cell, detail string) {
+func (u *UE) emit(t float64, typ MsgType, cell deploy.CellKey, detail string) {
 	u.msgs = append(u.msgs, SignalingMsg{T: t, Type: typ, Cell: cell, Detail: detail})
+}
+
+// emitFrom is emit with a source cell, used for handover commands.
+func (u *UE) emitFrom(t float64, typ MsgType, cell, from deploy.CellKey, detail string) {
+	u.msgs = append(u.msgs, SignalingMsg{T: t, Type: typ, Cell: cell, From: from, HasFrom: true, Detail: detail})
 }
 
 // TakeSignaling returns and clears the accumulated control-plane messages.

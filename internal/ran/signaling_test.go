@@ -3,6 +3,7 @@ package ran
 import (
 	"testing"
 
+	"wheels/internal/deploy"
 	"wheels/internal/radio"
 )
 
@@ -93,8 +94,14 @@ func TestSignalingStringForms(t *testing.T) {
 			t.Errorf("message type %d has no name", m)
 		}
 	}
-	msg := SignalingMsg{T: 1.5, Type: MsgRRCSetup, Cell: "V-LTE-1"}
-	if msg.String() == "" {
-		t.Error("empty log line")
+	cell := deploy.Cell{Op: radio.Verizon, Tech: radio.LTE, Index: 1}
+	msg := SignalingMsg{T: 1.5, Type: MsgRRCSetup, Cell: cell.Key()}
+	if got, want := msg.String(), "1.500 RRCSetup V-LTE-1 "; got != want {
+		t.Errorf("log line = %q, want %q", got, want)
+	}
+	from := deploy.Cell{Op: radio.Verizon, Tech: radio.NRMid, Index: 2}
+	ho := SignalingMsg{T: 2.5, Type: MsgRRCReconfiguration, Cell: cell.Key(), From: from.Key(), HasFrom: true, Detail: "handover command"}
+	if got, want := ho.String(), "2.500 RRCReconfiguration V-LTE-1 handover command from V-5G-mid-2"; got != want {
+		t.Errorf("handover log line = %q, want %q", got, want)
 	}
 }

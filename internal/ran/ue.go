@@ -94,7 +94,7 @@ type UE struct {
 	Dep *deploy.Deployment
 
 	rng      *sim.RNG
-	links    map[radio.Tech]*radio.Link
+	links    [radio.NumTechs]*radio.Link
 	tech     radio.Tech
 	cell     deploy.Cell
 	attached bool
@@ -102,8 +102,8 @@ type UE struct {
 	nextEval float64
 	events   []HandoverEvent
 	msgs     []SignalingMsg
-	cells    map[string]bool // unique cells camped on
-	wasOut   bool            // last step ended in an outage
+	cells    map[deploy.CellKey]bool // unique cells camped on
+	wasOut   bool                    // last step ended in an outage
 }
 
 // NewUE returns a UE for the operator over the given deployment.
@@ -112,8 +112,7 @@ func NewUE(rng *sim.RNG, dep *deploy.Deployment) *UE {
 		Op:    dep.Op,
 		Dep:   dep,
 		rng:   rng.Stream("ue", dep.Op.String()),
-		links: map[radio.Tech]*radio.Link{},
-		cells: map[string]bool{},
+		cells: map[deploy.CellKey]bool{},
 	}
 	for _, t := range radio.Techs() {
 		u.links[t] = radio.NewLink(u.rng.Stream("link", t.String()), dep.Op, t)
@@ -137,30 +136,28 @@ func (u *UE) ServingTech() (radio.Tech, bool) { return u.tech, u.attached }
 
 // chooseTech runs one policy evaluation: walk the 5G tiers from fastest to
 // slowest, elevating with the traffic- and operator-dependent probability,
-// then fall back to LTE-A/LTE.
-func (u *UE) chooseTech(avail []radio.Tech, tr Traffic, zone geo.Timezone) radio.Tech {
-	has := map[radio.Tech]bool{}
-	for _, t := range avail {
-		has[t] = true
-	}
-	for _, t := range []radio.Tech{radio.NRmmW, radio.NRMid, radio.NRLow} {
-		if has[t] && u.rng.Bool(elevationProb(u.Op, t, tr, zone)) {
+// then fall back to LTE-A/LTE. The availability set arrives as a packed
+// mask so the evaluation draws no memory at all.
+func (u *UE) chooseTech(avail deploy.TechMask, tr Traffic, zone geo.Timezone) radio.Tech {
+	for _, t := range [...]radio.Tech{radio.NRmmW, radio.NRMid, radio.NRLow} {
+		if avail.Has(t) && u.rng.Bool(elevationProb(u.Op, t, tr, zone)) {
 			return t
 		}
 	}
 	switch {
-	case has[radio.LTEA] && has[radio.LTE]:
+	case avail.Has(radio.LTEA) && avail.Has(radio.LTE):
 		if u.rng.Bool(lteaProb(u.Op)) {
 			return radio.LTEA
 		}
 		return radio.LTE
-	case has[radio.LTEA]:
+	case avail.Has(radio.LTEA):
 		return radio.LTEA
-	case has[radio.LTE]:
+	case avail.Has(radio.LTE):
 		return radio.LTE
 	default:
 		// Only 5G is deployed here (rare); take the best of it.
-		return avail[len(avail)-1]
+		best, _ := avail.Best()
+		return best
 	}
 }
 
@@ -172,33 +169,35 @@ func (u *UE) chooseTech(avail []radio.Tech, tr Traffic, zone geo.Timezone) radio
 func (u *UE) handover(t float64, to deploy.Cell, tr Traffic, forced bool) {
 	dur := u.rng.LogNormalMedian(hoDurationMedianMs(u.Op, tr.Direction()), hoDurationSigma) / 1000
 	u.events = append(u.events, HandoverEvent{T: t, DurSec: dur, From: u.cell, To: to, Traffic: tr})
+	key := to.Key()
 	if !forced {
-		u.emit(t, MsgMeasurementReport, to.ID(), "neighbor above threshold")
+		u.emit(t, MsgMeasurementReport, key, "neighbor above threshold")
 	}
-	u.emit(t, MsgRRCReconfiguration, to.ID(), "handover command from "+u.cell.ID())
-	u.emit(t+dur, MsgRRCReconfigurationComplete, to.ID(), "")
+	u.emitFrom(t, MsgRRCReconfiguration, key, u.cell.Key(), "handover command")
+	u.emit(t+dur, MsgRRCReconfigurationComplete, key, "")
 	u.cell = to
 	u.tech = to.Tech
 	u.hoUntil = t + dur
 	u.links[to.Tech].Reset()
-	u.cells[to.ID()] = true
+	u.cells[key] = true
 }
 
 // attach camps the UE on the best policy choice without a handover event
 // (initial attach or service recovery after an outage).
-func (u *UE) attach(t float64, km float64, avail []radio.Tech, tr Traffic, zone geo.Timezone) {
+func (u *UE) attach(t float64, km float64, avail deploy.TechMask, tr Traffic, zone geo.Timezone) {
 	tech := u.chooseTech(avail, tr, zone)
 	cell, _ := u.Dep.CellAt(km, tech)
 	u.cell = cell
 	u.tech = tech
 	u.attached = true
 	u.links[tech].Reset()
-	u.cells[cell.ID()] = true
+	key := cell.Key()
+	u.cells[key] = true
 	u.nextEval = t + u.rng.Uniform(evalMinSec, evalMaxSec)
 	if u.wasOut {
-		u.emit(t, MsgRRCReestablishment, cell.ID(), "service recovered")
+		u.emit(t, MsgRRCReestablishment, key, "service recovered")
 	} else {
-		u.emit(t, MsgRRCSetup, cell.ID(), "initial attach")
+		u.emit(t, MsgRRCSetup, key, "initial attach")
 	}
 }
 
@@ -210,20 +209,24 @@ func (u *UE) attach(t float64, km float64, avail []radio.Tech, tr Traffic, zone 
 // signaling messages generated during warm-up are discarded, and the
 // camped-cell history is reset so UniqueCells counts only measured cells.
 func (u *UE) Warmup(t0, km, mph float64, road geo.RoadClass, zone geo.Timezone, warmSec float64) {
-	for t := t0 - warmSec; t < t0; t++ {
-		u.Step(t, 1, km, mph, road, zone, Idle)
+	for t := t0 - warmSec; t < t0; t += warmupTickSec {
+		u.Step(t, warmupTickSec, km, mph, road, zone, Idle)
 	}
 	u.events = nil
 	u.msgs = nil
-	u.cells = map[string]bool{}
+	u.cells = map[deploy.CellKey]bool{}
 }
+
+// warmupTickSec matches the campaign sample tick so warm-up exercises the
+// link filters at the same cadence measurement will.
+const warmupTickSec = 0.5
 
 // Step advances the UE by dt seconds at the given route position and
 // returns the radio snapshot. The traffic profile drives the elevation
 // policy.
 func (u *UE) Step(t, dt, km, mph float64, road geo.RoadClass, zone geo.Timezone, tr Traffic) Snapshot {
-	avail := u.Dep.Available(km)
-	if len(avail) == 0 {
+	avail := u.Dep.AvailMask(km)
+	if avail == 0 {
 		// Dead zone: out of service entirely.
 		u.attached = false
 		u.wasOut = true
@@ -236,7 +239,7 @@ func (u *UE) Step(t, dt, km, mph float64, road geo.RoadClass, zone geo.Timezone,
 	}
 
 	// Serving technology lost coverage: immediate forced vertical handover.
-	if !u.Dep.HasTech(km, u.tech) {
+	if !avail.Has(u.tech) {
 		tech := u.chooseTech(avail, tr, zone)
 		cell, _ := u.Dep.CellAt(km, tech)
 		u.handover(t, cell, tr, true)
@@ -250,13 +253,18 @@ func (u *UE) Step(t, dt, km, mph float64, road geo.RoadClass, zone geo.Timezone,
 	}
 
 	// Horizontal handover: a same-technology neighbor is meaningfully
-	// closer than the serving cell.
-	spacing := radio.Bands(u.Op, u.tech).CellSpacingKm
-	servDist := math.Hypot(km-u.cell.CenterKm, u.cell.LateralKm)
-	if nearest, nd := u.Dep.CellAt(km, u.tech); nearest.Index != u.cell.Index &&
-		nd < servDist-hoHysteresisFrac*spacing {
-		u.handover(t, nearest, tr, false)
-		servDist = nd
+	// closer than the serving cell. One CellAt lookup covers both the
+	// neighbor probe and the serving distance: when the nearest cell IS the
+	// serving cell their distances coincide, so the serving Hypot is only
+	// computed on the rare ticks where they differ.
+	nearest, nd := u.Dep.CellAt(km, u.tech)
+	servDist := nd
+	if nearest.Index != u.cell.Index {
+		servDist = math.Hypot(km-u.cell.CenterKm, u.cell.LateralKm)
+		if nd < servDist-hoHysteresisFrac*u.Dep.SpacingKm(u.tech) {
+			u.handover(t, nearest, tr, false)
+			servDist = nd
+		}
 	}
 
 	link := u.links[u.tech]

@@ -7,15 +7,11 @@ import (
 	"wheels/internal/deploy"
 	"wheels/internal/geo"
 	"wheels/internal/radio"
-	"wheels/internal/sim"
 )
 
 func testSetup(t *testing.T, op radio.Operator) (*geo.Route, *deploy.Deployment, *UE) {
 	t.Helper()
-	route := geo.NewRoute()
-	dep := deploy.New(route, op, sim.NewRNG(23).Stream("deploy"))
-	ue := NewUE(sim.NewRNG(23).Stream("ran-test"), dep)
-	return route, dep, ue
+	return setupFor(op)
 }
 
 // driveWithProfile steps a UE along the route at 60 mph and returns the

@@ -18,6 +18,15 @@ type GaussMarkov struct {
 	rng   *RNG
 	value float64
 	init  bool
+
+	// Decay-factor memo: simulations step processes at a fixed tick, so the
+	// exp/sqrt pair for (dt, Tau) is cached and recomputed only when either
+	// changes. The cached values are exactly what Step would compute, so
+	// results are bit-identical with or without the memo.
+	memoDt   float64
+	memoTau  float64
+	memoRho  float64
+	memoDiff float64 // sqrt(1 - rho^2)
 }
 
 // NewGaussMarkov returns a process with the given stationary statistics. The
@@ -41,8 +50,13 @@ func (g *GaussMarkov) Step(dt float64) float64 {
 	if dt <= 0 {
 		return v
 	}
-	rho := math.Exp(-dt / g.Tau)
-	g.value = g.Mean + rho*(v-g.Mean) + g.Sigma*math.Sqrt(1-rho*rho)*g.rng.NormFloat64()
+	if dt != g.memoDt || g.Tau != g.memoTau {
+		g.memoDt, g.memoTau = dt, g.Tau
+		g.memoRho = math.Exp(-dt / g.Tau)
+		g.memoDiff = math.Sqrt(1 - g.memoRho*g.memoRho)
+	}
+	rho := g.memoRho
+	g.value = g.Mean + rho*(v-g.Mean) + g.Sigma*g.memoDiff*g.rng.NormFloat64()
 	return g.value
 }
 
