@@ -25,6 +25,9 @@ type Result struct {
 	NsPerOp     float64  `json:"ns_per_op"`
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric units (e.g. the fleet bench's
+	// "seeds/hour" and "live-MB/seed"), keyed by unit string.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -61,7 +64,7 @@ func main() {
 }
 
 // parseLine parses one "BenchmarkName-8  N  X ns/op  [Y B/op  Z allocs/op
-// ...]" line. Custom ReportMetric units are ignored.
+// ...]" line. Custom ReportMetric units land in Metrics.
 func parseLine(line, pkg string) (Result, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 {
@@ -94,6 +97,11 @@ func parseLine(line, pkg string) (Result, bool) {
 		case "allocs/op":
 			v := val
 			r.AllocsPerOp = &v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[fields[i+1]] = val
 		}
 	}
 	if !seenNs {

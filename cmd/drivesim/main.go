@@ -6,7 +6,7 @@
 // Usage:
 //
 //	drivesim [-seed N] [-km N] [-out DIR] [-quick] [-video SEC] [-gaming SEC]
-//	         [-shards N] [-workers N] [-cpuprofile FILE] [-memprofile FILE]
+//	         [-shards N] [-workers N] [-progress] [-cpuprofile FILE] [-memprofile FILE]
 //
 // With no flags it reproduces the paper's full methodology (about a minute
 // of wall time); -quick runs network tests only over the first 200 km.
@@ -35,19 +35,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("drivesim: ")
 	var (
-		seed    = flag.Int64("seed", 23, "campaign random seed")
-		km      = flag.Float64("km", 0, "truncate the campaign to the first N km (0 = full trip)")
-		out     = flag.String("out", "dataset", "output directory for the CSV dataset")
-		quick   = flag.Bool("quick", false, "network tests only, first 200 km")
-		video   = flag.Float64("video", 180, "video session length in seconds")
-		gaming  = flag.Float64("gaming", 60, "gaming session length in seconds")
-		gz      = flag.Bool("gzip", false, "write the dataset gzip-compressed (.csv.gz)")
-		rawDir  = flag.String("rawlogs", "", "also write raw XCAL + app log files per bulk test into this directory")
-		shards  = flag.Int("shards", 1, "split the route into N segments simulated in parallel (1 = serial engine)")
-		workers = flag.Int("workers", 0, "max shard workers running at once (0 = GOMAXPROCS)")
-		verbose = flag.Bool("v", false, "print per-day progress (serial engine only)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the campaign run to this file")
-		memProf = flag.String("memprofile", "", "write a post-run heap profile to this file")
+		seed     = flag.Int64("seed", 23, "campaign random seed")
+		km       = flag.Float64("km", 0, "truncate the campaign to the first N km (0 = full trip)")
+		out      = flag.String("out", "dataset", "output directory for the CSV dataset")
+		quick    = flag.Bool("quick", false, "network tests only, first 200 km")
+		video    = flag.Float64("video", 180, "video session length in seconds")
+		gaming   = flag.Float64("gaming", 60, "gaming session length in seconds")
+		gz       = flag.Bool("gzip", false, "write the dataset gzip-compressed (.csv.gz)")
+		rawDir   = flag.String("rawlogs", "", "also write raw XCAL + app log files per bulk test into this directory")
+		shards   = flag.Int("shards", 1, "split the route into N segments simulated in parallel (1 = serial engine)")
+		workers  = flag.Int("workers", 0, "max shard workers running at once (0 = GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "print a per-day km ticker on stderr (serial engine only)")
+		verbose  = flag.Bool("v", false, "alias for -progress")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the campaign run to this file")
+		memProf  = flag.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	flag.Parse()
 
@@ -59,7 +60,9 @@ func main() {
 	if *quick {
 		cfg = campaign.QuickConfig(*seed, 200)
 	}
-	if *verbose {
+	// campaign.Config.Progress drives the ticker; the fleet CLI prints the
+	// same style of per-unit lines, one per completed seed.
+	if *progress || *verbose {
 		cfg.Progress = func(day int, km, totalKm float64) {
 			fmt.Fprintf(os.Stderr, "  day %d: %.0f/%.0f km\n", day, km, totalKm)
 		}

@@ -1,0 +1,102 @@
+// Command fleet runs the measurement campaign across many seeds and
+// reports which EXPERIMENTS.md shape invariants replicate, with what
+// confidence — the replication-of-the-replication: N full drives instead
+// of one, reduced to per-seed summaries as they finish so memory stays
+// bounded by the worker pool, not the fleet size.
+//
+// Usage:
+//
+//	fleet [-seeds N] [-start-seed S] [-workers W] [-shards K]
+//	      [-checkpoint FILE] [-out FILE] [-html FILE]
+//	      [-quick] [-km N] [-apps=false]
+//
+// With -checkpoint, completed seeds append to FILE as JSON lines; an
+// interrupted fleet re-run with the same flags resumes, skipping the seeds
+// already on disk, and the final report is byte-identical to an
+// uninterrupted run's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"wheels/internal/campaign"
+	"wheels/internal/fleet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fleet: ")
+	var (
+		seeds      = flag.Int("seeds", 5, "number of campaigns (seeds start-seed..start-seed+N-1)")
+		startSeed  = flag.Int64("start-seed", 23, "first campaign seed")
+		workers    = flag.Int("workers", 0, "max campaigns in flight at once (0 = GOMAXPROCS)")
+		shards     = flag.Int("shards", 1, "route shards per campaign (1 = serial engine)")
+		checkpoint = flag.String("checkpoint", "", "JSONL file to append per-seed summaries to and resume from")
+		out        = flag.String("out", "", "write the cross-seed text report to this file (default stdout)")
+		htmlOut    = flag.String("html", "", "also write the report as a self-contained HTML page")
+		quick      = flag.Bool("quick", false, "network tests only, first 200 km per seed")
+		km         = flag.Float64("km", 0, "truncate each campaign to the first N km (0 = full trip)")
+		apps       = flag.Bool("apps", true, "run the four killer apps in each campaign")
+	)
+	flag.Parse()
+
+	base := campaign.DefaultConfig(0) // Seed is set per fleet job
+	base.EnableApps = *apps
+	base.KmLimit = *km
+	if *quick {
+		base = campaign.QuickConfig(0, 200)
+		if *km > 0 {
+			base.KmLimit = *km
+		}
+	}
+
+	start := time.Now()
+	cfg := fleet.Config{
+		Base:       base,
+		StartSeed:  *startSeed,
+		Seeds:      *seeds,
+		Workers:    *workers,
+		Shards:     *shards,
+		Checkpoint: *checkpoint,
+		Progress: func(ev fleet.Event) {
+			state := "done"
+			if ev.Resumed {
+				state = "resumed from checkpoint"
+			}
+			fmt.Fprintf(os.Stderr, "  seed %d %s (%d/%d, shapes %d/%d, %s)\n",
+				ev.Seed, state, ev.Done, ev.Total, ev.ShapesPass, ev.ShapesTotal,
+				time.Since(start).Round(time.Second))
+		},
+	}
+	fmt.Fprintf(os.Stderr, "fleet: %d seeds from %d, %d shard(s) per campaign...\n",
+		*seeds, *startSeed, *shards)
+
+	rep, err := fleet.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	text := rep.RenderText()
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			log.Fatalf("writing report: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "report written to %s\n", *out)
+	} else {
+		fmt.Print(text)
+	}
+	if *htmlOut != "" {
+		html, err := rep.HTML()
+		if err != nil {
+			log.Fatalf("rendering HTML: %v", err)
+		}
+		if err := os.WriteFile(*htmlOut, html, 0o644); err != nil {
+			log.Fatalf("writing HTML: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "HTML report written to %s\n", *htmlOut)
+	}
+}

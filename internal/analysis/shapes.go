@@ -1,0 +1,201 @@
+package analysis
+
+// Shape invariants: the qualitative EXPERIMENTS.md claims — who wins, by
+// roughly what factor, and which bands the medians land in — promoted to a
+// production API. The sharded-engine tests and the multi-seed replication
+// fleet evaluate the same checks, so "does this dataset reproduce the
+// paper's shapes?" has exactly one definition in the codebase.
+//
+// Every check is a pure function of the dataset. Thresholds are the ones
+// the shard contract has always enforced (see README "Sharded execution"):
+// sample-level values move with the seed and the shard count, but these
+// verdicts must not.
+
+import (
+	"fmt"
+	"sort"
+
+	"wheels/internal/dataset"
+	"wheels/internal/radio"
+)
+
+// Shape thresholds. Bands are widened relative to the full-campaign
+// numbers in EXPERIMENTS.md so truncated (multi-hundred-km) runs still
+// carry the claim; see the per-check comments.
+const (
+	// Fig. 3: the driving median collapses to a few percent of static.
+	shapeStaticOverDriving = 5.0
+	// Fig. 11: handovers per driven mile, median in the low single digits.
+	// The paper reports 2-3 over the full route; the band is widened to
+	// 1-4 for truncated segments.
+	shapeHOsPerMileLo = 1.0
+	shapeHOsPerMileHi = 4.0
+	// Fig. 2a: T-Mobile's 5G coverage dwarfs Verizon's and AT&T's...
+	shapeTMobileLead = 1.5
+	// ...while Verizon and AT&T sit in the same band as each other.
+	shapeVzAttBand = 2.5
+)
+
+// ShapeCheck names one invariant. Name is a stable identifier used in
+// fleet checkpoints and EXPERIMENTS.md; renaming one invalidates recorded
+// pass/fail vectors.
+type ShapeCheck struct {
+	Name string
+	Desc string
+}
+
+// ShapeResult is one invariant evaluated against a dataset.
+type ShapeResult struct {
+	Name   string
+	Pass   bool
+	Detail string // the measured quantities behind the verdict
+}
+
+// ShapeChecks lists every shape invariant in evaluation order. The order
+// and names are stable across runs: CheckShapes returns results in exactly
+// this order.
+func ShapeChecks() []ShapeCheck {
+	var checks []ShapeCheck
+	for _, op := range radio.Operators() {
+		checks = append(checks, ShapeCheck{
+			Name: "static-dwarfs-driving/" + op.Short(),
+			Desc: fmt.Sprintf("Fig. 3: %s static DL median ≥ %.0f× driving DL median", op, shapeStaticOverDriving),
+		})
+	}
+	for _, op := range radio.Operators() {
+		checks = append(checks, ShapeCheck{
+			Name: "dl-exceeds-ul-driving/" + op.Short(),
+			Desc: fmt.Sprintf("Fig. 3: %s driving DL median > driving UL median", op),
+		})
+	}
+	for _, op := range radio.Operators() {
+		checks = append(checks, ShapeCheck{
+			Name: "hos-per-mile-band/" + op.Short(),
+			Desc: fmt.Sprintf("Fig. 11: %s HOs/mile median in [%.0f, %.0f]", op, shapeHOsPerMileLo, shapeHOsPerMileHi),
+		})
+	}
+	checks = append(checks,
+		ShapeCheck{
+			Name: "tmobile-5g-leads",
+			Desc: fmt.Sprintf("Fig. 2a: T-Mobile 5G share ≥ %.1f× Verizon and AT&T", shapeTMobileLead),
+		},
+		ShapeCheck{
+			Name: "verizon-att-5g-band",
+			Desc: fmt.Sprintf("Fig. 2a: Verizon and AT&T 5G shares within %.1f× of each other", shapeVzAttBand),
+		},
+	)
+	return checks
+}
+
+// shapeStats is the single pass over the dataset that every check reads.
+type shapeStats struct {
+	driveDLMed map[radio.Operator]float64
+	driveULMed map[radio.Operator]float64
+	staticDL   map[radio.Operator]float64
+	fiveGShare map[radio.Operator]float64 // fraction of driving DL samples on 5G
+	hpmMed     map[radio.Operator]float64 // handovers per driven mile, median per test
+	driveN     map[radio.Operator]int     // driving DL sample count
+	hpmN       map[radio.Operator]int
+}
+
+func computeShapeStats(ds *dataset.Dataset) shapeStats {
+	st := shapeStats{
+		driveDLMed: map[radio.Operator]float64{},
+		driveULMed: map[radio.Operator]float64{},
+		staticDL:   map[radio.Operator]float64{},
+		fiveGShare: map[radio.Operator]float64{},
+		hpmMed:     map[radio.Operator]float64{},
+		driveN:     map[radio.Operator]int{},
+		hpmN:       map[radio.Operator]int{},
+	}
+	for _, op := range radio.Operators() {
+		var driveDL, driveUL, static, hpm []float64
+		five := 0
+		for _, s := range ds.Thr {
+			if s.Op != op {
+				continue
+			}
+			switch {
+			case s.Dir != radio.Downlink:
+				if !s.Static {
+					driveUL = append(driveUL, s.Mbps())
+				}
+			case s.Static:
+				static = append(static, s.Mbps())
+			default:
+				driveDL = append(driveDL, s.Mbps())
+				if s.Tech.Is5G() {
+					five++
+				}
+			}
+		}
+		for _, ts := range ds.Tests {
+			if ts.Op == op && !ts.Static && ts.Miles > 0.05 {
+				hpm = append(hpm, float64(ts.HOCount)/ts.Miles)
+			}
+		}
+		st.driveDLMed[op] = ShapeMedian(driveDL)
+		st.driveULMed[op] = ShapeMedian(driveUL)
+		st.staticDL[op] = ShapeMedian(static)
+		st.hpmMed[op] = ShapeMedian(hpm)
+		st.driveN[op] = len(driveDL)
+		st.hpmN[op] = len(hpm)
+		if len(driveDL) > 0 {
+			st.fiveGShare[op] = float64(five) / float64(len(driveDL))
+		}
+	}
+	return st
+}
+
+// CheckShapes evaluates every shape invariant against the dataset and
+// returns the results in ShapeChecks order. A dataset with no samples for
+// a check fails that check (an empty campaign replicates nothing); it
+// never panics, so reducers may feed it partial or empty per-seed data.
+func CheckShapes(ds *dataset.Dataset) []ShapeResult {
+	st := computeShapeStats(ds)
+	var out []ShapeResult
+	add := func(name string, pass bool, detail string) {
+		out = append(out, ShapeResult{Name: name, Pass: pass, Detail: detail})
+	}
+	for _, op := range radio.Operators() {
+		dm, sm := st.driveDLMed[op], st.staticDL[op]
+		add("static-dwarfs-driving/"+op.Short(),
+			st.driveN[op] > 0 && sm >= shapeStaticOverDriving*dm,
+			fmt.Sprintf("static DL median %.1f vs driving %.1f Mbps", sm, dm))
+	}
+	for _, op := range radio.Operators() {
+		dl, ul := st.driveDLMed[op], st.driveULMed[op]
+		add("dl-exceeds-ul-driving/"+op.Short(),
+			st.driveN[op] > 0 && dl > ul,
+			fmt.Sprintf("driving DL median %.1f vs UL %.1f Mbps", dl, ul))
+	}
+	for _, op := range radio.Operators() {
+		m := st.hpmMed[op]
+		add("hos-per-mile-band/"+op.Short(),
+			st.hpmN[op] > 0 && m >= shapeHOsPerMileLo && m <= shapeHOsPerMileHi,
+			fmt.Sprintf("HOs/mile median %.2f over %d tests", m, st.hpmN[op]))
+	}
+	tm, vz, att := st.fiveGShare[radio.TMobile], st.fiveGShare[radio.Verizon], st.fiveGShare[radio.ATT]
+	add("tmobile-5g-leads",
+		st.driveN[radio.TMobile] > 0 && tm >= shapeTMobileLead*vz && tm >= shapeTMobileLead*att,
+		fmt.Sprintf("5G shares T-Mobile %.2f, Verizon %.2f, AT&T %.2f", tm, vz, att))
+	lo, hi := vz, att
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	add("verizon-att-5g-band",
+		st.driveN[radio.Verizon] > 0 && st.driveN[radio.ATT] > 0 && hi <= shapeVzAttBand*lo,
+		fmt.Sprintf("5G shares Verizon %.2f vs AT&T %.2f", vz, att))
+	return out
+}
+
+// ShapeMedian is the sorted-middle median the shape checks use (0 for an
+// empty slice — callers gate on sample counts, not NaN).
+func ShapeMedian(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), v...)
+	sort.Float64s(c)
+	return c[len(c)/2]
+}

@@ -8,8 +8,8 @@ import (
 	"sort"
 	"testing"
 
+	"wheels/internal/analysis"
 	"wheels/internal/dataset"
-	"wheels/internal/radio"
 )
 
 // exportBytes saves the dataset under a temp dir and returns the
@@ -133,7 +133,10 @@ func TestShardedTestIDsUniqueAndRouteOrdered(t *testing.T) {
 
 // TestShardedMatchesSerialShape checks the EXPERIMENTS.md qualitative
 // invariants on both engines over the same seed: sample-level values differ
-// by construction, but who wins and by roughly what factor must not.
+// by construction, but who wins and by roughly what factor must not. The
+// invariants themselves live in analysis.CheckShapes — the same definition
+// the replication fleet scores seeds against — so the shard contract and
+// the fleet verdicts cannot drift apart.
 func TestShardedMatchesSerialShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-hundred-km campaign pair")
@@ -149,68 +152,12 @@ func TestShardedMatchesSerialShape(t *testing.T) {
 		"serial":  New(cfg).Run(),
 		"sharded": RunSharded(cfg, 4, 0),
 	} {
-		fiveG := map[radio.Operator]float64{}
-		for _, op := range radio.Operators() {
-			drive, static, n, five := []float64{}, []float64{}, 0, 0
-			for _, s := range ds.Thr {
-				if s.Op != op || s.Dir != radio.Downlink {
-					continue
-				}
-				if s.Static {
-					static = append(static, s.Mbps())
-					continue
-				}
-				drive = append(drive, s.Mbps())
-				n++
-				if s.Tech.Is5G() {
-					five++
-				}
+		for _, r := range analysis.CheckShapes(ds) {
+			if !r.Pass {
+				t.Errorf("%s: shape %s failed: %s", name, r.Name, r.Detail)
 			}
-			fiveG[op] = float64(five) / float64(n)
-
-			// Fig. 3: driving median collapses to a few percent of static.
-			dm, sm := shapeMedian(drive), shapeMedian(static)
-			if sm < 5*dm {
-				t.Errorf("%s %v: static DL median %.1f not >> driving %.1f", name, op, sm, dm)
-			}
-
-			// Fig. 11: handovers per driven mile, median in the low single
-			// digits (the paper reports 2-3 over the full route; the band
-			// is widened to 1-4 for the truncated 500 km segment).
-			var hpm []float64
-			for _, ts := range ds.Tests {
-				if ts.Op == op && !ts.Static && ts.Miles > 0.05 {
-					hpm = append(hpm, float64(ts.HOCount)/ts.Miles)
-				}
-			}
-			if m := shapeMedian(hpm); m < 1 || m > 4 {
-				t.Errorf("%s %v: HOs/mile median %.2f outside [1, 4]", name, op, m)
-			}
-		}
-
-		// Fig. 2a: T-Mobile's 5G coverage dwarfs Verizon's and AT&T's, and
-		// Verizon and AT&T sit in the same band as each other.
-		tm, vz, att := fiveG[radio.TMobile], fiveG[radio.Verizon], fiveG[radio.ATT]
-		if tm < 1.5*vz || tm < 1.5*att {
-			t.Errorf("%s: T-Mobile 5G share %.2f not >> Verizon %.2f / AT&T %.2f", name, tm, vz, att)
-		}
-		lo, hi := vz, att
-		if lo > hi {
-			lo, hi = hi, lo
-		}
-		if hi > 2.5*lo {
-			t.Errorf("%s: Verizon %.2f and AT&T %.2f 5G shares not in the same band", name, vz, att)
 		}
 	}
-}
-
-func shapeMedian(v []float64) float64 {
-	if len(v) == 0 {
-		return 0
-	}
-	c := append([]float64(nil), v...)
-	sort.Float64s(c)
-	return c[len(c)/2]
 }
 
 // TestShardedRaceSmoke is the -race exercise for the concurrent machinery:

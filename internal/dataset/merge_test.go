@@ -55,6 +55,31 @@ func TestMergeRenumbered(t *testing.T) {
 	}
 }
 
+// TestMergeRenumberedEmptyParts is the fleet-reducer regression: a seed
+// (or shard) whose campaign yields zero tests of some kind produces an
+// empty-but-non-nil dataset, and the merge must absorb it without
+// panicking or breaking id contiguity — downstream percentile code then
+// sees empty tables, not nils.
+func TestMergeRenumberedEmptyParts(t *testing.T) {
+	empty := &Dataset{Seed: 23}
+	merged := MergeRenumbered(empty, shardPart(23, 2), &Dataset{Seed: 23}, shardPart(23, 1))
+	if merged.Seed != 23 {
+		t.Errorf("merged seed = %d, want 23 (an empty leading shard still carries the seed)", merged.Seed)
+	}
+	want := []int{1, 2, 3}
+	if len(merged.Tests) != len(want) {
+		t.Fatalf("merged %d test summaries, want %d", len(merged.Tests), len(want))
+	}
+	for i, ts := range merged.Tests {
+		if ts.ID != want[i] {
+			t.Fatalf("test id %d = %d, want %d", i, ts.ID, want[i])
+		}
+	}
+	if got := MergeRenumbered(&Dataset{Seed: 7}, &Dataset{Seed: 7}); got.Seed != 7 || got.MaxTestID() != 0 {
+		t.Errorf("all-empty merge = seed %d, max id %d; want 7 and 0", got.Seed, got.MaxTestID())
+	}
+}
+
 func TestShiftTestIDsAndMaxOnEmpty(t *testing.T) {
 	d := &Dataset{}
 	d.ShiftTestIDs(10) // must not panic

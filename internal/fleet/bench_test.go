@@ -1,0 +1,43 @@
+package fleet
+
+import (
+	"runtime"
+	"testing"
+
+	"wheels/internal/campaign"
+)
+
+// BenchmarkFleet runs a reduced three-seed fleet per iteration and reports
+// the two capacity numbers CI tracks in BENCH_fleet.json: seeds/hour
+// (scheduling + reduction throughput) and heap-delta/seed, a peak-RSS
+// proxy showing the dataset really is dropped after reduction.
+func BenchmarkFleet(b *testing.B) {
+	cfg := Config{
+		Base:      campaign.QuickConfig(0, 40),
+		StartSeed: 23,
+		Seeds:     3,
+		Workers:   2,
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	seeds := float64(cfg.Seeds * b.N)
+	b.ReportMetric(seeds/b.Elapsed().Hours(), "seeds/hour")
+	// Live-heap growth across the whole benchmark, amortized per seed: if
+	// datasets leaked past reduction this would be tens of MB, not ~zero.
+	growth := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	if growth < 0 {
+		growth = 0
+	}
+	b.ReportMetric(float64(growth)/seeds/1e6, "live-MB/seed")
+}

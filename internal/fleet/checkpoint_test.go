@@ -1,0 +1,129 @@
+package fleet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleSummary(seed int64) SeedSummary {
+	return SeedSummary{
+		Seed:   seed,
+		Shards: 1,
+		Ops: map[string]OpSummary{
+			"V": {DriveDLMedMbps: 15.7, StaticDLMedMbps: 1290, HOsPerMileMed: 1.9},
+			"T": {DriveDLMedMbps: 20.6, FiveGMileShare: 0.64},
+		},
+		Shapes:     map[string]bool{"tmobile-5g-leads": true, "verizon-att-5g-band": false},
+		ThrSamples: 1234,
+		Tests:      56,
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := map[int64]SeedSummary{}
+	for _, seed := range []int64{23, 24, 25} {
+		sum := sampleSummary(seed)
+		want[seed] = sum
+		line, err := EncodeSummary(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(line)
+	}
+	got, err := ParseCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round trip returned %d summaries, want %d", len(got), len(want))
+	}
+	for seed, sum := range want {
+		g, ok := got[seed]
+		if !ok {
+			t.Fatalf("seed %d lost in round trip", seed)
+		}
+		if g.ThrSamples != sum.ThrSamples || g.Ops["V"] != sum.Ops["V"] ||
+			g.Shapes["tmobile-5g-leads"] != sum.Shapes["tmobile-5g-leads"] {
+			t.Errorf("seed %d round-tripped to %+v", seed, g)
+		}
+	}
+}
+
+func TestCheckpointDecoderTolerance(t *testing.T) {
+	line23, _ := EncodeSummary(sampleSummary(23))
+	dup23, _ := EncodeSummary(SeedSummary{Seed: 23, Shards: 1, ThrSamples: 9999})
+
+	cases := []struct {
+		name  string
+		input string
+		seeds []int64
+	}{
+		{"truncated last line", string(line23) + `{"seed":24,"shards":1,"ops":{"V":{"dri`, []int64{23}},
+		{"duplicate seed keeps first", string(line23) + string(dup23), []int64{23}},
+		{"unknown fields ignored", `{"seed":31,"shards":1,"future_field":{"x":1},"thr_samples":7}` + "\n", []int64{31}},
+		{"blank lines and garbage", "\n\nnot json at all\n" + string(line23) + "\n", []int64{23}},
+		{"json without a seed is not seed 0", `{"shards":1,"thr_samples":5}` + "\n", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseCheckpoint(strings.NewReader(tc.input))
+			if err != nil {
+				t.Fatalf("ParseCheckpoint: %v", err)
+			}
+			if len(got) != len(tc.seeds) {
+				t.Fatalf("decoded %d summaries (%v), want seeds %v", len(got), got, tc.seeds)
+			}
+			for _, seed := range tc.seeds {
+				if _, ok := got[seed]; !ok {
+					t.Errorf("seed %d missing", seed)
+				}
+			}
+			if sum, ok := got[23]; ok && sum.ThrSamples == 9999 {
+				t.Error("duplicate entry overwrote the first occurrence (double-count risk)")
+			}
+		})
+	}
+}
+
+// FuzzParseCheckpoint feeds arbitrary bytes — torn files, binary noise,
+// pathological JSON — through the decoder: it must never panic, never
+// error on content (only on reader failures), and never emit a record
+// without an explicit seed. Seeding includes a valid line so mutations
+// explore the interesting neighborhood.
+func FuzzParseCheckpoint(f *testing.F) {
+	line, _ := EncodeSummary(sampleSummary(23))
+	f.Add(string(line))
+	f.Add(string(line) + string(line[:len(line)/2]))
+	f.Add(`{"seed":1}` + "\n" + `{"seed":1,"thr_samples":2}` + "\n")
+	f.Add("{\"seed\":null}\n[]\n{}\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		got, err := ParseCheckpoint(strings.NewReader(input))
+		if err != nil {
+			t.Fatalf("ParseCheckpoint errored on in-memory input: %v", err)
+		}
+		// Resume must never double-count: re-parsing the same input plus a
+		// duplicate of every decoded record yields the same summaries. The
+		// separating newline mirrors openCheckpointAppend's torn-line repair.
+		var again bytes.Buffer
+		again.WriteString(input)
+		if len(input) > 0 && !strings.HasSuffix(input, "\n") {
+			again.WriteByte('\n')
+		}
+		for _, sum := range got {
+			line, err := EncodeSummary(sum)
+			if err != nil {
+				t.Fatalf("decoded summary does not re-encode: %v", err)
+			}
+			again.Write(line)
+		}
+		got2, err := ParseCheckpoint(&again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got2) != len(got) {
+			t.Fatalf("appending duplicates changed the seed set: %d vs %d", len(got2), len(got))
+		}
+	})
+}

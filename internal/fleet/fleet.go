@@ -1,0 +1,162 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+
+	"wheels/internal/campaign"
+	"wheels/internal/dataset"
+)
+
+// Config scopes a fleet run.
+type Config struct {
+	// Base is the per-seed campaign template. Seed and Progress are
+	// overwritten per job; everything else (km limit, enabled subsystems,
+	// durations) applies to every seed identically — the fleet varies
+	// only the randomness.
+	Base campaign.Config
+
+	StartSeed int64 // first seed; the fleet runs StartSeed..StartSeed+Seeds-1
+	Seeds     int   // number of campaigns
+	Workers   int   // max campaigns in flight at once (0 = GOMAXPROCS)
+	Shards    int   // route shards per campaign (<= 1 = serial engine)
+
+	// Checkpoint, when set, is the JSONL file completed seeds append to
+	// and resume reads from. Seeds already present (with a matching shard
+	// count) are not re-run.
+	Checkpoint string
+
+	// Progress, when non-nil, observes every completed or skipped seed.
+	// It is called from worker goroutines under the fleet's collector
+	// lock: events arrive serialized with monotonically increasing Done.
+	Progress func(Event)
+}
+
+// Event reports one seed's completion to Config.Progress.
+type Event struct {
+	Seed        int64
+	Done, Total int  // completed seeds after this event
+	Resumed     bool // loaded from the checkpoint, not re-run
+	ShapesPass  int  // shape invariants this seed replicated
+	ShapesTotal int
+}
+
+// Run executes the fleet and returns the cross-seed report. The report is
+// a pure function of (Base, StartSeed, Seeds, Shards): worker count,
+// scheduling, kills and checkpoint resumes cannot change a byte of it.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Seeds <= 0 {
+		return nil, fmt.Errorf("fleet: Seeds must be positive, got %d", cfg.Seeds)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+
+	// Resume: adopt checkpointed summaries for seeds in this fleet's range
+	// that were reduced under the same shard count (a different shard
+	// count is a different dataset, hence a different summary).
+	done := map[int64]SeedSummary{}
+	if cfg.Checkpoint != "" {
+		prev, err := LoadCheckpoint(cfg.Checkpoint)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: reading checkpoint: %w", err)
+		}
+		for seed, sum := range prev {
+			if seed >= cfg.StartSeed && seed < cfg.StartSeed+int64(cfg.Seeds) && sum.Shards == shards {
+				done[seed] = sum
+			}
+		}
+	}
+	var ckpt *os.File
+	if cfg.Checkpoint != "" {
+		f, err := openCheckpointAppend(cfg.Checkpoint)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: opening checkpoint: %w", err)
+		}
+		ckpt = f
+		defer ckpt.Close()
+	}
+
+	completed := 0
+	emit := func(sum SeedSummary, resumed bool) {
+		completed++
+		if cfg.Progress == nil {
+			return
+		}
+		pass := 0
+		for _, ok := range sum.Shapes {
+			if ok {
+				pass++
+			}
+		}
+		cfg.Progress(Event{
+			Seed: sum.Seed, Done: completed, Total: cfg.Seeds, Resumed: resumed,
+			ShapesPass: pass, ShapesTotal: len(sum.Shapes),
+		})
+	}
+	// Announce resumed seeds first, in seed order.
+	for seed := cfg.StartSeed; seed < cfg.StartSeed+int64(cfg.Seeds); seed++ {
+		if sum, ok := done[seed]; ok {
+			emit(sum, true)
+		}
+	}
+
+	// The worker pool. Each job owns at most one dataset: campaigns reduce
+	// to a SeedSummary the moment they finish and the dataset becomes
+	// garbage, so peak memory is O(workers), not O(seeds).
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		writeErr error
+	)
+	sem := make(chan struct{}, workers)
+	for seed := cfg.StartSeed; seed < cfg.StartSeed+int64(cfg.Seeds); seed++ {
+		if _, ok := done[seed]; ok {
+			continue
+		}
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cfg.Base
+			c.Seed = seed
+			c.Progress = nil
+			var ds *dataset.Dataset
+			if shards > 1 {
+				ds = campaign.RunSharded(c, shards, 0)
+			} else {
+				ds = campaign.New(c).Run()
+			}
+			sum := Reduce(ds, shards)
+			mu.Lock()
+			defer mu.Unlock()
+			done[seed] = sum
+			if ckpt != nil {
+				if err := appendSummary(ckpt, sum); err != nil && writeErr == nil {
+					writeErr = err
+				}
+			}
+			emit(sum, false)
+		}(seed)
+	}
+	wg.Wait()
+	if writeErr != nil {
+		return nil, fmt.Errorf("fleet: writing checkpoint: %w", writeErr)
+	}
+
+	sums := make([]SeedSummary, 0, len(done))
+	for _, sum := range done {
+		sums = append(sums, sum)
+	}
+	sort.Slice(sums, func(i, j int) bool { return sums[i].Seed < sums[j].Seed })
+	return &Report{StartSeed: cfg.StartSeed, Seeds: cfg.Seeds, Shards: shards, Summaries: sums}, nil
+}

@@ -1,0 +1,189 @@
+package fleet
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wheels/internal/campaign"
+	"wheels/internal/dataset"
+)
+
+// testConfig is a small three-seed fleet over the route's first 40 km.
+func testConfig(checkpoint string) Config {
+	return Config{
+		Base:       campaign.QuickConfig(0, 40),
+		StartSeed:  23,
+		Seeds:      3,
+		Workers:    3,
+		Checkpoint: checkpoint,
+	}
+}
+
+func renderedReport(t *testing.T, cfg Config) string {
+	t.Helper()
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("fleet.Run: %v", err)
+	}
+	return rep.RenderText()
+}
+
+func TestFleetDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := testConfig("")
+	base := renderedReport(t, cfg)
+	cfg.Workers = 1
+	if serial := renderedReport(t, cfg); serial != base {
+		t.Error("worker count changed the rendered fleet report")
+	}
+	if len(base) == 0 || !strings.Contains(base, "seed 23") {
+		t.Fatalf("report looks wrong:\n%s", base)
+	}
+}
+
+// TestFleetCheckpointResume is the crash-resume contract: kill a fleet
+// after some seeds completed (simulated by truncating the checkpoint,
+// including a torn final line), re-run with the same flags, and the final
+// report must be byte-identical while the completed seeds are skipped.
+func TestFleetCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "fleet.jsonl")
+
+	cfg := testConfig(ck)
+	full := renderedReport(t, cfg)
+
+	// The checkpoint now holds all three seeds. Keep the first two lines
+	// and append a torn partial record — the file a mid-write kill leaves.
+	b, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(b), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("checkpoint has %d lines, want >= 3", len(lines))
+	}
+	truncated := lines[0] + lines[1] + `{"seed":25,"shards":1,"ops":{"V":{"drive_dl`
+	if err := os.WriteFile(ck, []byte(truncated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// First resume: the torn seed re-runs and appends after the fragment.
+	if first := renderedReport(t, cfg); first != full {
+		t.Error("first resume after the torn write differs from the uninterrupted run")
+	}
+	// Second resume: all three seeds now load from the repaired checkpoint.
+
+	var events []Event
+	cfg.Progress = func(ev Event) { events = append(events, ev) }
+	resumed := renderedReport(t, cfg)
+	if resumed != full {
+		t.Errorf("resumed report differs from the uninterrupted run:\n--- full ---\n%s\n--- resumed ---\n%s", full, resumed)
+	}
+	reused, reran := 0, 0
+	for _, ev := range events {
+		if ev.Resumed {
+			reused++
+		} else {
+			reran++
+		}
+	}
+	if reused != 3 || reran != 0 {
+		t.Errorf("second resume reused %d and re-ran %d seeds, want 3 and 0 (the first resume repaired the torn line)", reused, reran)
+	}
+
+	// A checkpoint does not change the report vs a checkpoint-free run.
+	if noCk := renderedReport(t, testConfig("")); noCk != full {
+		t.Error("checkpointed and checkpoint-free fleets rendered different reports")
+	}
+}
+
+// TestFleetShardMismatchNotReused: a summary reduced under a different
+// shard count is a different dataset and must not satisfy a resume.
+func TestFleetShardMismatchNotReused(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "fleet.jsonl")
+
+	cfg := testConfig(ck)
+	cfg.Seeds = 1
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Shards = 2
+	var events []Event
+	cfg.Progress = func(ev Event) { events = append(events, ev) }
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if ev.Resumed {
+			t.Errorf("seed %d resumed from a checkpoint written with a different shard count", ev.Seed)
+		}
+	}
+}
+
+func TestFleetShardedSmoke(t *testing.T) {
+	cfg := testConfig("")
+	cfg.Seeds = 1
+	cfg.Shards = 2
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Summaries) != 1 || rep.Summaries[0].ThrSamples == 0 {
+		t.Fatalf("sharded fleet produced %+v", rep.Summaries)
+	}
+	if rep.Summaries[0].Shards != 2 {
+		t.Errorf("summary records %d shards, want 2", rep.Summaries[0].Shards)
+	}
+}
+
+// TestReduceEmptyDataset guards the reducer against a seed whose campaign
+// yields zero tests of some kind: medians must come back zero (never NaN,
+// which would poison the JSON checkpoint) and nothing may panic.
+func TestReduceEmptyDataset(t *testing.T) {
+	for _, ds := range []*dataset.Dataset{
+		{Seed: 99},
+		{Seed: 99, Tests: []dataset.TestSummary{{ID: 1, Miles: 1}}},
+	} {
+		sum := Reduce(ds, 1)
+		if sum.Seed != 99 || sum.Shards != 1 {
+			t.Fatalf("Reduce keyed summary wrong: %+v", sum)
+		}
+		for op, o := range sum.Ops {
+			for name, v := range map[string]float64{
+				"drive DL": o.DriveDLMedMbps, "static DL": o.StaticDLMedMbps,
+				"RTT": o.DriveRTTMedMs, "5G share": o.FiveGMileShare,
+				"HOs/mile": o.HOsPerMileMed, "HO dur": o.HODurMedMs,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("%s %s is %v on an empty dataset", op, name, v)
+				}
+			}
+		}
+		if _, err := json.Marshal(sum); err != nil {
+			t.Errorf("empty-dataset summary does not survive JSON: %v", err)
+		}
+		for _, pass := range sum.Shapes {
+			if pass {
+				t.Error("a shape invariant passed on an empty dataset")
+			}
+		}
+	}
+}
+
+// TestFleetReportEmpty: a fleet whose seeds all failed to load still
+// renders (and HTML-renders) without NaNs or panics.
+func TestFleetReportEmpty(t *testing.T) {
+	rep := &Report{StartSeed: 5, Seeds: 2, Shards: 1}
+	text := rep.RenderText()
+	if !strings.Contains(text, "no completed seeds") {
+		t.Errorf("empty report rendered:\n%s", text)
+	}
+	if _, err := rep.HTML(); err != nil {
+		t.Errorf("empty report HTML: %v", err)
+	}
+}

@@ -1,0 +1,211 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"wheels/internal/analysis"
+	"wheels/internal/radio"
+	"wheels/internal/report"
+	"wheels/internal/sim"
+)
+
+// Report is the cross-seed verdict: for every shape invariant, how many
+// seeds replicated it; for every headline number, the band it moved in.
+// Everything derives from the sorted Summaries slice, so the rendered
+// output is independent of worker scheduling and checkpoint history.
+type Report struct {
+	StartSeed int64
+	Seeds     int
+	Shards    int
+	Summaries []SeedSummary // sorted by seed
+}
+
+// InvariantRate is one shape invariant's replication count across seeds.
+type InvariantRate struct {
+	Name   string
+	Desc   string
+	Passed int
+	Total  int
+}
+
+// Rate returns the replication rate in [0, 1] (0 for an empty fleet).
+func (r InvariantRate) Rate() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Passed) / float64(r.Total)
+}
+
+// ReplicationRates scores every analysis.ShapeChecks invariant across the
+// fleet's seeds, in check order. A summary missing a verdict for a check
+// (a checkpoint written before the check existed) counts as a failure —
+// replication must be demonstrated, not assumed.
+func (r *Report) ReplicationRates() []InvariantRate {
+	var out []InvariantRate
+	for _, c := range analysis.ShapeChecks() {
+		ir := InvariantRate{Name: c.Name, Desc: c.Desc, Total: len(r.Summaries)}
+		for _, s := range r.Summaries {
+			if s.Shapes[c.Name] {
+				ir.Passed++
+			}
+		}
+		out = append(out, ir)
+	}
+	return out
+}
+
+// MetricBand is one headline metric's movement across seeds: the per-seed
+// values in seed order, their median, and a 95% percentile-bootstrap CI of
+// the median (analysis.BootstrapCI across seeds).
+type MetricBand struct {
+	Op     string // operator short name ("V", "T", "A")
+	Metric string
+	Unit   string
+	Values []float64
+	Median float64
+	Lo, Hi float64
+}
+
+// metricDefs names every OpSummary headline field once, in render order.
+var metricDefs = []struct {
+	metric, unit string
+	get          func(OpSummary) float64
+	apps         bool // only rendered when the fleet ran app tests
+}{
+	{"driving DL median", "Mbps", func(o OpSummary) float64 { return o.DriveDLMedMbps }, false},
+	{"driving UL median", "Mbps", func(o OpSummary) float64 { return o.DriveULMedMbps }, false},
+	{"static DL median", "Mbps", func(o OpSummary) float64 { return o.StaticDLMedMbps }, false},
+	{"driving RTT median", "ms", func(o OpSummary) float64 { return o.DriveRTTMedMs }, false},
+	{"5G share of miles", "", func(o OpSummary) float64 { return o.FiveGMileShare }, false},
+	{"high-speed 5G share", "", func(o OpSummary) float64 { return o.HighSpeedShare }, false},
+	{"HOs/mile median", "/mi", func(o OpSummary) float64 { return o.HOsPerMileMed }, false},
+	{"HO duration median", "ms", func(o OpSummary) float64 { return o.HODurMedMs }, false},
+	{"video QoE median", "", func(o OpSummary) float64 { return o.VideoQoEMed }, true},
+	{"gaming bitrate median", "Mbps", func(o OpSummary) float64 { return o.GamingMbpsMed }, true},
+}
+
+// bootstrapResamples sizes the cross-seed CI; seeded per metric, so the
+// bands regenerate bit-identically for a given fleet.
+const bootstrapResamples = 500
+
+// MetricBands returns the per-operator headline bands in a fixed order.
+func (r *Report) MetricBands() []MetricBand {
+	apps := false
+	for _, s := range r.Summaries {
+		if s.AppRuns > 0 {
+			apps = true
+		}
+	}
+	var out []MetricBand
+	for _, op := range radio.Operators() {
+		for _, def := range metricDefs {
+			if def.apps && !apps {
+				continue
+			}
+			band := MetricBand{Op: op.Short(), Metric: def.metric, Unit: def.unit}
+			for _, s := range r.Summaries {
+				band.Values = append(band.Values, def.get(s.Ops[op.Short()]))
+			}
+			band.Median = analysis.MedianStat(band.Values)
+			rng := sim.NewRNG(r.StartSeed).Stream("fleet-bands", op.Short(), def.metric)
+			band.Lo, band.Hi = analysis.BootstrapCI(band.Values, analysis.MedianStat, bootstrapResamples, 0.95, rng)
+			out = append(out, band)
+		}
+	}
+	return out
+}
+
+// seedRange renders "23..27" (or "23" for a single seed).
+func (r *Report) seedRange() string {
+	if r.Seeds == 1 {
+		return fmt.Sprintf("%d", r.StartSeed)
+	}
+	return fmt.Sprintf("%d..%d", r.StartSeed, r.StartSeed+int64(r.Seeds)-1)
+}
+
+// renderRates prints the per-invariant replication table.
+func (r *Report) renderRates() string {
+	var b strings.Builder
+	for _, ir := range r.ReplicationRates() {
+		fmt.Fprintf(&b, "  %-26s %2d/%-2d (%3.0f%%)  %s\n", ir.Name, ir.Passed, ir.Total, 100*ir.Rate(), ir.Desc)
+	}
+	return b.String()
+}
+
+// renderBands prints the headline metric bands grouped by operator.
+func (r *Report) renderBands() string {
+	var b strings.Builder
+	lastOp := ""
+	for _, m := range r.MetricBands() {
+		if m.Op != lastOp {
+			lastOp = m.Op
+			fmt.Fprintf(&b, "  %s:\n", opName(m.Op))
+		}
+		fmt.Fprintf(&b, "    %-22s med=%9.2f  CI=[%8.2f, %8.2f] %s\n", m.Metric, m.Median, m.Lo, m.Hi, m.Unit)
+	}
+	return b.String()
+}
+
+// renderSeeds prints one line per completed seed.
+func (r *Report) renderSeeds() string {
+	var b strings.Builder
+	for _, s := range r.Summaries {
+		pass := 0
+		for _, ok := range s.Shapes {
+			if ok {
+				pass++
+			}
+		}
+		fmt.Fprintf(&b, "  seed %-6d shapes %2d/%-2d  thr=%d rtt=%d tests=%d HOs=%d apps=%d passive=%d\n",
+			s.Seed, pass, len(s.Shapes), s.ThrSamples, s.RTTSamples, s.Tests, s.Handovers, s.AppRuns, s.PassiveSamples)
+	}
+	return b.String()
+}
+
+// RenderText prints the cross-seed report. The output is a pure function
+// of the summaries: re-running, resuming, or reordering workers cannot
+// change a byte.
+func (r *Report) RenderText() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Replication fleet: seeds %s (%d of %d campaigns, %d shard(s) each)\n",
+		r.seedRange(), len(r.Summaries), r.Seeds, r.Shards)
+	if len(r.Summaries) == 0 {
+		b.WriteString("  no completed seeds\n")
+		return b.String()
+	}
+	b.WriteString("\nShape invariant replication:\n" + r.renderRates())
+	b.WriteString("\nHeadline metric bands (median across seeds, 95% bootstrap CI of the median):\n" + r.renderBands())
+	b.WriteString("\nPer-seed shape verdicts (pass/total) and sample counts:\n" + r.renderSeeds())
+	return b.String()
+}
+
+// opName expands an operator short code for display.
+func opName(short string) string {
+	for _, op := range radio.Operators() {
+		if op.Short() == short {
+			return op.String()
+		}
+	}
+	return short
+}
+
+// HTML renders the report as a self-contained page via report.BuildPage.
+func (r *Report) HTML() ([]byte, error) {
+	var sections []report.Section
+	if len(r.Summaries) == 0 {
+		sections = []report.Section{{Title: "Cross-seed replication", Pre: r.RenderText()}}
+	} else {
+		sections = []report.Section{
+			{Title: "Shape invariant replication", Pre: r.renderRates()},
+			{Title: "Headline metric bands", Pre: r.renderBands()},
+			{Title: "Per-seed summaries", Pre: r.renderSeeds()},
+		}
+	}
+	return report.BuildPage(
+		"Replication fleet — cross-seed shape verdicts",
+		fmt.Sprintf("Seeds %s, %d shard(s) per campaign: %d completed summaries.",
+			r.seedRange(), r.Shards, len(r.Summaries)),
+		"Generated by cmd/fleet. Summaries are pure functions of (seed, shards); the report regenerates bit-identically.",
+		sections)
+}

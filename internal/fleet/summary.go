@@ -1,0 +1,146 @@
+// Package fleet runs the campaign many times — seeds s..s+N-1 — over a
+// bounded worker pool and scores how reliably the EXPERIMENTS.md shape
+// invariants replicate across seeds. The source study replicates one drive;
+// the fleet asks the next question: with everything resampled, which of its
+// qualitative claims survive, with what confidence?
+//
+// Memory model: each completed campaign is immediately reduced to a compact
+// SeedSummary (headline medians, coverage shares, handover statistics, app
+// QoE, and the CheckShapes pass/fail vector) and the full dataset is
+// dropped, so a fleet of any size holds at most `workers` datasets at once.
+// Summaries checkpoint to a JSONL file as seeds finish; an interrupted
+// fleet resumes by skipping completed seeds, and because a summary is a
+// pure function of (seed, shards), the resumed report is byte-identical to
+// an uninterrupted run's.
+package fleet
+
+import (
+	"wheels/internal/analysis"
+	"wheels/internal/dataset"
+	"wheels/internal/radio"
+)
+
+// OpSummary is one operator's headline numbers for one seed — the compact
+// projection of the EXPERIMENTS.md per-figure medians.
+type OpSummary struct {
+	DriveDLMedMbps  float64 `json:"drive_dl_med_mbps"`
+	DriveULMedMbps  float64 `json:"drive_ul_med_mbps"`
+	StaticDLMedMbps float64 `json:"static_dl_med_mbps"`
+	DriveRTTMedMs   float64 `json:"drive_rtt_med_ms"`
+	FiveGMileShare  float64 `json:"fiveg_mile_share"`
+	HighSpeedShare  float64 `json:"high_speed_mile_share"`
+	HOsPerMileMed   float64 `json:"hos_per_mile_med"`
+	HODurMedMs      float64 `json:"ho_dur_med_ms"`
+	VideoQoEMed     float64 `json:"video_qoe_med"`
+	GamingMbpsMed   float64 `json:"gaming_mbps_med"`
+	VideoRuns       int     `json:"video_runs"`
+	GamingRuns      int     `json:"gaming_runs"`
+}
+
+// SeedSummary is the per-seed reduction the fleet keeps after dropping the
+// dataset, and the unit record of the checkpoint JSONL file. It is a pure
+// function of (seed, shards): re-running the same seed with the same shard
+// count reproduces the summary bit-for-bit, which is what makes checkpoint
+// resume equivalent to re-execution.
+type SeedSummary struct {
+	Seed   int64 `json:"seed"`
+	Shards int   `json:"shards"`
+
+	Ops    map[string]OpSummary `json:"ops"`    // keyed by radio.Operator.Short()
+	Shapes map[string]bool      `json:"shapes"` // analysis.CheckShapes verdicts
+
+	ThrSamples     int `json:"thr_samples"`
+	RTTSamples     int `json:"rtt_samples"`
+	Tests          int `json:"tests"`
+	Handovers      int `json:"handovers"`
+	AppRuns        int `json:"app_runs"`
+	PassiveSamples int `json:"passive_samples"`
+}
+
+// Reduce collapses a campaign dataset to its SeedSummary. It tolerates
+// empty and partial datasets (a seed whose campaign yields zero tests of
+// some kind): empty slices reduce to zero-valued medians, never NaN — the
+// summary must survive a JSON round-trip through the checkpoint file.
+func Reduce(ds *dataset.Dataset, shards int) SeedSummary {
+	if shards < 1 {
+		shards = 1
+	}
+	sum := SeedSummary{
+		Seed:           ds.Seed,
+		Shards:         shards,
+		Ops:            map[string]OpSummary{},
+		Shapes:         map[string]bool{},
+		ThrSamples:     len(ds.Thr),
+		RTTSamples:     len(ds.RTT),
+		Tests:          len(ds.Tests),
+		Handovers:      len(ds.Handovers),
+		AppRuns:        len(ds.Apps),
+		PassiveSamples: len(ds.Passive),
+	}
+	for _, r := range analysis.CheckShapes(ds) {
+		sum.Shapes[r.Name] = r.Pass
+	}
+
+	mileShare := analysis.ComputeFig2a(ds)
+	for _, op := range radio.Operators() {
+		var driveDL, driveUL, staticDL, rtt, hpm, hoDur, qoe, gaming []float64
+		for _, s := range ds.Thr {
+			if s.Op != op {
+				continue
+			}
+			switch {
+			case s.Dir == radio.Uplink && !s.Static:
+				driveUL = append(driveUL, s.Mbps())
+			case s.Dir == radio.Downlink && s.Static:
+				staticDL = append(staticDL, s.Mbps())
+			case s.Dir == radio.Downlink:
+				driveDL = append(driveDL, s.Mbps())
+			}
+		}
+		for _, s := range ds.RTT {
+			if s.Op == op && !s.Static {
+				rtt = append(rtt, s.Ms)
+			}
+		}
+		for _, t := range ds.Tests {
+			if t.Op == op && !t.Static && t.Miles > 0.05 {
+				hpm = append(hpm, float64(t.HOCount)/t.Miles)
+			}
+		}
+		for _, h := range ds.Handovers {
+			if h.Op == op {
+				hoDur = append(hoDur, h.DurSec*1000)
+			}
+		}
+		videoRuns, gamingRuns := 0, 0
+		for _, a := range ds.Apps {
+			if a.Op != op || a.Static {
+				continue
+			}
+			switch a.App {
+			case dataset.TestVideo:
+				qoe = append(qoe, a.QoE)
+				videoRuns++
+			case dataset.TestGaming:
+				gaming = append(gaming, a.SendBitrate)
+				gamingRuns++
+			}
+		}
+		share := mileShare.Share[op]
+		sum.Ops[op.Short()] = OpSummary{
+			DriveDLMedMbps:  analysis.ShapeMedian(driveDL),
+			DriveULMedMbps:  analysis.ShapeMedian(driveUL),
+			StaticDLMedMbps: analysis.ShapeMedian(staticDL),
+			DriveRTTMedMs:   analysis.ShapeMedian(rtt),
+			FiveGMileShare:  share.FiveG(),
+			HighSpeedShare:  share.HighSpeed(),
+			HOsPerMileMed:   analysis.ShapeMedian(hpm),
+			HODurMedMs:      analysis.ShapeMedian(hoDur),
+			VideoQoEMed:     analysis.ShapeMedian(qoe),
+			GamingMbpsMed:   analysis.ShapeMedian(gaming),
+			VideoRuns:       videoRuns,
+			GamingRuns:      gamingRuns,
+		}
+	}
+	return sum
+}

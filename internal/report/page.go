@@ -1,0 +1,57 @@
+package report
+
+import (
+	"bytes"
+	"html/template"
+)
+
+// Section is one titled block of a report page.
+type Section struct {
+	Title string
+	Pre   string          // preformatted text figure, if any
+	SVGs  []template.HTML // inline charts, if any
+}
+
+var pageTmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+body { font-family: system-ui, sans-serif; max-width: 72rem; margin: 2rem auto; padding: 0 1rem; color: #1a1a1a; }
+h1 { font-size: 1.6rem; } h2 { font-size: 1.2rem; margin-top: 2.2rem; border-bottom: 1px solid #ddd; padding-bottom: .3rem; }
+pre { background: #f6f6f4; padding: .8rem; overflow-x: auto; font-size: .8rem; line-height: 1.35; }
+.charts { display: flex; flex-wrap: wrap; gap: 1rem; }
+.charts svg { border: 1px solid #eee; }
+footer { margin-top: 3rem; color: #777; font-size: .8rem; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+<p>{{.Subtitle}}</p>
+{{range .Sections}}<h2>{{.Title}}</h2>
+{{if .Pre}}<pre>{{.Pre}}</pre>{{end}}
+{{if .SVGs}}<div class="charts">{{range .SVGs}}{{.}}{{end}}</div>{{end}}
+{{end}}
+<footer>{{.Footer}}</footer>
+</body>
+</html>
+`))
+
+type page struct {
+	Title    string
+	Subtitle string
+	Sections []Section
+	Footer   string
+}
+
+// BuildPage renders a self-contained HTML page (no external assets) from
+// titled sections — the shared skeleton of the campaign report and the
+// fleet's cross-seed replication report.
+func BuildPage(title, subtitle, footer string, sections []Section) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := pageTmpl.Execute(&buf, page{Title: title, Subtitle: subtitle, Sections: sections, Footer: footer}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
