@@ -1,0 +1,94 @@
+// Command benchgate compares one metric of one benchmark between two
+// benchjson reports and fails when the current value regresses past a
+// budget. CI runs it against the committed baseline (e.g. BENCH_fleet.json)
+// so a perf regression fails the build instead of silently landing.
+//
+// Usage:
+//
+//	benchgate -name BenchmarkFleetStreaming -metric live-MB/seed \
+//	          -max-regress 20 baseline.json current.json
+//
+// The metric is either a custom `go test -bench` unit published via
+// b.ReportMetric ("seeds/hour", "live-MB/seed", ...) or the built-in
+// "ns/op". Lower is better by default; pass -higher-is-better for
+// throughput-style metrics. A benchmark or metric missing from either file
+// is a failure — a gate that cannot find its number must not pass.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+)
+
+// result mirrors the benchjson Result fields the gate reads.
+type result struct {
+	Name    string             `json:"name"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgate: ")
+	var (
+		name   = flag.String("name", "", "benchmark name to compare (required)")
+		metric = flag.String("metric", "ns/op", "metric unit to compare (custom ReportMetric unit or ns/op)")
+		budget = flag.Float64("max-regress", 20, "maximum allowed regression in percent")
+		higher = flag.Bool("higher-is-better", false, "treat larger values as better (throughput metrics)")
+	)
+	flag.Parse()
+	if *name == "" || flag.NArg() != 2 {
+		log.Fatal("usage: benchgate -name B [-metric U] [-max-regress PCT] [-higher-is-better] baseline.json current.json")
+	}
+
+	base := lookup(flag.Arg(0), *name, *metric)
+	cur := lookup(flag.Arg(1), *name, *metric)
+	if base == 0 {
+		log.Fatalf("%s %s: baseline value is zero, cannot gate", *name, *metric)
+	}
+
+	// Regression percentage, positive when current is worse than baseline.
+	regress := (cur - base) / base * 100
+	if *higher {
+		regress = (base - cur) / base * 100
+	}
+	verdict := "ok"
+	if regress > *budget {
+		verdict = "FAIL"
+	}
+	fmt.Printf("%s %s: baseline %.3f, current %.3f, regression %+.1f%% (budget %.0f%%) %s\n",
+		*name, *metric, base, cur, regress, *budget, verdict)
+	if verdict == "FAIL" {
+		os.Exit(1)
+	}
+}
+
+// lookup reads one benchjson report and returns the named benchmark's
+// metric, exiting when either is missing.
+func lookup(path, name, metric string) float64 {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var results []result
+	if err := json.Unmarshal(data, &results); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	for _, r := range results {
+		if r.Name != name {
+			continue
+		}
+		if metric == "ns/op" {
+			return r.NsPerOp
+		}
+		if v, ok := r.Metrics[metric]; ok {
+			return v
+		}
+		log.Fatalf("%s: benchmark %s has no %q metric", path, name, metric)
+	}
+	log.Fatalf("%s: benchmark %s not found", path, name)
+	return 0
+}

@@ -5,14 +5,18 @@
 //
 // Usage:
 //
-//	drivesim [-seed N] [-km N] [-out DIR] [-quick] [-video SEC] [-gaming SEC]
-//	         [-shards N] [-workers N] [-progress] [-cpuprofile FILE] [-memprofile FILE]
+//	drivesim [-seed N] [-km N] [-out DIR] [-stream-out DIR] [-quick]
+//	         [-video SEC] [-gaming SEC] [-shards N] [-workers N] [-progress]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // With no flags it reproduces the paper's full methodology (about a minute
 // of wall time); -quick runs network tests only over the first 200 km.
 // -shards N splits the route into N segments simulated in parallel; the
 // output is deterministic per (seed, shards) but differs sample-by-sample
 // from the serial dataset (see README "Sharded execution").
+// -stream-out DIR streams records to gzip CSVs as they are produced instead
+// of materializing the dataset, holding only the running summary in memory
+// (see README "Streaming the dataset"); it replaces -out/-gzip.
 // -cpuprofile and -memprofile write pprof profiles covering the campaign
 // run (see README "Profiling the hot path").
 package main
@@ -38,6 +42,7 @@ func main() {
 		seed     = flag.Int64("seed", 23, "campaign random seed")
 		km       = flag.Float64("km", 0, "truncate the campaign to the first N km (0 = full trip)")
 		out      = flag.String("out", "dataset", "output directory for the CSV dataset")
+		stream   = flag.String("stream-out", "", "stream gzip CSVs to this directory without materializing the dataset (replaces -out/-gzip)")
 		quick    = flag.Bool("quick", false, "network tests only, first 200 km")
 		video    = flag.Float64("video", 180, "video session length in seconds")
 		gaming   = flag.Float64("gaming", 60, "gaming session length in seconds")
@@ -81,7 +86,25 @@ func main() {
 
 	rt := geo.NewRoute()
 	var ds *dataset.Dataset
-	if *shards > 1 {
+	var acc *analysis.Accumulator
+	if *stream != "" {
+		w, err := dataset.NewCSVWriter(*stream)
+		if err != nil {
+			log.Fatalf("opening stream output: %v", err)
+		}
+		acc = analysis.NewAccumulator(cfg.Seed)
+		sink := dataset.Tee(w, acc)
+		fmt.Fprintf(os.Stderr, "simulating %s over %.0f km (seed %d, %d shard(s)), streaming to %s...\n",
+			describe(cfg), rt.LengthKm(), cfg.Seed, *shards, *stream)
+		if *shards > 1 {
+			campaign.RunShardedTo(cfg, *shards, *workers, sink)
+		} else {
+			campaign.New(cfg).RunTo(sink)
+		}
+		if err := sink.Flush(); err != nil {
+			log.Fatalf("streaming dataset: %v", err)
+		}
+	} else if *shards > 1 {
 		fmt.Fprintf(os.Stderr, "simulating %s over %.0f km (seed %d, %d shards)...\n",
 			describe(cfg), rt.LengthKm(), cfg.Seed, *shards)
 		ds = campaign.RunSharded(cfg, *shards, *workers)
@@ -104,6 +127,23 @@ func main() {
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			log.Fatalf("writing heap profile: %v", err)
 		}
+	}
+
+	if acc != nil {
+		n := acc.Counts()
+		fmt.Printf("streamed %d throughput, %d RTT, %d handover, %d test, %d app, %d passive records\n",
+			n.Thr, n.RTT, n.Handovers, n.Tests, n.Apps, n.Passive)
+		fmt.Println(acc.Fig2a().Render())
+		results := acc.ShapeResults()
+		pass := 0
+		for _, r := range results {
+			if r.Pass {
+				pass++
+			}
+		}
+		fmt.Printf("shape invariants: %d/%d pass\n", pass, len(results))
+		fmt.Printf("dataset streamed to %s (gzip CSVs)\n", *stream)
+		return
 	}
 
 	save := ds.Save

@@ -7,13 +7,16 @@
 // Usage:
 //
 //	fleet [-seeds N] [-start-seed S] [-workers W] [-shards K]
-//	      [-checkpoint FILE] [-out FILE] [-html FILE]
+//	      [-checkpoint FILE] [-verify-resume] [-out FILE] [-html FILE]
 //	      [-quick] [-km N] [-apps=false]
 //
 // With -checkpoint, completed seeds append to FILE as JSON lines; an
 // interrupted fleet re-run with the same flags resumes, skipping the seeds
 // already on disk, and the final report is byte-identical to an
-// uninterrupted run's.
+// uninterrupted run's. -verify-resume additionally re-runs each resumed
+// seed and warns when its recomputed dataset SHA-256 disagrees with the
+// checkpointed one — the signature of a checkpoint written by different
+// code.
 package main
 
 import (
@@ -36,6 +39,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "max campaigns in flight at once (0 = GOMAXPROCS)")
 		shards     = flag.Int("shards", 1, "route shards per campaign (1 = serial engine)")
 		checkpoint = flag.String("checkpoint", "", "JSONL file to append per-seed summaries to and resume from")
+		verify     = flag.Bool("verify-resume", false, "re-run resumed seeds and warn when the recomputed dataset hash disagrees with the checkpoint (code drift)")
 		out        = flag.String("out", "", "write the cross-seed text report to this file (default stdout)")
 		htmlOut    = flag.String("html", "", "also write the report as a self-contained HTML page")
 		quick      = flag.Bool("quick", false, "network tests only, first 200 km per seed")
@@ -56,20 +60,27 @@ func main() {
 
 	start := time.Now()
 	cfg := fleet.Config{
-		Base:       base,
-		StartSeed:  *startSeed,
-		Seeds:      *seeds,
-		Workers:    *workers,
-		Shards:     *shards,
-		Checkpoint: *checkpoint,
+		Base:         base,
+		StartSeed:    *startSeed,
+		Seeds:        *seeds,
+		Workers:      *workers,
+		Shards:       *shards,
+		Checkpoint:   *checkpoint,
+		VerifyResume: *verify,
 		Progress: func(ev fleet.Event) {
 			state := "done"
 			if ev.Resumed {
 				state = "resumed from checkpoint"
+				if *verify && !ev.HashMismatch {
+					state = "resumed, hash verified"
+				}
 			}
 			fmt.Fprintf(os.Stderr, "  seed %d %s (%d/%d, shapes %d/%d, %s)\n",
 				ev.Seed, state, ev.Done, ev.Total, ev.ShapesPass, ev.ShapesTotal,
 				time.Since(start).Round(time.Second))
+			if ev.HashMismatch {
+				fmt.Fprintf(os.Stderr, "  WARNING: seed %d checkpoint hash disagrees with this build's recomputed dataset hash — the checkpoint was written by different code\n", ev.Seed)
+			}
 		},
 	}
 	fmt.Fprintf(os.Stderr, "fleet: %d seeds from %d, %d shard(s) per campaign...\n",

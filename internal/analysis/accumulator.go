@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"wheels/internal/dataset"
+	"wheels/internal/radio"
+)
+
+// Accumulator is the streaming reduction of a campaign: a dataset.Sink that
+// incrementally gathers everything the shape checks and the fleet's
+// per-seed summary read — per-operator headline metric samples, the
+// mile-weighted technology shares of Fig. 2a, and record counts — so a
+// consumer can score a seed without ever materializing its dataset.
+//
+// Medians are exact, not sketched: the accumulator keeps the raw float
+// values per metric (a few percent of the full record bytes) and sorts at
+// read time, which makes every output bit-identical to the same computation
+// over a materialized Dataset. Records must all be emitted before the
+// first read (Headline, ShapeResults, Fig2a).
+type Accumulator struct {
+	seed int64
+	ops  []opAccum // indexed by operator
+	n    Counts
+}
+
+// opAccum holds one operator's metric samples. Slices append in emission
+// order, so their contents equal the materialized path's filtered slices
+// element for element.
+type opAccum struct {
+	driveDL  []float64 // Mbps, non-static downlink
+	driveUL  []float64 // Mbps, non-static uplink
+	staticDL []float64 // Mbps, static downlink
+	rtt      []float64 // ms, non-static
+	hpm      []float64 // handovers per driven mile, per qualifying test
+	hoDur    []float64 // ms, all handovers
+	qoe      []float64 // video QoE, non-static runs
+	gaming   []float64 // gaming send bitrate Mbps, non-static runs
+
+	fiveDrive             int // 5G samples among driveDL
+	videoRuns, gamingRuns int
+	techMiles             TechShare // non-static samples, mile-weighted
+}
+
+// Counts is the number of records seen per table.
+type Counts struct {
+	Thr, RTT, Tests, Handovers, Apps, Passive int
+}
+
+// OpHeadline is one operator's headline metrics — the streaming equivalent
+// of the per-operator block fleet.Reduce computes from a full dataset.
+type OpHeadline struct {
+	DriveDLMedMbps  float64
+	DriveULMedMbps  float64
+	StaticDLMedMbps float64
+	DriveRTTMedMs   float64
+	FiveGMileShare  float64
+	HighSpeedShare  float64
+	HOsPerMileMed   float64
+	HODurMedMs      float64
+	VideoQoEMed     float64
+	GamingMbpsMed   float64
+	VideoRuns       int
+	GamingRuns      int
+}
+
+// NewAccumulator returns an empty accumulator for the given campaign seed.
+func NewAccumulator(seed int64) *Accumulator {
+	a := &Accumulator{seed: seed, ops: make([]opAccum, radio.NumOperators)}
+	for i := range a.ops {
+		a.ops[i].techMiles = TechShare{}
+	}
+	return a
+}
+
+// Seed returns the campaign seed the accumulator was created for.
+func (a *Accumulator) Seed() int64 { return a.seed }
+
+// Counts returns the per-table record counts seen so far.
+func (a *Accumulator) Counts() Counts { return a.n }
+
+func (a *Accumulator) EmitThr(s dataset.ThroughputSample) {
+	a.n.Thr++
+	op := &a.ops[s.Op]
+	if !s.Static {
+		op.techMiles[s.Tech] += sampleMiles(s.MPH)
+	}
+	switch {
+	case s.Dir == radio.Uplink && !s.Static:
+		op.driveUL = append(op.driveUL, s.Mbps())
+	case s.Dir == radio.Downlink && s.Static:
+		op.staticDL = append(op.staticDL, s.Mbps())
+	case s.Dir == radio.Downlink:
+		op.driveDL = append(op.driveDL, s.Mbps())
+		if s.Tech.Is5G() {
+			op.fiveDrive++
+		}
+	}
+}
+
+func (a *Accumulator) EmitRTT(s dataset.RTTSample) {
+	a.n.RTT++
+	if !s.Static {
+		op := &a.ops[s.Op]
+		op.rtt = append(op.rtt, s.Ms)
+	}
+}
+
+func (a *Accumulator) EmitHandover(h dataset.HandoverRecord) {
+	a.n.Handovers++
+	op := &a.ops[h.Op]
+	op.hoDur = append(op.hoDur, h.DurSec*1000)
+}
+
+func (a *Accumulator) EmitTest(t dataset.TestSummary) {
+	a.n.Tests++
+	if !t.Static && t.Miles > 0.05 {
+		op := &a.ops[t.Op]
+		op.hpm = append(op.hpm, float64(t.HOCount)/t.Miles)
+	}
+}
+
+func (a *Accumulator) EmitApp(r dataset.AppRun) {
+	a.n.Apps++
+	if r.Static {
+		return
+	}
+	op := &a.ops[r.Op]
+	switch r.App {
+	case dataset.TestVideo:
+		op.qoe = append(op.qoe, r.QoE)
+		op.videoRuns++
+	case dataset.TestGaming:
+		op.gaming = append(op.gaming, r.SendBitrate)
+		op.gamingRuns++
+	}
+}
+
+func (a *Accumulator) EmitPassive(dataset.PassiveSample) { a.n.Passive++ }
+
+func (a *Accumulator) Flush() error { return nil }
+
+// Fig2a returns the mile-weighted technology shares, identical to
+// ComputeFig2a over the materialized dataset.
+func (a *Accumulator) Fig2a() Fig2a {
+	out := Fig2a{Share: map[radio.Operator]TechShare{}}
+	for _, op := range radio.Operators() {
+		out.Share[op] = normalize(a.ops[op].techMiles)
+	}
+	return out
+}
+
+// Headline returns the operator's headline metrics. Empty metrics are
+// zero-valued, never NaN, exactly as the materialized reduction behaves.
+func (a *Accumulator) Headline(op radio.Operator) OpHeadline {
+	o := &a.ops[op]
+	share := normalize(o.techMiles)
+	return OpHeadline{
+		DriveDLMedMbps:  ShapeMedian(o.driveDL),
+		DriveULMedMbps:  ShapeMedian(o.driveUL),
+		StaticDLMedMbps: ShapeMedian(o.staticDL),
+		DriveRTTMedMs:   ShapeMedian(o.rtt),
+		FiveGMileShare:  share.FiveG(),
+		HighSpeedShare:  share.HighSpeed(),
+		HOsPerMileMed:   ShapeMedian(o.hpm),
+		HODurMedMs:      ShapeMedian(o.hoDur),
+		VideoQoEMed:     ShapeMedian(o.qoe),
+		GamingMbpsMed:   ShapeMedian(o.gaming),
+		VideoRuns:       o.videoRuns,
+		GamingRuns:      o.gamingRuns,
+	}
+}
+
+// ShapeResults evaluates every shape invariant against the accumulated
+// records, in ShapeChecks order. CheckShapes is this over a replayed
+// dataset.
+func (a *Accumulator) ShapeResults() []ShapeResult {
+	st := shapeStats{
+		driveDLMed: map[radio.Operator]float64{},
+		driveULMed: map[radio.Operator]float64{},
+		staticDL:   map[radio.Operator]float64{},
+		fiveGShare: map[radio.Operator]float64{},
+		hpmMed:     map[radio.Operator]float64{},
+		driveN:     map[radio.Operator]int{},
+		hpmN:       map[radio.Operator]int{},
+	}
+	for _, op := range radio.Operators() {
+		o := &a.ops[op]
+		st.driveDLMed[op] = ShapeMedian(o.driveDL)
+		st.driveULMed[op] = ShapeMedian(o.driveUL)
+		st.staticDL[op] = ShapeMedian(o.staticDL)
+		st.hpmMed[op] = ShapeMedian(o.hpm)
+		st.driveN[op] = len(o.driveDL)
+		st.hpmN[op] = len(o.hpm)
+		if len(o.driveDL) > 0 {
+			st.fiveGShare[op] = float64(o.fiveDrive) / float64(len(o.driveDL))
+		}
+	}
+	return evalShapes(st)
+}

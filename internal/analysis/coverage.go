@@ -34,18 +34,22 @@ func (s TechShare) render() string {
 // sampleMiles is the distance represented by one 500 ms driving sample.
 func sampleMiles(mph float64) float64 { return mph * 0.5 / 3600 }
 
-// normalize converts accumulated weights to fractions.
+// normalize converts accumulated weights to fractions. It iterates in
+// radio.Techs order, not map order, so the float sum — and therefore the
+// last bits of every share — is deterministic across runs.
 func normalize(w TechShare) TechShare {
 	var total float64
-	for _, v := range w {
-		total += v
+	for _, t := range radio.Techs() {
+		total += w[t]
 	}
 	if total == 0 {
 		return w
 	}
 	out := TechShare{}
-	for k, v := range w {
-		out[k] = v / total
+	for _, t := range radio.Techs() {
+		if v, ok := w[t]; ok {
+			out[t] = v / total
+		}
 	}
 	return out
 }

@@ -87,7 +87,8 @@ func ShapeChecks() []ShapeCheck {
 	return checks
 }
 
-// shapeStats is the single pass over the dataset that every check reads.
+// shapeStats is the reduced view every check reads. The Accumulator builds
+// it incrementally; CheckShapes builds it by replaying a dataset.
 type shapeStats struct {
 	driveDLMed map[radio.Operator]float64
 	driveULMed map[radio.Operator]float64
@@ -98,61 +99,20 @@ type shapeStats struct {
 	hpmN       map[radio.Operator]int
 }
 
-func computeShapeStats(ds *dataset.Dataset) shapeStats {
-	st := shapeStats{
-		driveDLMed: map[radio.Operator]float64{},
-		driveULMed: map[radio.Operator]float64{},
-		staticDL:   map[radio.Operator]float64{},
-		fiveGShare: map[radio.Operator]float64{},
-		hpmMed:     map[radio.Operator]float64{},
-		driveN:     map[radio.Operator]int{},
-		hpmN:       map[radio.Operator]int{},
-	}
-	for _, op := range radio.Operators() {
-		var driveDL, driveUL, static, hpm []float64
-		five := 0
-		for _, s := range ds.Thr {
-			if s.Op != op {
-				continue
-			}
-			switch {
-			case s.Dir != radio.Downlink:
-				if !s.Static {
-					driveUL = append(driveUL, s.Mbps())
-				}
-			case s.Static:
-				static = append(static, s.Mbps())
-			default:
-				driveDL = append(driveDL, s.Mbps())
-				if s.Tech.Is5G() {
-					five++
-				}
-			}
-		}
-		for _, ts := range ds.Tests {
-			if ts.Op == op && !ts.Static && ts.Miles > 0.05 {
-				hpm = append(hpm, float64(ts.HOCount)/ts.Miles)
-			}
-		}
-		st.driveDLMed[op] = ShapeMedian(driveDL)
-		st.driveULMed[op] = ShapeMedian(driveUL)
-		st.staticDL[op] = ShapeMedian(static)
-		st.hpmMed[op] = ShapeMedian(hpm)
-		st.driveN[op] = len(driveDL)
-		st.hpmN[op] = len(hpm)
-		if len(driveDL) > 0 {
-			st.fiveGShare[op] = float64(five) / float64(len(driveDL))
-		}
-	}
-	return st
+// CheckShapes evaluates every shape invariant against the dataset and
+// returns the results in ShapeChecks order, by replaying the dataset
+// through an Accumulator — the materialized and streaming paths share one
+// definition of every check. A dataset with no samples for a check fails
+// that check (an empty campaign replicates nothing); it never panics, so
+// reducers may feed it partial or empty per-seed data.
+func CheckShapes(ds *dataset.Dataset) []ShapeResult {
+	acc := NewAccumulator(ds.Seed)
+	ds.EmitTo(acc)
+	return acc.ShapeResults()
 }
 
-// CheckShapes evaluates every shape invariant against the dataset and
-// returns the results in ShapeChecks order. A dataset with no samples for
-// a check fails that check (an empty campaign replicates nothing); it
-// never panics, so reducers may feed it partial or empty per-seed data.
-func CheckShapes(ds *dataset.Dataset) []ShapeResult {
-	st := computeShapeStats(ds)
+// evalShapes turns the reduced stats into verdicts, in ShapeChecks order.
+func evalShapes(st shapeStats) []ShapeResult {
 	var out []ShapeResult
 	add := func(name string, pass bool, detail string) {
 		out = append(out, ShapeResult{Name: name, Pass: pass, Detail: detail})

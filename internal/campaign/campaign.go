@@ -110,8 +110,30 @@ type Campaign struct {
 	startKm float64
 	stopKm  float64
 
-	ds     *dataset.Dataset
+	// sink receives every record as it is produced. Run wires a Collector
+	// here; RunTo wires the caller's sink.
+	sink   dataset.Sink
 	nextID int
+}
+
+// traceTrailSec is how much trace time a KmLimit-bounded campaign keeps
+// past the sample where the limit is reached. The cycle loop stops at the
+// first sample at or beyond the limit, and no test or logger looks further
+// ahead than one round-robin cycle (~600 s with apps enabled); an hour of
+// trail is an order of magnitude of slack. Truncating the rest drops the
+// dominant allocation of short campaigns — the full 8-day 1 Hz trace.
+const traceTrailSec = 3600
+
+// newTrace simulates the drive and truncates the trace to the campaign's
+// KmLimit (plus trail) when one is set. Truncation happens before any
+// consumer sees the trace, so serial, shard, and fleet runs over the same
+// (seed, KmLimit) observe identical samples.
+func newTrace(route *geo.Route, rng *sim.RNG, cfg Config) *geo.Trace {
+	tr := geo.Drive(route, rng.Stream("drive"))
+	if cfg.KmLimit > 0 {
+		tr.TruncateAfterKm(cfg.KmLimit, traceTrailSec)
+	}
+	return tr
 }
 
 // New builds the testbed: route, drive trace, three deployments, three test
@@ -122,10 +144,9 @@ func New(cfg Config) *Campaign {
 	c := &Campaign{
 		Cfg:   cfg,
 		Route: route,
-		Trace: geo.Drive(route, rng.Stream("drive")),
+		Trace: newTrace(route, rng, cfg),
 		Reg:   servers.NewRegistry(route),
 		rng:   rng,
-		ds:    &dataset.Dataset{Seed: cfg.Seed},
 	}
 	for _, op := range radio.Operators() {
 		dep := deploy.New(route, op, rng.Stream("deploy"))
@@ -138,9 +159,6 @@ func New(cfg Config) *Campaign {
 	}
 	return c
 }
-
-// Dataset returns the dataset collected so far.
-func (c *Campaign) Dataset() *dataset.Dataset { return c.ds }
 
 // warmup settles a shard worker's fresh UEs by letting them camp idle at
 // the shard's first route position for warmupSec before measurements start.
@@ -215,10 +233,24 @@ func (c *Campaign) endKm() float64 {
 	return end
 }
 
-// Run executes the campaign over its route segment (the whole route for a
-// serial campaign, the shard's [startKm, stopKm) for a shard worker) and
-// returns the dataset.
+// Run executes the campaign and returns the materialized dataset. It is
+// RunTo into a Collector and exists for consumers that genuinely need the
+// whole dataset at once (figures, what-if analyses); streaming consumers
+// should use RunTo.
 func (c *Campaign) Run() *dataset.Dataset {
+	col := dataset.NewCollector(c.Cfg.Seed)
+	c.RunTo(col)
+	return col.Dataset()
+}
+
+// RunTo executes the campaign over its route segment (the whole route for a
+// serial campaign, the shard's [startKm, stopKm) for a shard worker),
+// emitting every record into sink as it is produced. Records of one table
+// arrive in the same order Run appends them, so a Collector sink reproduces
+// Run's dataset byte-for-byte. RunTo does not call sink.Flush — the sink's
+// owner does, after all campaigns feeding it have finished.
+func (c *Campaign) RunTo(sink dataset.Sink) {
+	c.sink = sink
 	c.warmup()
 	if c.Cfg.EnablePassive {
 		c.runPassiveLoggers()
@@ -275,15 +307,16 @@ func (c *Campaign) Run() *dataset.Dataset {
 		// carriers is what enables the Fig. 6 pairwise analysis).
 		t = c.runCycle(t)
 	}
-	return c.ds
 }
 
 // fanOut runs one test phase on all three phones concurrently — the real
 // testbed's phones ran simultaneously in the same vehicle. Each phone owns
 // its RNG streams and UE state, so the parallel execution is deterministic;
-// results collect into per-phone sinks and merge in fixed operator order.
-func (c *Campaign) fanOut(run func(sink *dataset.Dataset, id int, ph *phone)) {
-	sinks := make([]dataset.Dataset, len(c.phones))
+// results collect into per-phone Collector sinks and replay into the
+// campaign sink in fixed operator order. One phase holds at most one test's
+// records per phone, so the buffering stays O(cycle), not O(campaign).
+func (c *Campaign) fanOut(run func(sink dataset.Sink, id int, ph *phone)) {
+	sinks := make([]dataset.Collector, len(c.phones))
 	// Test ids are allocated before the goroutines start, in operator
 	// order, so the dataset is identical to a sequential run.
 	ids := make([]int, len(c.phones))
@@ -299,12 +332,10 @@ func (c *Campaign) fanOut(run func(sink *dataset.Dataset, id int, ph *phone)) {
 		}(i, ph)
 	}
 	wg.Wait()
+	// Replaying each phone's tables in operator order preserves the exact
+	// per-table append order of the pre-streaming merge.
 	for i := range sinks {
-		c.ds.Thr = append(c.ds.Thr, sinks[i].Thr...)
-		c.ds.RTT = append(c.ds.RTT, sinks[i].RTT...)
-		c.ds.Handovers = append(c.ds.Handovers, sinks[i].Handovers...)
-		c.ds.Tests = append(c.ds.Tests, sinks[i].Tests...)
-		c.ds.Apps = append(c.ds.Apps, sinks[i].Apps...)
+		sinks[i].D.EmitTo(c.sink)
 	}
 }
 
@@ -312,20 +343,20 @@ func (c *Campaign) fanOut(run func(sink *dataset.Dataset, id int, ph *phone)) {
 // at which the next cycle may begin.
 func (c *Campaign) runCycle(t float64) float64 {
 	cfg := c.Cfg
-	c.fanOut(func(sink *dataset.Dataset, id int, ph *phone) {
+	c.fanOut(func(sink dataset.Sink, id int, ph *phone) {
 		c.runBulk(sink, id, ph, t, radio.Downlink, false, nil)
 	})
 	t += cfg.BulkSec + cfg.GapSec
-	c.fanOut(func(sink *dataset.Dataset, id int, ph *phone) {
+	c.fanOut(func(sink dataset.Sink, id int, ph *phone) {
 		c.runBulk(sink, id, ph, t, radio.Uplink, false, nil)
 	})
 	t += cfg.BulkSec + cfg.GapSec
-	c.fanOut(func(sink *dataset.Dataset, id int, ph *phone) {
+	c.fanOut(func(sink dataset.Sink, id int, ph *phone) {
 		c.runRTT(sink, id, ph, t, false, nil)
 	})
 	t += cfg.RTTSec + cfg.GapSec
 	if cfg.EnableSpeedTest {
-		c.fanOut(func(sink *dataset.Dataset, id int, ph *phone) {
+		c.fanOut(func(sink dataset.Sink, id int, ph *phone) {
 			c.runSpeedTest(sink, id, ph, t)
 		})
 		t += speedTestSec + cfg.GapSec

@@ -2,7 +2,6 @@ package campaign
 
 import (
 	"runtime"
-	"sync"
 
 	"wheels/internal/dataset"
 	"wheels/internal/deploy"
@@ -38,7 +37,7 @@ func newSharedTestbed(cfg Config) *sharedTestbed {
 	route := geo.NewRoute()
 	sh := &sharedTestbed{
 		route: route,
-		trace: geo.Drive(route, rng.Stream("drive")),
+		trace: newTrace(route, rng, cfg),
 		reg:   servers.NewRegistry(route),
 		deps:  make([]*deploy.Deployment, radio.NumOperators),
 	}
@@ -65,7 +64,6 @@ func newShardWorker(cfg Config, sh *sharedTestbed, shard int, startKm, stopKm fl
 		rng:     rng,
 		startKm: startKm,
 		stopKm:  stopKm,
-		ds:      &dataset.Dataset{Seed: cfg.Seed},
 	}
 	for _, op := range radio.Operators() {
 		dep := sh.deps[op]
@@ -93,8 +91,22 @@ func newShardWorker(cfg Config, sh *sharedTestbed, shard int, startKm, stopKm fl
 //
 // cfg.Progress is ignored: per-day progress reporting is inherently serial.
 func RunSharded(cfg Config, shards, workers int) *dataset.Dataset {
+	col := dataset.NewCollector(cfg.Seed)
+	RunShardedTo(cfg, shards, workers, col)
+	return col.Dataset()
+}
+
+// RunShardedTo is the streaming form of RunSharded: shard workers still
+// materialize their own route segment (a shard must finish before its
+// records may follow the previous shard's), but the merged stream flows
+// into sink through a Renumber wrapper as each shard completes, and each
+// shard's buffer is released as soon as it has been replayed. Live memory
+// is therefore O(in-flight shards), not O(campaign). Like RunTo it does not
+// call sink.Flush; the sink's owner does.
+func RunShardedTo(cfg Config, shards, workers int, sink dataset.Sink) {
 	if shards <= 1 {
-		return New(cfg).Run()
+		New(cfg).RunTo(sink)
+		return
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -105,20 +117,27 @@ func RunSharded(cfg Config, shards, workers int) *dataset.Dataset {
 		end = cfg.KmLimit
 	}
 
-	parts := make([]*dataset.Dataset, shards)
+	parts := make([]chan *dataset.Dataset, shards)
+	for i := range parts {
+		parts[i] = make(chan *dataset.Dataset, 1)
+	}
 	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
 	for i := 0; i < shards; i++ {
-		wg.Add(1)
 		go func(i int) {
-			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			startKm := end * float64(i) / float64(shards)
 			stopKm := end * float64(i+1) / float64(shards)
-			parts[i] = newShardWorker(cfg, sh, i, startKm, stopKm).Run()
+			parts[i] <- newShardWorker(cfg, sh, i, startKm, stopKm).Run()
 		}(i)
 	}
-	wg.Wait()
-	return dataset.MergeRenumbered(parts...)
+	// Consume in shard order: route order for the output stream, and the
+	// same renumbering MergeRenumbered applies, so a Collector sink here
+	// reproduces RunSharded's dataset byte-for-byte.
+	renum := dataset.NewRenumber(sink)
+	for i := range parts {
+		p := <-parts[i]
+		p.EmitTo(renum)
+		renum.Advance()
+	}
 }

@@ -27,7 +27,7 @@ func utc(t float64) time.Time { return sim.TripStart.UTC().Add(secs(t)) }
 
 // runBulk runs one nuttcp-style bulk transfer and records its samples,
 // KPI-joined rows, handovers, and the per-test summary.
-func (c *Campaign) runBulk(sink *dataset.Dataset, id int, ph *phone, t float64, dir radio.Direction, static bool, st *staticState) {
+func (c *Campaign) runBulk(sink dataset.Sink, id int, ph *phone, t float64, dir radio.Direction, static bool, st *staticState) {
 	profile := ran.BacklogDL
 	kind := dataset.TestBulkDL
 	if dir == radio.Uplink {
@@ -49,14 +49,14 @@ func (c *Campaign) runBulk(sink *dataset.Dataset, id int, ph *phone, t float64, 
 		if dir == radio.Uplink {
 			cc = r.ccUL
 		}
-		sink.Thr = append(sink.Thr, dataset.ThroughputSample{
+		sink.EmitThr(dataset.ThroughputSample{
 			TestID: a.testID, Op: ph.op, Dir: dir, TimeUTC: utc(r.t), Bps: res.SamplesBps[i],
 			Tech: r.tech, RSRPdBm: r.rsrp, SINRdB: r.sinr, MCS: r.mcs, BLER: r.bler, CC: cc,
 			MPH: r.mph, Km: r.km, Zone: cur.TimezoneAt(r.km), Road: cur.RoadClassAt(r.km),
 			Server: a.server.Kind, Static: static, HOs: r.hos,
 		})
 	}
-	sink.Handovers = append(sink.Handovers, a.hoRecs...)
+	emitHandovers(sink, a.hoRecs)
 
 	if c.Cfg.RawLogDir != "" {
 		if err := c.exportRaw(a, string(kind), t, res.SamplesBps, n); err != nil {
@@ -78,11 +78,18 @@ func (c *Campaign) runBulk(sink *dataset.Dataset, id int, ph *phone, t float64, 
 	} else {
 		sum.TxBytes = res.DeliveredBytes
 	}
-	sink.Tests = append(sink.Tests, sum)
+	sink.EmitTest(sum)
+}
+
+// emitHandovers streams an adapter's handover records into the sink.
+func emitHandovers(sink dataset.Sink, recs []dataset.HandoverRecord) {
+	for _, h := range recs {
+		sink.EmitHandover(h)
+	}
 }
 
 // runRTT runs one ping test (one echo per 200 ms) and records each sample.
-func (c *Campaign) runRTT(sink *dataset.Dataset, id int, ph *phone, t float64, static bool, st *staticState) {
+func (c *Campaign) runRTT(sink dataset.Sink, id int, ph *phone, t float64, static bool, st *staticState) {
 	a := c.newAdapter(id, ph, t, ran.RTTProbe, radio.Downlink, st)
 	const interval = 0.2
 	var samples []float64
@@ -95,14 +102,14 @@ func (c *Campaign) runRTT(sink *dataset.Dataset, id int, ph *phone, t float64, s
 				continue
 			}
 			samples = append(samples, rtt)
-			sink.RTT = append(sink.RTT, dataset.RTTSample{
+			sink.EmitRTT(dataset.RTTSample{
 				TestID: a.testID, Op: ph.op, TimeUTC: utc(a.t), Ms: rtt, Tech: a.last.Tech,
 				MPH: a.lastS.MPH, Km: a.lastS.Km, Zone: a.lastS.Zone, Server: a.server.Kind,
 				Static: static,
 			})
 		}
 	}
-	sink.Handovers = append(sink.Handovers, a.hoRecs...)
+	emitHandovers(sink, a.hoRecs)
 
 	mean, stdFrac := meanStdFrac(samples)
 	sum := dataset.TestSummary{
@@ -114,7 +121,7 @@ func (c *Campaign) runRTT(sink *dataset.Dataset, id int, ph *phone, t float64, s
 	if !static {
 		sum.Miles = c.Trace.MilesBetween(t, t+c.Cfg.RTTSec)
 	}
-	sink.Tests = append(sink.Tests, sum)
+	sink.EmitTest(sum)
 }
 
 func meanStdFrac(v []float64) (mean, stdFrac float64) {
@@ -169,11 +176,11 @@ const speedTestSec = 15.0
 // runSpeedTest runs the Table 3 extension: an 8-connection peak-seeking
 // downlink test to the nearest server, on the same radio state the nuttcp
 // tests use. The reported "peak" lands in MeanBps of a TestSpeed summary.
-func (c *Campaign) runSpeedTest(sink *dataset.Dataset, id int, ph *phone, t float64) {
+func (c *Campaign) runSpeedTest(sink dataset.Sink, id int, ph *phone, t float64) {
 	a := c.newAdapter(id, ph, t, ran.BacklogDL, radio.Downlink, nil)
 	res := transport.RunSpeedTest(pathAdapter{a}, speedTestSec, transport.SpeedTestConns)
-	sink.Handovers = append(sink.Handovers, a.hoRecs...)
-	sink.Tests = append(sink.Tests, dataset.TestSummary{
+	emitHandovers(sink, a.hoRecs)
+	sink.EmitTest(dataset.TestSummary{
 		ID: a.testID, Op: ph.op, Kind: dataset.TestSpeed, Dir: radio.Downlink, StartUTC: utc(t),
 		DurSec: speedTestSec, Zone: a.lastS.Zone, Server: a.server.Kind,
 		MeanBps:       res.PeakBps,
@@ -189,27 +196,27 @@ func (c *Campaign) runAppBattery(t float64) float64 {
 	cfg := c.Cfg
 	for _, compressed := range []bool{false, true} {
 		compressed := compressed
-		c.fanOut(func(sink *dataset.Dataset, id int, ph *phone) {
+		c.fanOut(func(sink dataset.Sink, id int, ph *phone) {
 			c.runOffload(sink, id, ph, t, offload.ARConfig(), dataset.TestAR, compressed)
 		})
 		t += offload.ARConfig().DurSec + cfg.GapSec
-		c.fanOut(func(sink *dataset.Dataset, id int, ph *phone) {
+		c.fanOut(func(sink dataset.Sink, id int, ph *phone) {
 			c.runOffload(sink, id, ph, t, offload.CAVConfig(), dataset.TestCAV, compressed)
 		})
 		t += offload.CAVConfig().DurSec + cfg.GapSec
 	}
-	c.fanOut(func(sink *dataset.Dataset, id int, ph *phone) { c.runVideo(sink, id, ph, t) })
+	c.fanOut(func(sink dataset.Sink, id int, ph *phone) { c.runVideo(sink, id, ph, t) })
 	t += cfg.VideoSec + cfg.GapSec
-	c.fanOut(func(sink *dataset.Dataset, id int, ph *phone) { c.runGaming(sink, id, ph, t) })
+	c.fanOut(func(sink dataset.Sink, id int, ph *phone) { c.runGaming(sink, id, ph, t) })
 	t += cfg.GamingSec + cfg.GapSec
 	return t
 }
 
-func (c *Campaign) runOffload(sink *dataset.Dataset, id int, ph *phone, t float64, appCfg offload.Config, kind dataset.TestKind, compressed bool) {
+func (c *Campaign) runOffload(sink dataset.Sink, id int, ph *phone, t float64, appCfg offload.Config, kind dataset.TestKind, compressed bool) {
 	a := c.newAdapter(id, ph, t, ran.AppUL, radio.Uplink, nil)
 	res := offload.Run(netAdapter{a}, appCfg, compressed, true)
-	sink.Handovers = append(sink.Handovers, a.hoRecs...)
-	sink.Apps = append(sink.Apps, dataset.AppRun{
+	emitHandovers(sink, a.hoRecs)
+	sink.EmitApp(dataset.AppRun{
 		ID: a.testID, Op: ph.op, App: kind, StartUTC: utc(t), DurSec: appCfg.DurSec,
 		Server: a.server.Kind, Compressed: compressed,
 		HighSpeedFrac: a.highSpeedFrac(), HOCount: a.hoCount(),
@@ -217,22 +224,22 @@ func (c *Campaign) runOffload(sink *dataset.Dataset, id int, ph *phone, t float6
 	})
 }
 
-func (c *Campaign) runVideo(sink *dataset.Dataset, id int, ph *phone, t float64) {
+func (c *Campaign) runVideo(sink dataset.Sink, id int, ph *phone, t float64) {
 	a := c.newAdapter(id, ph, t, ran.AppDL, radio.Downlink, nil)
 	res := video.Run(netAdapter{a}, c.Cfg.VideoSec)
-	sink.Handovers = append(sink.Handovers, a.hoRecs...)
-	sink.Apps = append(sink.Apps, dataset.AppRun{
+	emitHandovers(sink, a.hoRecs)
+	sink.EmitApp(dataset.AppRun{
 		ID: a.testID, Op: ph.op, App: dataset.TestVideo, StartUTC: utc(t), DurSec: c.Cfg.VideoSec,
 		Server: a.server.Kind, HighSpeedFrac: a.highSpeedFrac(), HOCount: a.hoCount(),
 		QoE: res.QoE, RebufFrac: res.RebufFrac, AvgBitrate: res.AvgBitrate,
 	})
 }
 
-func (c *Campaign) runGaming(sink *dataset.Dataset, id int, ph *phone, t float64) {
+func (c *Campaign) runGaming(sink dataset.Sink, id int, ph *phone, t float64) {
 	a := c.newAdapter(id, ph, t, ran.AppDL, radio.Downlink, nil)
 	res := gaming.Run(netAdapter{a}, c.Cfg.GamingSec)
-	sink.Handovers = append(sink.Handovers, a.hoRecs...)
-	sink.Apps = append(sink.Apps, dataset.AppRun{
+	emitHandovers(sink, a.hoRecs)
+	sink.EmitApp(dataset.AppRun{
 		ID: a.testID, Op: ph.op, App: dataset.TestGaming, StartUTC: utc(t), DurSec: c.Cfg.GamingSec,
 		Server: a.server.Kind, HighSpeedFrac: a.highSpeedFrac(), HOCount: a.hoCount(),
 		SendBitrate: res.SendBitrate, NetLatencyMs: res.NetLatencyMs, FrameDrop: res.FrameDrop,
@@ -256,9 +263,9 @@ func (c *Campaign) runStaticBattery(t float64, s geo.Sample, city geo.City) {
 			pos:  city.Pos,
 			zone: s.Zone,
 		}
-		c.runBulk(c.ds, c.newTestID(), ph, t, radio.Downlink, true, st)
-		c.runBulk(c.ds, c.newTestID(), ph, t+c.Cfg.BulkSec+2, radio.Uplink, true, st)
-		c.runRTT(c.ds, c.newTestID(), ph, t+2*(c.Cfg.BulkSec+2), true, st)
+		c.runBulk(c.sink, c.newTestID(), ph, t, radio.Downlink, true, st)
+		c.runBulk(c.sink, c.newTestID(), ph, t+c.Cfg.BulkSec+2, radio.Uplink, true, st)
+		c.runRTT(c.sink, c.newTestID(), ph, t+2*(c.Cfg.BulkSec+2), true, st)
 	}
 }
 
@@ -279,7 +286,9 @@ func (c *Campaign) runPassiveLoggers() {
 	}
 	wg.Wait()
 	for _, samples := range perOp {
-		c.ds.Passive = append(c.ds.Passive, samples...)
+		for _, s := range samples {
+			c.sink.EmitPassive(s)
+		}
 	}
 }
 

@@ -34,6 +34,73 @@ func i2s(v int) string       { return strconv.Itoa(v) }
 func b2s(v bool) string      { return strconv.FormatBool(v) }
 func t2s(t time.Time) string { return t.Format(timeLayout) }
 
+// Table indices. Save, the streaming CSVWriter sink, and HashSink all
+// iterate the tables in this canonical order, and all three encode rows
+// through the shared encode* codecs below, so "the CSV bytes of a record"
+// has exactly one definition in the package.
+const (
+	tabThr = iota
+	tabRTT
+	tabHO
+	tabTests
+	tabApps
+	tabPassive
+	numTables
+)
+
+var tableNames = [numTables]string{fileThr, fileRTT, fileHO, fileTests, fileApps, filePassive}
+
+var tableHeaders = [numTables][]string{
+	tabThr: {"test_id", "op", "dir", "time_utc", "bps", "tech", "rsrp_dbm", "sinr_db",
+		"mcs", "bler", "cc", "mph", "km", "zone", "road", "server", "static", "hos"},
+	tabRTT: {"test_id", "op", "time_utc", "ms", "tech", "mph", "km", "zone", "server", "static"},
+	tabHO:  {"test_id", "op", "time_utc", "dur_sec", "from_tech", "to_tech", "from_cell", "to_cell", "dir"},
+	tabTests: {"id", "op", "kind", "dir", "start_utc", "dur_sec", "zone", "server", "static",
+		"mean_bps", "std_frac_bps", "mean_rtt_ms", "std_frac_rtt", "high_speed_frac",
+		"miles", "ho_count", "rx_bytes", "tx_bytes"},
+	tabApps: {"id", "op", "app", "start_utc", "dur_sec", "server", "static", "compressed",
+		"high_speed_frac", "ho_count", "median_e2e_ms", "offload_fps", "map", "qoe",
+		"rebuf_frac", "avg_bitrate", "send_bitrate", "net_latency_ms", "frame_drop"},
+	tabPassive: {"op", "time_utc", "km", "tech", "cell", "zone", "no_svc"},
+}
+
+func encodeThr(s ThroughputSample) []string {
+	return []string{i2s(s.TestID), s.Op.String(), s.Dir.String(), t2s(s.TimeUTC), f2s(s.Bps),
+		s.Tech.String(), f2s(s.RSRPdBm), f2s(s.SINRdB), i2s(s.MCS), f2s(s.BLER), i2s(s.CC),
+		f2s(s.MPH), f2s(s.Km), s.Zone.String(), s.Road.String(), s.Server.String(),
+		b2s(s.Static), i2s(s.HOs)}
+}
+
+func encodeRTT(s RTTSample) []string {
+	return []string{i2s(s.TestID), s.Op.String(), t2s(s.TimeUTC), f2s(s.Ms), s.Tech.String(),
+		f2s(s.MPH), f2s(s.Km), s.Zone.String(), s.Server.String(), b2s(s.Static)}
+}
+
+func encodeHO(h HandoverRecord) []string {
+	return []string{i2s(h.TestID), h.Op.String(), t2s(h.TimeUTC), f2s(h.DurSec),
+		h.FromTech.String(), h.ToTech.String(), h.FromCell, h.ToCell, h.Dir.String()}
+}
+
+func encodeTest(t TestSummary) []string {
+	return []string{i2s(t.ID), t.Op.String(), string(t.Kind), t.Dir.String(), t2s(t.StartUTC),
+		f2s(t.DurSec), t.Zone.String(), t.Server.String(), b2s(t.Static), f2s(t.MeanBps),
+		f2s(t.StdFracBps), f2s(t.MeanRTTms), f2s(t.StdFracRTT), f2s(t.HighSpeedFrac),
+		f2s(t.Miles), i2s(t.HOCount), f2s(t.RxBytes), f2s(t.TxBytes)}
+}
+
+func encodeApp(a AppRun) []string {
+	return []string{i2s(a.ID), a.Op.String(), string(a.App), t2s(a.StartUTC), f2s(a.DurSec),
+		a.Server.String(), b2s(a.Static), b2s(a.Compressed), f2s(a.HighSpeedFrac),
+		i2s(a.HOCount), f2s(a.MedianE2EMs), f2s(a.OffloadFPS), f2s(a.MAP), f2s(a.QoE),
+		f2s(a.RebufFrac), f2s(a.AvgBitrate), f2s(a.SendBitrate), f2s(a.NetLatencyMs),
+		f2s(a.FrameDrop)}
+}
+
+func encodePassive(p PassiveSample) []string {
+	return []string{p.Op.String(), t2s(p.TimeUTC), f2s(p.Km), p.Tech.String(), p.Cell,
+		p.Zone.String(), b2s(p.NoSvc)}
+}
+
 type rowErr struct {
 	file string
 	line int
@@ -74,6 +141,7 @@ func (p *parser) t(s string) time.Time {
 	}
 	return v
 }
+
 // s validates a free-form string field. CR/LF are rejected: encoding/csv
 // normalizes \r\n to \n inside quoted fields on read, so accepting them
 // would break the export→import→export byte round-trip.
@@ -200,70 +268,28 @@ func (d *Dataset) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	if err := writeCSV(dir, fileThr,
-		[]string{"test_id", "op", "dir", "time_utc", "bps", "tech", "rsrp_dbm", "sinr_db",
-			"mcs", "bler", "cc", "mph", "km", "zone", "road", "server", "static", "hos"},
-		len(d.Thr), func(i int) []string {
-			s := d.Thr[i]
-			return []string{i2s(s.TestID), s.Op.String(), s.Dir.String(), t2s(s.TimeUTC), f2s(s.Bps),
-				s.Tech.String(), f2s(s.RSRPdBm), f2s(s.SINRdB), i2s(s.MCS), f2s(s.BLER), i2s(s.CC),
-				f2s(s.MPH), f2s(s.Km), s.Zone.String(), s.Road.String(), s.Server.String(),
-				b2s(s.Static), i2s(s.HOs)}
-		}); err != nil {
+	if err := writeCSV(dir, fileThr, tableHeaders[tabThr],
+		len(d.Thr), func(i int) []string { return encodeThr(d.Thr[i]) }); err != nil {
 		return err
 	}
-	if err := writeCSV(dir, fileRTT,
-		[]string{"test_id", "op", "time_utc", "ms", "tech", "mph", "km", "zone", "server", "static"},
-		len(d.RTT), func(i int) []string {
-			s := d.RTT[i]
-			return []string{i2s(s.TestID), s.Op.String(), t2s(s.TimeUTC), f2s(s.Ms), s.Tech.String(),
-				f2s(s.MPH), f2s(s.Km), s.Zone.String(), s.Server.String(), b2s(s.Static)}
-		}); err != nil {
+	if err := writeCSV(dir, fileRTT, tableHeaders[tabRTT],
+		len(d.RTT), func(i int) []string { return encodeRTT(d.RTT[i]) }); err != nil {
 		return err
 	}
-	if err := writeCSV(dir, fileHO,
-		[]string{"test_id", "op", "time_utc", "dur_sec", "from_tech", "to_tech", "from_cell", "to_cell", "dir"},
-		len(d.Handovers), func(i int) []string {
-			h := d.Handovers[i]
-			return []string{i2s(h.TestID), h.Op.String(), t2s(h.TimeUTC), f2s(h.DurSec),
-				h.FromTech.String(), h.ToTech.String(), h.FromCell, h.ToCell, h.Dir.String()}
-		}); err != nil {
+	if err := writeCSV(dir, fileHO, tableHeaders[tabHO],
+		len(d.Handovers), func(i int) []string { return encodeHO(d.Handovers[i]) }); err != nil {
 		return err
 	}
-	if err := writeCSV(dir, fileTests,
-		[]string{"id", "op", "kind", "dir", "start_utc", "dur_sec", "zone", "server", "static",
-			"mean_bps", "std_frac_bps", "mean_rtt_ms", "std_frac_rtt", "high_speed_frac",
-			"miles", "ho_count", "rx_bytes", "tx_bytes"},
-		len(d.Tests), func(i int) []string {
-			t := d.Tests[i]
-			return []string{i2s(t.ID), t.Op.String(), string(t.Kind), t.Dir.String(), t2s(t.StartUTC),
-				f2s(t.DurSec), t.Zone.String(), t.Server.String(), b2s(t.Static), f2s(t.MeanBps),
-				f2s(t.StdFracBps), f2s(t.MeanRTTms), f2s(t.StdFracRTT), f2s(t.HighSpeedFrac),
-				f2s(t.Miles), i2s(t.HOCount), f2s(t.RxBytes), f2s(t.TxBytes)}
-		}); err != nil {
+	if err := writeCSV(dir, fileTests, tableHeaders[tabTests],
+		len(d.Tests), func(i int) []string { return encodeTest(d.Tests[i]) }); err != nil {
 		return err
 	}
-	if err := writeCSV(dir, fileApps,
-		[]string{"id", "op", "app", "start_utc", "dur_sec", "server", "static", "compressed",
-			"high_speed_frac", "ho_count", "median_e2e_ms", "offload_fps", "map", "qoe",
-			"rebuf_frac", "avg_bitrate", "send_bitrate", "net_latency_ms", "frame_drop"},
-		len(d.Apps), func(i int) []string {
-			a := d.Apps[i]
-			return []string{i2s(a.ID), a.Op.String(), string(a.App), t2s(a.StartUTC), f2s(a.DurSec),
-				a.Server.String(), b2s(a.Static), b2s(a.Compressed), f2s(a.HighSpeedFrac),
-				i2s(a.HOCount), f2s(a.MedianE2EMs), f2s(a.OffloadFPS), f2s(a.MAP), f2s(a.QoE),
-				f2s(a.RebufFrac), f2s(a.AvgBitrate), f2s(a.SendBitrate), f2s(a.NetLatencyMs),
-				f2s(a.FrameDrop)}
-		}); err != nil {
+	if err := writeCSV(dir, fileApps, tableHeaders[tabApps],
+		len(d.Apps), func(i int) []string { return encodeApp(d.Apps[i]) }); err != nil {
 		return err
 	}
-	return writeCSV(dir, filePassive,
-		[]string{"op", "time_utc", "km", "tech", "cell", "zone", "no_svc"},
-		len(d.Passive), func(i int) []string {
-			p := d.Passive[i]
-			return []string{p.Op.String(), t2s(p.TimeUTC), f2s(p.Km), p.Tech.String(), p.Cell,
-				p.Zone.String(), b2s(p.NoSvc)}
-		})
+	return writeCSV(dir, filePassive, tableHeaders[tabPassive],
+		len(d.Passive), func(i int) []string { return encodePassive(d.Passive[i]) })
 }
 
 // Load reads a dataset previously written with Save.

@@ -67,26 +67,24 @@ func (d *Dataset) Append(other *Dataset) {
 
 // MergeRenumbered concatenates the parts in order into one dataset,
 // renumbering each part's locally-unique test ids by the running maximum.
-// The parts are mutated by the renumbering and should be discarded. Nil
-// parts are skipped (a shard whose route segment produced no work). The
-// merged Seed is taken from the first non-nil part.
+// It is the materialized form of replaying each part through a Renumber
+// sink; unlike the pre-streaming implementation the parts are no longer
+// mutated. Nil parts are skipped (a shard whose route segment produced no
+// work). The merged Seed is taken from the first non-nil part.
 func MergeRenumbered(parts ...*Dataset) *Dataset {
-	out := &Dataset{}
+	col := &Collector{}
+	r := NewRenumber(col)
 	seeded := false
-	offset := 0
 	for _, p := range parts {
 		if p == nil {
 			continue
 		}
 		if !seeded {
-			out.Seed = p.Seed
+			col.D.Seed = p.Seed
 			seeded = true
 		}
-		p.ShiftTestIDs(offset)
-		if m := p.MaxTestID(); m > offset {
-			offset = m
-		}
-		out.Append(p)
+		p.EmitTo(r)
+		r.Advance()
 	}
-	return out
+	return &col.D
 }

@@ -1,0 +1,226 @@
+package dataset
+
+import (
+	"crypto/sha256"
+	"encoding/csv"
+	"encoding/hex"
+	"hash"
+	"io"
+)
+
+// Sink consumes campaign records one at a time, in production order. It is
+// the streaming counterpart of Dataset: the campaign engine emits every
+// record into a Sink the moment it exists, so a consumer that reduces
+// incrementally (analysis.Accumulator, CSVWriter, HashSink) never holds the
+// whole dataset in memory. Collector is the Sink that materializes a
+// Dataset, reproducing the pre-streaming behavior byte-for-byte.
+//
+// Emit methods do not return errors; sinks with fallible backends (e.g.
+// CSVWriter) latch the first error internally and report it from Flush.
+// Flush finalizes the sink — closing files, flushing buffers — and must be
+// called exactly once by whoever owns the sink, after the last emit.
+type Sink interface {
+	EmitThr(ThroughputSample)
+	EmitRTT(RTTSample)
+	EmitHandover(HandoverRecord)
+	EmitTest(TestSummary)
+	EmitApp(AppRun)
+	EmitPassive(PassiveSample)
+	Flush() error
+}
+
+// EmitTo replays every record of d into sink, table by table in the
+// canonical CSV order (throughput, RTT, handovers, tests, apps, passive).
+// Replaying a Collector's dataset reproduces the original per-table emit
+// order, which is what makes streaming and materialized consumers
+// byte-equivalent.
+func (d *Dataset) EmitTo(sink Sink) {
+	for _, r := range d.Thr {
+		sink.EmitThr(r)
+	}
+	for _, r := range d.RTT {
+		sink.EmitRTT(r)
+	}
+	for _, r := range d.Handovers {
+		sink.EmitHandover(r)
+	}
+	for _, r := range d.Tests {
+		sink.EmitTest(r)
+	}
+	for _, r := range d.Apps {
+		sink.EmitApp(r)
+	}
+	for _, r := range d.Passive {
+		sink.EmitPassive(r)
+	}
+}
+
+// Collector is the materializing Sink: it appends every record to an
+// in-memory Dataset, exactly as campaign.Run did before the streaming
+// refactor. The zero value is ready to use (seed 0).
+type Collector struct {
+	D Dataset
+}
+
+// NewCollector returns a Collector whose dataset carries the given seed.
+func NewCollector(seed int64) *Collector { return &Collector{D: Dataset{Seed: seed}} }
+
+// Dataset returns the collected dataset.
+func (c *Collector) Dataset() *Dataset { return &c.D }
+
+func (c *Collector) EmitThr(s ThroughputSample)    { c.D.Thr = append(c.D.Thr, s) }
+func (c *Collector) EmitRTT(s RTTSample)           { c.D.RTT = append(c.D.RTT, s) }
+func (c *Collector) EmitHandover(h HandoverRecord) { c.D.Handovers = append(c.D.Handovers, h) }
+func (c *Collector) EmitTest(t TestSummary)        { c.D.Tests = append(c.D.Tests, t) }
+func (c *Collector) EmitApp(a AppRun)              { c.D.Apps = append(c.D.Apps, a) }
+func (c *Collector) EmitPassive(p PassiveSample)   { c.D.Passive = append(c.D.Passive, p) }
+func (c *Collector) Flush() error                  { return nil }
+
+// Tee fans every record out to all the given sinks in order. Flush flushes
+// every sink and returns the first error.
+func Tee(sinks ...Sink) Sink { return tee(sinks) }
+
+type tee []Sink
+
+func (t tee) EmitThr(s ThroughputSample) {
+	for _, k := range t {
+		k.EmitThr(s)
+	}
+}
+func (t tee) EmitRTT(s RTTSample) {
+	for _, k := range t {
+		k.EmitRTT(s)
+	}
+}
+func (t tee) EmitHandover(h HandoverRecord) {
+	for _, k := range t {
+		k.EmitHandover(h)
+	}
+}
+func (t tee) EmitTest(s TestSummary) {
+	for _, k := range t {
+		k.EmitTest(s)
+	}
+}
+func (t tee) EmitApp(a AppRun) {
+	for _, k := range t {
+		k.EmitApp(a)
+	}
+}
+func (t tee) EmitPassive(p PassiveSample) {
+	for _, k := range t {
+		k.EmitPassive(p)
+	}
+}
+func (t tee) Flush() error {
+	var first error
+	for _, k := range t {
+		if err := k.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Renumber is the streaming shard-merge wrapper: it forwards records to dst
+// with every test id shifted past the running maximum of all earlier parts,
+// so concatenating shard streams in route order yields campaign-unique ids
+// that increase along the route — the sink equivalent of MergeRenumbered.
+//
+// Emit one part's records, then call Advance before starting the next part.
+// Passive samples carry no test id and pass through unshifted.
+type Renumber struct {
+	dst    Sink
+	offset int // ids of the current part shift by this much
+	max    int // largest shifted id seen in the current part
+}
+
+// NewRenumber returns a Renumber forwarding to dst.
+func NewRenumber(dst Sink) *Renumber { return &Renumber{dst: dst} }
+
+// Advance seals the current part: subsequent records shift past the largest
+// id emitted so far.
+func (r *Renumber) Advance() {
+	if r.max > r.offset {
+		r.offset = r.max
+	}
+}
+
+func (r *Renumber) shift(id int) int {
+	id += r.offset
+	if id > r.max {
+		r.max = id
+	}
+	return id
+}
+
+func (r *Renumber) EmitThr(s ThroughputSample) {
+	s.TestID = r.shift(s.TestID)
+	r.dst.EmitThr(s)
+}
+func (r *Renumber) EmitRTT(s RTTSample) {
+	s.TestID = r.shift(s.TestID)
+	r.dst.EmitRTT(s)
+}
+func (r *Renumber) EmitHandover(h HandoverRecord) {
+	h.TestID = r.shift(h.TestID)
+	r.dst.EmitHandover(h)
+}
+func (r *Renumber) EmitTest(t TestSummary) {
+	t.ID = r.shift(t.ID)
+	r.dst.EmitTest(t)
+}
+func (r *Renumber) EmitApp(a AppRun) {
+	a.ID = r.shift(a.ID)
+	r.dst.EmitApp(a)
+}
+func (r *Renumber) EmitPassive(p PassiveSample) { r.dst.EmitPassive(p) }
+func (r *Renumber) Flush() error                { return r.dst.Flush() }
+
+// HashSink computes a SHA-256 fingerprint of the dataset's canonical CSV
+// encoding without materializing any of it: each record is CSV-encoded
+// through the same codecs Save uses and fed to a per-table hash, and Sum
+// combines the per-table digests (bound to their file names) into one hex
+// string. Emitting a dataset into a HashSink therefore fingerprints exactly
+// the bytes Save would write, table order and headers included.
+type HashSink struct {
+	h [numTables]hash.Hash
+	w [numTables]*csv.Writer
+}
+
+// NewHashSink returns a HashSink with the table headers already hashed.
+func NewHashSink() *HashSink {
+	s := &HashSink{}
+	for i := range s.h {
+		s.h[i] = sha256.New()
+		s.w[i] = csv.NewWriter(s.h[i])
+		s.w[i].Write(tableHeaders[i]) // hash.Hash writes never fail
+	}
+	return s
+}
+
+func (s *HashSink) EmitThr(r ThroughputSample)    { s.w[tabThr].Write(encodeThr(r)) }
+func (s *HashSink) EmitRTT(r RTTSample)           { s.w[tabRTT].Write(encodeRTT(r)) }
+func (s *HashSink) EmitHandover(h HandoverRecord) { s.w[tabHO].Write(encodeHO(h)) }
+func (s *HashSink) EmitTest(t TestSummary)        { s.w[tabTests].Write(encodeTest(t)) }
+func (s *HashSink) EmitApp(a AppRun)              { s.w[tabApps].Write(encodeApp(a)) }
+func (s *HashSink) EmitPassive(p PassiveSample)   { s.w[tabPassive].Write(encodePassive(p)) }
+func (s *HashSink) Flush() error {
+	for i := range s.w {
+		s.w[i].Flush()
+	}
+	return nil
+}
+
+// Sum returns the combined hex digest. It flushes internally, so it is
+// valid with or without a prior Flush call.
+func (s *HashSink) Sum() string {
+	all := sha256.New()
+	for i := range s.h {
+		s.w[i].Flush()
+		io.WriteString(all, tableNames[i])
+		all.Write([]byte{0})
+		all.Write(s.h[i].Sum(nil))
+	}
+	return hex.EncodeToString(all.Sum(nil))
+}

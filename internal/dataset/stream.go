@@ -1,0 +1,103 @@
+package dataset
+
+import (
+	"compress/gzip"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+)
+
+// CSVWriter is the disk-streaming Sink: it writes each record straight into
+// the per-table gzip CSV files as it is emitted, so exporting a campaign
+// needs no in-memory Dataset at all. The on-disk layout is the same as
+// SaveCompressed's (one <table>.csv.gz per record type, same headers, same
+// row encoding), and LoadCompressed reads it back.
+//
+// Emit methods latch the first write error; Flush finalizes all six files
+// and returns it. A CSVWriter must be flushed exactly once — emits after
+// Flush are dropped.
+type CSVWriter struct {
+	files [numTables]*os.File
+	zw    [numTables]*gzip.Writer
+	cw    [numTables]*csv.Writer
+	err   error
+	done  bool
+}
+
+// NewCSVWriter creates dir if needed and opens the six table streams,
+// writing each header immediately.
+func NewCSVWriter(dir string) (*CSVWriter, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	w := &CSVWriter{}
+	for i, name := range tableNames {
+		f, err := os.Create(filepath.Join(dir, name+".gz"))
+		if err != nil {
+			w.closeAll()
+			return nil, err
+		}
+		w.files[i] = f
+		w.zw[i] = gzip.NewWriter(f)
+		w.cw[i] = csv.NewWriter(w.zw[i])
+		if err := w.cw[i].Write(tableHeaders[i]); err != nil {
+			w.closeAll()
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// closeAll releases every open stream, keeping the first error. Used for
+// constructor failure and by Flush.
+func (w *CSVWriter) closeAll() {
+	latch := func(err error) {
+		if err != nil && w.err == nil {
+			w.err = err
+		}
+	}
+	for i := range w.files {
+		if w.zw[i] != nil {
+			latch(w.zw[i].Close())
+		}
+		if w.files[i] != nil {
+			latch(w.files[i].Close())
+		}
+	}
+}
+
+func (w *CSVWriter) write(tab int, rec []string) {
+	if w.err != nil || w.done {
+		return
+	}
+	if err := w.cw[tab].Write(rec); err != nil {
+		w.err = err
+	}
+}
+
+func (w *CSVWriter) EmitThr(s ThroughputSample)    { w.write(tabThr, encodeThr(s)) }
+func (w *CSVWriter) EmitRTT(s RTTSample)           { w.write(tabRTT, encodeRTT(s)) }
+func (w *CSVWriter) EmitHandover(h HandoverRecord) { w.write(tabHO, encodeHO(h)) }
+func (w *CSVWriter) EmitTest(t TestSummary)        { w.write(tabTests, encodeTest(t)) }
+func (w *CSVWriter) EmitApp(a AppRun)              { w.write(tabApps, encodeApp(a)) }
+func (w *CSVWriter) EmitPassive(p PassiveSample)   { w.write(tabPassive, encodePassive(p)) }
+
+// Flush drains the CSV buffers, closes the gzip streams and files, and
+// returns the first error encountered anywhere in the writer's lifetime.
+// Safe to call more than once; only the first call does work.
+func (w *CSVWriter) Flush() error {
+	if w.done {
+		return w.err
+	}
+	w.done = true
+	for i := range w.cw {
+		if w.err == nil {
+			w.cw[i].Flush()
+			if err := w.cw[i].Error(); err != nil {
+				w.err = err
+			}
+		}
+	}
+	w.closeAll()
+	return w.err
+}

@@ -4,7 +4,9 @@ import (
 	"runtime"
 	"testing"
 
+	"wheels/internal/analysis"
 	"wheels/internal/campaign"
+	"wheels/internal/dataset"
 )
 
 // BenchmarkFleet runs a reduced three-seed fleet per iteration and reports
@@ -40,4 +42,87 @@ func BenchmarkFleet(b *testing.B) {
 		growth = 0
 	}
 	b.ReportMetric(float64(growth)/seeds/1e6, "live-MB/seed")
+}
+
+// benchSeedConfig is the per-seed campaign the streaming-vs-materialized
+// pair below measures: long enough (320 km, passive loggers on) that the
+// record volume dominates the substrate both paths share.
+func benchSeedConfig(seed int64) campaign.Config {
+	cfg := campaign.QuickConfig(seed, 320)
+	cfg.EnablePassive = true
+	return cfg
+}
+
+// liveHeapMB forces a GC and returns the live-heap growth over base in MB.
+func liveHeapMB(base uint64) float64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	if m.HeapAlloc < base {
+		return 0
+	}
+	return float64(m.HeapAlloc-base) / 1e6
+}
+
+// heapBase reads the GC-settled live heap before a seed starts.
+func heapBase() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// BenchmarkFleetMaterialized measures the pre-streaming per-seed shape:
+// run the campaign to a full in-memory dataset, then reduce. live-MB/seed
+// is the live heap at the hold point between the two — the finished
+// campaign plus the complete dataset, the peak a fleet worker used to
+// carry.
+func BenchmarkFleetMaterialized(b *testing.B) {
+	var peakSum float64
+	sums := make([]SeedSummary, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := heapBase()
+		c := campaign.New(benchSeedConfig(int64(23 + i%3)))
+		ds := c.Run()
+		peakSum += liveHeapMB(base)
+		runtime.KeepAlive(c)
+		sums = append(sums, Reduce(ds, 1))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Hours(), "seeds/hour")
+	b.ReportMetric(peakSum/float64(b.N), "live-MB/seed")
+	runtime.KeepAlive(sums)
+}
+
+// BenchmarkFleetStreaming measures the same seeds through the streaming
+// reduction: records flow into the Accumulator + HashSink as they are
+// produced and are never materialized. live-MB/seed is the live heap at the
+// equivalent hold point — the finished campaign plus the reduction state —
+// and is the number the CI bench gate pins against BENCH_fleet.json.
+func BenchmarkFleetStreaming(b *testing.B) {
+	var peakSum float64
+	sums := make([]SeedSummary, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := benchSeedConfig(int64(23 + i%3))
+		base := heapBase()
+		c := campaign.New(cfg)
+		acc := analysis.NewAccumulator(cfg.Seed)
+		h := dataset.NewHashSink()
+		sink := dataset.Tee(acc, h)
+		c.RunTo(sink)
+		if err := sink.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		peakSum += liveHeapMB(base)
+		runtime.KeepAlive(c)
+		sums = append(sums, summarize(acc, h.Sum(), 1))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Hours(), "seeds/hour")
+	b.ReportMetric(peakSum/float64(b.N), "live-MB/seed")
+	runtime.KeepAlive(sums)
 }

@@ -8,7 +8,6 @@ import (
 	"sync"
 
 	"wheels/internal/campaign"
-	"wheels/internal/dataset"
 )
 
 // Config scopes a fleet run.
@@ -29,6 +28,16 @@ type Config struct {
 	// count) are not re-run.
 	Checkpoint string
 
+	// VerifyResume re-runs every resumed seed through the streaming engine
+	// and compares the recomputed dataset SHA-256 against the checkpointed
+	// one, flagging disagreement via Event.HashMismatch. A mismatch means
+	// the checkpoint was written by a different engine than the one now
+	// running (code drift); the checkpointed summary still feeds the report
+	// unchanged, so resume stays byte-identical — the flag is a warning,
+	// not a correction. Checkpoints from builds that predate the hash carry
+	// no fingerprint and are flagged as unverifiable.
+	VerifyResume bool
+
 	// Progress, when non-nil, observes every completed or skipped seed.
 	// It is called from worker goroutines under the fleet's collector
 	// lock: events arrive serialized with monotonically increasing Done.
@@ -42,6 +51,10 @@ type Event struct {
 	Resumed     bool // loaded from the checkpoint, not re-run
 	ShapesPass  int  // shape invariants this seed replicated
 	ShapesTotal int
+	// HashMismatch is set only under Config.VerifyResume, on resumed seeds
+	// whose recomputed dataset hash disagrees with the checkpointed one
+	// (or whose checkpoint predates hashing and cannot be verified).
+	HashMismatch bool
 }
 
 // Run executes the fleet and returns the cross-seed report. The report is
@@ -86,7 +99,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	completed := 0
-	emit := func(sum SeedSummary, resumed bool) {
+	emit := func(sum SeedSummary, resumed, mismatch bool) {
 		completed++
 		if cfg.Progress == nil {
 			return
@@ -100,28 +113,59 @@ func Run(cfg Config) (*Report, error) {
 		cfg.Progress(Event{
 			Seed: sum.Seed, Done: completed, Total: cfg.Seeds, Resumed: resumed,
 			ShapesPass: pass, ShapesTotal: len(sum.Shapes),
+			HashMismatch: mismatch,
 		})
 	}
-	// Announce resumed seeds first, in seed order.
+	// Partition the seed range before any worker starts: the scheduling
+	// decisions read `done`, which workers mutate, so all reads happen
+	// strictly before the first spawn. Resumed seeds are announced here in
+	// seed order — except under VerifyResume, where they re-run through
+	// the pool and are announced as their verification completes.
+	type resumeJob struct {
+		seed   int64
+		stored SeedSummary
+	}
+	var verifyJobs []resumeJob
+	var fresh []int64
 	for seed := cfg.StartSeed; seed < cfg.StartSeed+int64(cfg.Seeds); seed++ {
-		if sum, ok := done[seed]; ok {
-			emit(sum, true)
+		if stored, ok := done[seed]; ok {
+			if cfg.VerifyResume {
+				verifyJobs = append(verifyJobs, resumeJob{seed, stored})
+			} else {
+				emit(stored, true, false)
+			}
+			continue
 		}
+		fresh = append(fresh, seed)
 	}
 
-	// The worker pool. Each job owns at most one dataset: campaigns reduce
-	// to a SeedSummary the moment they finish and the dataset becomes
-	// garbage, so peak memory is O(workers), not O(seeds).
+	// The worker pool. Each job streams its campaign straight into the
+	// per-seed reduction (analysis.Accumulator + dataset.HashSink), so a
+	// running seed's records are dropped as they are produced and peak
+	// memory is O(workers) accumulators, never a materialized dataset.
 	var (
 		mu       sync.Mutex
 		wg       sync.WaitGroup
 		writeErr error
 	)
 	sem := make(chan struct{}, workers)
-	for seed := cfg.StartSeed; seed < cfg.StartSeed+int64(cfg.Seeds); seed++ {
-		if _, ok := done[seed]; ok {
-			continue
-		}
+	for _, job := range verifyJobs {
+		wg.Add(1)
+		go func(seed int64, stored SeedSummary) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cfg.Base
+			c.Seed = seed
+			c.Progress = nil
+			re := runSeed(c, shards)
+			mismatch := stored.DatasetSHA256 == "" || stored.DatasetSHA256 != re.DatasetSHA256
+			mu.Lock()
+			defer mu.Unlock()
+			emit(stored, true, mismatch)
+		}(job.seed, job.stored)
+	}
+	for _, seed := range fresh {
 		wg.Add(1)
 		go func(seed int64) {
 			defer wg.Done()
@@ -130,13 +174,7 @@ func Run(cfg Config) (*Report, error) {
 			c := cfg.Base
 			c.Seed = seed
 			c.Progress = nil
-			var ds *dataset.Dataset
-			if shards > 1 {
-				ds = campaign.RunSharded(c, shards, 0)
-			} else {
-				ds = campaign.New(c).Run()
-			}
-			sum := Reduce(ds, shards)
+			sum := runSeed(c, shards)
 			mu.Lock()
 			defer mu.Unlock()
 			done[seed] = sum
@@ -145,7 +183,7 @@ func Run(cfg Config) (*Report, error) {
 					writeErr = err
 				}
 			}
-			emit(sum, false)
+			emit(sum, false, false)
 		}(seed)
 	}
 	wg.Wait()

@@ -157,8 +157,12 @@ func (r *Report) renderSeeds() string {
 				pass++
 			}
 		}
-		fmt.Fprintf(&b, "  seed %-6d shapes %2d/%-2d  thr=%d rtt=%d tests=%d HOs=%d apps=%d passive=%d\n",
-			s.Seed, pass, len(s.Shapes), s.ThrSamples, s.RTTSamples, s.Tests, s.Handovers, s.AppRuns, s.PassiveSamples)
+		sha := ""
+		if s.DatasetSHA256 != "" {
+			sha = "  sha=" + s.DatasetSHA256[:8]
+		}
+		fmt.Fprintf(&b, "  seed %-6d shapes %2d/%-2d  thr=%d rtt=%d tests=%d HOs=%d apps=%d passive=%d%s\n",
+			s.Seed, pass, len(s.Shapes), s.ThrSamples, s.RTTSamples, s.Tests, s.Handovers, s.AppRuns, s.PassiveSamples, sha)
 	}
 	return b.String()
 }

@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wheels/internal/campaign"
+)
+
+// TestStreamingSummaryMatchesReduce: the streaming per-seed reduction
+// (runSeed — campaign records straight into Accumulator + HashSink) yields
+// exactly the summary the materialized path computes, serial and sharded,
+// hash included.
+func TestStreamingSummaryMatchesReduce(t *testing.T) {
+	cfg := campaign.QuickConfig(23, 60)
+
+	want := Reduce(campaign.New(cfg).Run(), 1)
+	got := runSeed(cfg, 1)
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("serial: streaming summary differs from Reduce\n got %+v\nwant %+v", got, want)
+	}
+	if got.DatasetSHA256 == "" {
+		t.Error("streaming summary has no dataset hash")
+	}
+
+	wantSh := Reduce(campaign.RunSharded(cfg, 3, 0), 3)
+	gotSh := runSeed(cfg, 3)
+	if !reflect.DeepEqual(wantSh, gotSh) {
+		t.Errorf("sharded: streaming summary differs from Reduce\n got %+v\nwant %+v", gotSh, wantSh)
+	}
+}
+
+// TestVerifyResumeFlagsDrift: a resumed seed whose checkpointed hash
+// matches the recomputed one passes silently; a tampered hash — standing
+// in for a checkpoint written by different code — raises HashMismatch,
+// while the report still renders from the checkpointed summaries.
+func TestVerifyResumeFlagsDrift(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "fleet.jsonl")
+	cfg := testConfig(ck)
+	cfg.Seeds = 2
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("seeding the checkpoint: %v", err)
+	}
+
+	cfg.VerifyResume = true
+	var mismatches []int64
+	cfg.Progress = func(ev Event) {
+		if !ev.Resumed {
+			t.Errorf("seed %d re-ran instead of resuming", ev.Seed)
+		}
+		if ev.HashMismatch {
+			mismatches = append(mismatches, ev.Seed)
+		}
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(mismatches) != 0 {
+		t.Fatalf("same-code verify flagged seeds %v", mismatches)
+	}
+
+	// Tamper seed 23's recorded hash.
+	b, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(b), `"dataset_sha256":"`, `"dataset_sha256":"beef`, 1)
+	if tampered == string(b) {
+		t.Fatal("checkpoint has no dataset_sha256 field to tamper with")
+	}
+	if err := os.WriteFile(ck, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mismatches = nil
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mismatches) != 1 || mismatches[0] != 23 {
+		t.Errorf("tampered checkpoint: mismatch events = %v, want [23]", mismatches)
+	}
+	// The checkpointed summary stays authoritative: the tampered hash is
+	// what the report shows.
+	if !strings.Contains(rep.RenderText(), "sha=beef") {
+		t.Error("report did not render from the checkpointed summaries")
+	}
+}

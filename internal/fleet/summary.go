@@ -4,10 +4,12 @@
 // the fleet asks the next question: with everything resampled, which of its
 // qualitative claims survive, with what confidence?
 //
-// Memory model: each completed campaign is immediately reduced to a compact
-// SeedSummary (headline medians, coverage shares, handover statistics, app
-// QoE, and the CheckShapes pass/fail vector) and the full dataset is
-// dropped, so a fleet of any size holds at most `workers` datasets at once.
+// Memory model: each campaign streams its records straight into a compact
+// per-seed reduction — an analysis.Accumulator (headline medians, coverage
+// shares, handover statistics, app QoE, and the CheckShapes pass/fail
+// vector) teed with a dataset.HashSink fingerprint — so no dataset is ever
+// materialized and a fleet of any size holds at most `workers` accumulators
+// at once.
 // Summaries checkpoint to a JSONL file as seeds finish; an interrupted
 // fleet resumes by skipping completed seeds, and because a summary is a
 // pure function of (seed, shards), the resumed report is byte-identical to
@@ -16,6 +18,7 @@ package fleet
 
 import (
 	"wheels/internal/analysis"
+	"wheels/internal/campaign"
 	"wheels/internal/dataset"
 	"wheels/internal/radio"
 )
@@ -55,91 +58,86 @@ type SeedSummary struct {
 	Handovers      int `json:"handovers"`
 	AppRuns        int `json:"app_runs"`
 	PassiveSamples int `json:"passive_samples"`
+
+	// DatasetSHA256 fingerprints the seed's canonical CSV encoding
+	// (dataset.HashSink), computed from the record stream without
+	// materializing it. Resume uses it to detect code drift: a checkpointed
+	// hash that disagrees with a recomputed one means the summary was
+	// produced by a different engine than the one now running (see
+	// Config.VerifyResume). Empty in checkpoints from older builds.
+	DatasetSHA256 string `json:"dataset_sha256,omitempty"`
 }
 
-// Reduce collapses a campaign dataset to its SeedSummary. It tolerates
-// empty and partial datasets (a seed whose campaign yields zero tests of
-// some kind): empty slices reduce to zero-valued medians, never NaN — the
-// summary must survive a JSON round-trip through the checkpoint file.
+// Reduce collapses a campaign dataset to its SeedSummary by replaying it
+// through the streaming reduction (analysis.Accumulator + dataset.HashSink)
+// — the materialized and streaming paths share one definition of every
+// metric. It tolerates empty and partial datasets (a seed whose campaign
+// yields zero tests of some kind): empty slices reduce to zero-valued
+// medians, never NaN — the summary must survive a JSON round-trip through
+// the checkpoint file.
 func Reduce(ds *dataset.Dataset, shards int) SeedSummary {
+	acc := analysis.NewAccumulator(ds.Seed)
+	h := dataset.NewHashSink()
+	sink := dataset.Tee(acc, h)
+	ds.EmitTo(sink)
+	sink.Flush() // Accumulator and HashSink flushes cannot fail
+	return summarize(acc, h.Sum(), shards)
+}
+
+// runSeed executes one seed's campaign end to end in streaming form: every
+// record flows through the accumulator and the hash sink as it is produced
+// and is then dropped, so a running seed's live memory is the accumulator's
+// metric slices, not the dataset.
+func runSeed(c campaign.Config, shards int) SeedSummary {
+	acc := analysis.NewAccumulator(c.Seed)
+	h := dataset.NewHashSink()
+	sink := dataset.Tee(acc, h)
+	if shards > 1 {
+		campaign.RunShardedTo(c, shards, 0, sink)
+	} else {
+		campaign.New(c).RunTo(sink)
+	}
+	sink.Flush()
+	return summarize(acc, h.Sum(), shards)
+}
+
+// summarize projects a fully-fed accumulator into the SeedSummary record.
+func summarize(acc *analysis.Accumulator, sha string, shards int) SeedSummary {
 	if shards < 1 {
 		shards = 1
 	}
+	n := acc.Counts()
 	sum := SeedSummary{
-		Seed:           ds.Seed,
+		Seed:           acc.Seed(),
 		Shards:         shards,
 		Ops:            map[string]OpSummary{},
 		Shapes:         map[string]bool{},
-		ThrSamples:     len(ds.Thr),
-		RTTSamples:     len(ds.RTT),
-		Tests:          len(ds.Tests),
-		Handovers:      len(ds.Handovers),
-		AppRuns:        len(ds.Apps),
-		PassiveSamples: len(ds.Passive),
+		ThrSamples:     n.Thr,
+		RTTSamples:     n.RTT,
+		Tests:          n.Tests,
+		Handovers:      n.Handovers,
+		AppRuns:        n.Apps,
+		PassiveSamples: n.Passive,
+		DatasetSHA256:  sha,
 	}
-	for _, r := range analysis.CheckShapes(ds) {
+	for _, r := range acc.ShapeResults() {
 		sum.Shapes[r.Name] = r.Pass
 	}
-
-	mileShare := analysis.ComputeFig2a(ds)
 	for _, op := range radio.Operators() {
-		var driveDL, driveUL, staticDL, rtt, hpm, hoDur, qoe, gaming []float64
-		for _, s := range ds.Thr {
-			if s.Op != op {
-				continue
-			}
-			switch {
-			case s.Dir == radio.Uplink && !s.Static:
-				driveUL = append(driveUL, s.Mbps())
-			case s.Dir == radio.Downlink && s.Static:
-				staticDL = append(staticDL, s.Mbps())
-			case s.Dir == radio.Downlink:
-				driveDL = append(driveDL, s.Mbps())
-			}
-		}
-		for _, s := range ds.RTT {
-			if s.Op == op && !s.Static {
-				rtt = append(rtt, s.Ms)
-			}
-		}
-		for _, t := range ds.Tests {
-			if t.Op == op && !t.Static && t.Miles > 0.05 {
-				hpm = append(hpm, float64(t.HOCount)/t.Miles)
-			}
-		}
-		for _, h := range ds.Handovers {
-			if h.Op == op {
-				hoDur = append(hoDur, h.DurSec*1000)
-			}
-		}
-		videoRuns, gamingRuns := 0, 0
-		for _, a := range ds.Apps {
-			if a.Op != op || a.Static {
-				continue
-			}
-			switch a.App {
-			case dataset.TestVideo:
-				qoe = append(qoe, a.QoE)
-				videoRuns++
-			case dataset.TestGaming:
-				gaming = append(gaming, a.SendBitrate)
-				gamingRuns++
-			}
-		}
-		share := mileShare.Share[op]
+		h := acc.Headline(op)
 		sum.Ops[op.Short()] = OpSummary{
-			DriveDLMedMbps:  analysis.ShapeMedian(driveDL),
-			DriveULMedMbps:  analysis.ShapeMedian(driveUL),
-			StaticDLMedMbps: analysis.ShapeMedian(staticDL),
-			DriveRTTMedMs:   analysis.ShapeMedian(rtt),
-			FiveGMileShare:  share.FiveG(),
-			HighSpeedShare:  share.HighSpeed(),
-			HOsPerMileMed:   analysis.ShapeMedian(hpm),
-			HODurMedMs:      analysis.ShapeMedian(hoDur),
-			VideoQoEMed:     analysis.ShapeMedian(qoe),
-			GamingMbpsMed:   analysis.ShapeMedian(gaming),
-			VideoRuns:       videoRuns,
-			GamingRuns:      gamingRuns,
+			DriveDLMedMbps:  h.DriveDLMedMbps,
+			DriveULMedMbps:  h.DriveULMedMbps,
+			StaticDLMedMbps: h.StaticDLMedMbps,
+			DriveRTTMedMs:   h.DriveRTTMedMs,
+			FiveGMileShare:  h.FiveGMileShare,
+			HighSpeedShare:  h.HighSpeedShare,
+			HOsPerMileMed:   h.HOsPerMileMed,
+			HODurMedMs:      h.HODurMedMs,
+			VideoQoEMed:     h.VideoQoEMed,
+			GamingMbpsMed:   h.GamingMbpsMed,
+			VideoRuns:       h.VideoRuns,
+			GamingRuns:      h.GamingRuns,
 		}
 	}
 	return sum

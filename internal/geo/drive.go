@@ -159,6 +159,29 @@ func (tr *Trace) AtKm(km float64) int {
 	return lo
 }
 
+// TruncateAfterKm drops every sample more than trailSec seconds of trace
+// time past the first sample at or beyond km, copying the survivors so the
+// full backing array is released to the collector. A consumer that never
+// advances past km (plus lookahead shorter than trailSec) observes exactly
+// the samples it would have in the full trace; campaigns with a KmLimit use
+// this to shed the dominant allocation of short runs. No-op when km lies
+// beyond the trace.
+func (tr *Trace) TruncateAfterKm(km, trailSec float64) {
+	idx := tr.AtKm(km)
+	if idx >= len(tr.Samples) {
+		return
+	}
+	cut := tr.Samples[idx].T + trailSec
+	end := idx
+	for end < len(tr.Samples) && tr.Samples[end].T <= cut {
+		end++
+	}
+	if end >= len(tr.Samples) {
+		return
+	}
+	tr.Samples = append([]Sample(nil), tr.Samples[:end]...)
+}
+
 // Slice returns the samples with T in [t0, t1).
 func (tr *Trace) Slice(t0, t1 float64) []Sample {
 	i := tr.At(t0)
