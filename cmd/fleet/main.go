@@ -8,7 +8,7 @@
 //
 //	fleet [-seeds N] [-start-seed S] [-workers W] [-shards K]
 //	      [-checkpoint FILE] [-verify-resume] [-out FILE] [-html FILE]
-//	      [-quick] [-km N] [-apps=false]
+//	      [-dump-dir DIR] [-quick] [-km N] [-apps=false]
 //
 // With -checkpoint, completed seeds append to FILE as JSON lines; an
 // interrupted fleet re-run with the same flags resumes, skipping the seeds
@@ -17,6 +17,10 @@
 // seed and warns when its recomputed dataset SHA-256 disagrees with the
 // checkpointed one — the signature of a checkpoint written by different
 // code.
+//
+// -dump-dir DIR additionally streams each freshly-run seed's full dataset
+// to DIR/seed-N/ as gzip CSVs (parallel chunked compression); resumed
+// seeds are not re-run, so they leave no dump.
 package main
 
 import (
@@ -24,9 +28,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"wheels/internal/campaign"
+	"wheels/internal/dataset"
 	"wheels/internal/fleet"
 )
 
@@ -42,6 +48,7 @@ func main() {
 		verify     = flag.Bool("verify-resume", false, "re-run resumed seeds and warn when the recomputed dataset hash disagrees with the checkpoint (code drift)")
 		out        = flag.String("out", "", "write the cross-seed text report to this file (default stdout)")
 		htmlOut    = flag.String("html", "", "also write the report as a self-contained HTML page")
+		dumpDir    = flag.String("dump-dir", "", "stream each freshly-run seed's dataset to DIR/seed-N/ as gzip CSVs")
 		quick      = flag.Bool("quick", false, "network tests only, first 200 km per seed")
 		km         = flag.Float64("km", 0, "truncate each campaign to the first N km (0 = full trip)")
 		apps       = flag.Bool("apps", true, "run the four killer apps in each campaign")
@@ -82,6 +89,12 @@ func main() {
 				fmt.Fprintf(os.Stderr, "  WARNING: seed %d checkpoint hash disagrees with this build's recomputed dataset hash — the checkpoint was written by different code\n", ev.Seed)
 			}
 		},
+	}
+	if *dumpDir != "" {
+		dir := *dumpDir
+		cfg.SeedSink = func(seed int64) (dataset.Sink, error) {
+			return dataset.NewParallelCSVWriter(filepath.Join(dir, fmt.Sprintf("seed-%d", seed)), 0, 0)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "fleet: %d seeds from %d, %d shard(s) per campaign...\n",
 		*seeds, *startSeed, *shards)

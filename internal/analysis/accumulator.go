@@ -74,6 +74,28 @@ func NewAccumulator(seed int64) *Accumulator {
 // Seed returns the campaign seed the accumulator was created for.
 func (a *Accumulator) Seed() int64 { return a.seed }
 
+// Reset clears the accumulator for a new campaign with the given seed,
+// keeping every metric slice's capacity. A fleet worker owns one
+// accumulator and resets it between seeds, so the steady-state reduction
+// allocates nothing once the slices have grown to a campaign's size.
+func (a *Accumulator) Reset(seed int64) {
+	a.seed = seed
+	a.n = Counts{}
+	for i := range a.ops {
+		o := &a.ops[i]
+		o.driveDL = o.driveDL[:0]
+		o.driveUL = o.driveUL[:0]
+		o.staticDL = o.staticDL[:0]
+		o.rtt = o.rtt[:0]
+		o.hpm = o.hpm[:0]
+		o.hoDur = o.hoDur[:0]
+		o.qoe = o.qoe[:0]
+		o.gaming = o.gaming[:0]
+		o.fiveDrive, o.videoRuns, o.gamingRuns = 0, 0, 0
+		clear(o.techMiles)
+	}
+}
+
 // Counts returns the per-table record counts seen so far.
 func (a *Accumulator) Counts() Counts { return a.n }
 

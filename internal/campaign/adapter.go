@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"sync"
+
 	"wheels/internal/apps"
 	"wheels/internal/dataset"
 	"wheels/internal/geo"
@@ -61,8 +63,9 @@ type adapter struct {
 
 	// trCur memoizes the trace position: a test's clock only moves forward,
 	// so each tick's position lookup is O(1). Adapters run concurrently (one
-	// per phone in fanOut), so each owns its cursor.
-	trCur *geo.TraceCursor
+	// per phone in fanOut), so each owns its cursor (by value, so a pooled
+	// adapter carries no heap cursor of its own).
+	trCur geo.TraceCursor
 	// Wire-RTT memo: the propagation delay to the test server depends only
 	// on the vehicle coordinate, which changes once per trace sample (the
 	// extrapolation between samples moves Km, not Pos), so the Haversine is
@@ -72,22 +75,41 @@ type adapter struct {
 	wireInit bool
 }
 
+// adapterPool recycles adapters across tests: the rows and hoRecs backing
+// arrays grow to a test's working size once and are then reused for the
+// rest of the process, so the steady-state per-test cost of the KPI
+// accumulation is zero allocations. Adapters are handed back via release.
+var adapterPool = sync.Pool{New: func() any { return new(adapter) }}
+
 // newAdapter starts a test at time t for the phone with a pre-allocated
 // test id (ids are handed out before the per-phone goroutines fan out, so
 // they stay deterministic). For driving tests the server is selected at
 // test start from the phone's position (as the test harness did); static
 // tests pass their own state.
 func (c *Campaign) newAdapter(id int, ph *phone, t float64, profile ran.Traffic, dir radio.Direction, static *staticState) *adapter {
-	a := &adapter{c: c, ph: ph, testID: id, t: t, profile: profile, dir: dir, static: static}
-	a.trCur = c.Trace.Cursor()
+	a := adapterPool.Get().(*adapter)
+	rows, hoRecs := a.rows[:0], a.hoRecs[:0]
+	*a = adapter{c: c, ph: ph, testID: id, t: t, profile: profile, dir: dir, static: static,
+		rows: rows, hoRecs: hoRecs}
+	a.trCur.Reset(c.Trace)
 	if static != nil {
 		a.server = c.Reg.Select(ph.op, static.pos, static.zone)
 	} else {
-		s := c.whereCur(a.trCur, t)
+		s := c.whereCur(&a.trCur, t)
 		a.server = c.Reg.Select(ph.op, s.Pos, s.Zone)
 	}
 	ph.ue.TakeHandovers() // drop events from between tests
 	return a
+}
+
+// release hands the adapter's scratch back to the pool. The caller must be
+// done with rows and hoRecs — they are reused by the next test. Pointer
+// fields are dropped so a parked adapter does not pin a campaign or phone
+// in memory between seeds.
+func (a *adapter) release() {
+	rows, hoRecs := a.rows[:0], a.hoRecs[:0]
+	*a = adapter{rows: rows, hoRecs: hoRecs}
+	adapterPool.Put(a)
 }
 
 // advance moves the adapter forward dt seconds and returns the current
@@ -102,7 +124,7 @@ func (a *adapter) advance(dt float64) (capDL, capUL, rttMs float64, outage bool)
 		s = geo.Sample{T: a.t, Km: a.static.km, Pos: a.static.pos, MPH: 0,
 			Road: geo.RoadCity, Zone: a.static.zone}
 	} else {
-		s = a.c.whereCur(a.trCur, a.t)
+		s = a.c.whereCur(&a.trCur, a.t)
 		snap = a.ph.ue.Step(a.t, dt, s.Km, s.MPH, s.Road, s.Zone, a.profile)
 		for _, ev := range a.ph.ue.TakeHandovers() {
 			a.accHOs++

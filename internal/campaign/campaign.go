@@ -114,6 +114,10 @@ type Campaign struct {
 	// here; RunTo wires the caller's sink.
 	sink   dataset.Sink
 	nextID int
+
+	// fanOut scratch, lazily built and reset per phase (see fanOut).
+	fanSinks []dataset.Collector
+	fanIDs   []int
 }
 
 // traceTrailSec is how much trace time a KmLimit-bounded campaign keeps
@@ -124,40 +128,22 @@ type Campaign struct {
 // dominant allocation of short campaigns — the full 8-day 1 Hz trace.
 const traceTrailSec = 3600
 
-// newTrace simulates the drive and truncates the trace to the campaign's
-// KmLimit (plus trail) when one is set. Truncation happens before any
-// consumer sees the trace, so serial, shard, and fleet runs over the same
-// (seed, KmLimit) observe identical samples.
+// newTrace simulates the drive, bounded to the campaign's KmLimit (plus
+// trail) when one is set. The generator stops drawing once the limit is
+// reached (geo.DriveLimited), which both sheds the dominant allocation of
+// short runs and skips simulating the days past the limit entirely; serial,
+// shard, and fleet runs over the same (seed, KmLimit) observe identical
+// samples either way.
 func newTrace(route *geo.Route, rng *sim.RNG, cfg Config) *geo.Trace {
-	tr := geo.Drive(route, rng.Stream("drive"))
-	if cfg.KmLimit > 0 {
-		tr.TruncateAfterKm(cfg.KmLimit, traceTrailSec)
-	}
-	return tr
+	return geo.DriveLimited(route, rng.Stream("drive"), cfg.KmLimit, traceTrailSec)
 }
 
 // New builds the testbed: route, drive trace, three deployments, three test
-// phones, and the server registry.
+// phones, and the server registry. Fleet callers running many seeds should
+// build one Testbed and use NewWithTestbed so the seed-independent substrate
+// is constructed once.
 func New(cfg Config) *Campaign {
-	rng := sim.NewRNG(cfg.Seed)
-	route := geo.NewRoute()
-	c := &Campaign{
-		Cfg:   cfg,
-		Route: route,
-		Trace: newTrace(route, rng, cfg),
-		Reg:   servers.NewRegistry(route),
-		rng:   rng,
-	}
-	for _, op := range radio.Operators() {
-		dep := deploy.New(route, op, rng.Stream("deploy"))
-		c.phones = append(c.phones, &phone{
-			op:  op,
-			dep: dep,
-			ue:  ran.NewUE(rng.Stream("test-phone"), dep),
-			lat: transport.NewLatencyModel(rng.Stream("latency"), op),
-		})
-	}
-	return c
+	return NewWithTestbed(cfg, NewTestbed())
 }
 
 // warmup settles a shard worker's fresh UEs by letting them camp idle at
@@ -316,11 +302,19 @@ func (c *Campaign) RunTo(sink dataset.Sink) {
 // campaign sink in fixed operator order. One phase holds at most one test's
 // records per phone, so the buffering stays O(cycle), not O(campaign).
 func (c *Campaign) fanOut(run func(sink dataset.Sink, id int, ph *phone)) {
-	sinks := make([]dataset.Collector, len(c.phones))
+	// The per-phone collectors and id slice live on the campaign and are
+	// reset per phase, so the fan-out machinery stops allocating once the
+	// tables reach a phase's working size. fanOut runs phases one at a
+	// time from the single campaign goroutine, so reuse cannot race.
+	if c.fanSinks == nil {
+		c.fanSinks = make([]dataset.Collector, len(c.phones))
+		c.fanIDs = make([]int, len(c.phones))
+	}
+	sinks, ids := c.fanSinks, c.fanIDs
 	// Test ids are allocated before the goroutines start, in operator
 	// order, so the dataset is identical to a sequential run.
-	ids := make([]int, len(c.phones))
 	for i := range ids {
+		sinks[i].Reset()
 		ids[i] = c.newTestID()
 	}
 	var wg sync.WaitGroup

@@ -1,8 +1,6 @@
 package campaign
 
 import (
-	"runtime"
-
 	"wheels/internal/dataset"
 	"wheels/internal/deploy"
 	"wheels/internal/geo"
@@ -18,13 +16,14 @@ import (
 // shards open with settled RRC state instead of a cold attach.
 const warmupSec = 30.0
 
-// sharedTestbed is the immutable campaign substrate built once and reused
-// by every shard worker: route geometry, the drive trace, the server
-// registry, and the per-operator deployments. All of it is read-only after
-// construction — the serial engine already shares it across the fanOut
-// goroutines — so workers can share it without copies. Everything here
-// derives from the seed alone (never from the shard), which is what keeps
-// the route and radio footprint identical across shard counts.
+// sharedTestbed is the immutable per-seed campaign substrate built once and
+// reused by every shard worker: the seed-independent Testbed (route
+// geometry, server registry) plus the seed-dependent drive trace and
+// per-operator deployments. All of it is read-only after construction — the
+// serial engine already shares it across the fanOut goroutines — so workers
+// can share it without copies. Everything here derives from the seed alone
+// (never from the shard), which is what keeps the route and radio footprint
+// identical across shard counts.
 type sharedTestbed struct {
 	route *geo.Route
 	trace *geo.Trace
@@ -32,17 +31,16 @@ type sharedTestbed struct {
 	deps  []*deploy.Deployment // indexed by operator
 }
 
-func newSharedTestbed(cfg Config) *sharedTestbed {
+func newSharedTestbed(cfg Config, tb *Testbed) *sharedTestbed {
 	rng := sim.NewRNG(cfg.Seed)
-	route := geo.NewRoute()
 	sh := &sharedTestbed{
-		route: route,
-		trace: newTrace(route, rng, cfg),
-		reg:   servers.NewRegistry(route),
+		route: tb.Route,
+		trace: newTrace(tb.Route, rng, cfg),
+		reg:   tb.Reg,
 		deps:  make([]*deploy.Deployment, radio.NumOperators),
 	}
 	for _, op := range radio.Operators() {
-		sh.deps[op] = deploy.New(route, op, rng.Stream("deploy"))
+		sh.deps[op] = deploy.New(tb.Route, op, rng.Stream("deploy"))
 	}
 	return sh
 }
@@ -104,40 +102,5 @@ func RunSharded(cfg Config, shards, workers int) *dataset.Dataset {
 // is therefore O(in-flight shards), not O(campaign). Like RunTo it does not
 // call sink.Flush; the sink's owner does.
 func RunShardedTo(cfg Config, shards, workers int, sink dataset.Sink) {
-	if shards <= 1 {
-		New(cfg).RunTo(sink)
-		return
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	sh := newSharedTestbed(cfg)
-	end := sh.route.LengthKm()
-	if cfg.KmLimit > 0 && cfg.KmLimit < end {
-		end = cfg.KmLimit
-	}
-
-	parts := make([]chan *dataset.Dataset, shards)
-	for i := range parts {
-		parts[i] = make(chan *dataset.Dataset, 1)
-	}
-	sem := make(chan struct{}, workers)
-	for i := 0; i < shards; i++ {
-		go func(i int) {
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			startKm := end * float64(i) / float64(shards)
-			stopKm := end * float64(i+1) / float64(shards)
-			parts[i] <- newShardWorker(cfg, sh, i, startKm, stopKm).Run()
-		}(i)
-	}
-	// Consume in shard order: route order for the output stream, and the
-	// same renumbering MergeRenumbered applies, so a Collector sink here
-	// reproduces RunSharded's dataset byte-for-byte.
-	renum := dataset.NewRenumber(sink)
-	for i := range parts {
-		p := <-parts[i]
-		p.EmitTo(renum)
-		renum.Advance()
-	}
+	NewTestbed().RunShardedTo(cfg, shards, workers, sink)
 }

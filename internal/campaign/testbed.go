@@ -1,0 +1,102 @@
+package campaign
+
+import (
+	"runtime"
+
+	"wheels/internal/dataset"
+	"wheels/internal/deploy"
+	"wheels/internal/geo"
+	"wheels/internal/radio"
+	"wheels/internal/ran"
+	"wheels/internal/servers"
+	"wheels/internal/sim"
+	"wheels/internal/transport"
+)
+
+// Testbed is the seed-independent campaign substrate: the route geometry
+// and the server registry, both pure functions of nothing (the route is the
+// paper's fixed LA → Boston itinerary). Everything here is immutable after
+// construction and safe to share read-only across goroutines, so a fleet
+// builds one Testbed and hands it to every seed and every shard worker
+// instead of reconstructing it per campaign. The seed-dependent parts —
+// drive trace, deployments, UEs, latency models — are still built per
+// campaign by NewWithTestbed; the deploy and radio calibration tables are
+// package-level and already shared by construction.
+type Testbed struct {
+	Route *geo.Route
+	Reg   *servers.Registry
+}
+
+// NewTestbed builds the shared substrate once.
+func NewTestbed() *Testbed {
+	route := geo.NewRoute()
+	return &Testbed{Route: route, Reg: servers.NewRegistry(route)}
+}
+
+// NewWithTestbed builds a campaign on a pre-built shared testbed. The
+// resulting dataset is byte-identical to New's for the same Config: the
+// testbed parts carry no randomness, and every RNG stream is drawn in the
+// same order as New draws them.
+func NewWithTestbed(cfg Config, tb *Testbed) *Campaign {
+	rng := sim.NewRNG(cfg.Seed)
+	c := &Campaign{
+		Cfg:   cfg,
+		Route: tb.Route,
+		Trace: newTrace(tb.Route, rng, cfg),
+		Reg:   tb.Reg,
+		rng:   rng,
+	}
+	for _, op := range radio.Operators() {
+		dep := deploy.New(tb.Route, op, rng.Stream("deploy"))
+		c.phones = append(c.phones, &phone{
+			op:  op,
+			dep: dep,
+			ue:  ran.NewUE(rng.Stream("test-phone"), dep),
+			lat: transport.NewLatencyModel(rng.Stream("latency"), op),
+		})
+	}
+	return c
+}
+
+// RunShardedTo runs the sharded campaign over this testbed, streaming the
+// merged record stream into sink exactly as the package-level RunShardedTo
+// does; see its contract. Fleet workers use this form so the route and
+// registry are built once per fleet, not once per (seed, shard).
+func (tb *Testbed) RunShardedTo(cfg Config, shards, workers int, sink dataset.Sink) {
+	if shards <= 1 {
+		NewWithTestbed(cfg, tb).RunTo(sink)
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sh := newSharedTestbed(cfg, tb)
+	end := sh.route.LengthKm()
+	if cfg.KmLimit > 0 && cfg.KmLimit < end {
+		end = cfg.KmLimit
+	}
+
+	parts := make([]chan *dataset.Dataset, shards)
+	for i := range parts {
+		parts[i] = make(chan *dataset.Dataset, 1)
+	}
+	sem := make(chan struct{}, workers)
+	for i := 0; i < shards; i++ {
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			startKm := end * float64(i) / float64(shards)
+			stopKm := end * float64(i+1) / float64(shards)
+			parts[i] <- newShardWorker(cfg, sh, i, startKm, stopKm).Run()
+		}(i)
+	}
+	// Consume in shard order: route order for the output stream, and the
+	// same renumbering MergeRenumbered applies, so a Collector sink here
+	// reproduces RunSharded's dataset byte-for-byte.
+	renum := dataset.NewRenumber(sink)
+	for i := range parts {
+		p := <-parts[i]
+		p.EmitTo(renum)
+		renum.Advance()
+	}
+}

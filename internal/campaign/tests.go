@@ -79,6 +79,7 @@ func (c *Campaign) runBulk(sink dataset.Sink, id int, ph *phone, t float64, dir 
 		sum.TxBytes = res.DeliveredBytes
 	}
 	sink.EmitTest(sum)
+	a.release()
 }
 
 // emitHandovers streams an adapter's handover records into the sink.
@@ -122,6 +123,7 @@ func (c *Campaign) runRTT(sink dataset.Sink, id int, ph *phone, t float64, stati
 		sum.Miles = c.Trace.MilesBetween(t, t+c.Cfg.RTTSec)
 	}
 	sink.EmitTest(sum)
+	a.release()
 }
 
 func meanStdFrac(v []float64) (mean, stdFrac float64) {
@@ -188,6 +190,7 @@ func (c *Campaign) runSpeedTest(sink dataset.Sink, id int, ph *phone, t float64)
 		Miles:   c.Trace.MilesBetween(t, t+speedTestSec),
 		RxBytes: res.MeanBps / 8 * speedTestSec,
 	})
+	a.release()
 }
 
 // runAppBattery runs the four killer apps on all three phones (AR and CAV
@@ -222,6 +225,7 @@ func (c *Campaign) runOffload(sink dataset.Sink, id int, ph *phone, t float64, a
 		HighSpeedFrac: a.highSpeedFrac(), HOCount: a.hoCount(),
 		MedianE2EMs: res.MedianE2EMs, OffloadFPS: res.OffloadFPS, MAP: res.MAP,
 	})
+	a.release()
 }
 
 func (c *Campaign) runVideo(sink dataset.Sink, id int, ph *phone, t float64) {
@@ -233,6 +237,7 @@ func (c *Campaign) runVideo(sink dataset.Sink, id int, ph *phone, t float64) {
 		Server: a.server.Kind, HighSpeedFrac: a.highSpeedFrac(), HOCount: a.hoCount(),
 		QoE: res.QoE, RebufFrac: res.RebufFrac, AvgBitrate: res.AvgBitrate,
 	})
+	a.release()
 }
 
 func (c *Campaign) runGaming(sink dataset.Sink, id int, ph *phone, t float64) {
@@ -244,6 +249,7 @@ func (c *Campaign) runGaming(sink dataset.Sink, id int, ph *phone, t float64) {
 		Server: a.server.Kind, HighSpeedFrac: a.highSpeedFrac(), HOCount: a.hoCount(),
 		SendBitrate: res.SendBitrate, NetLatencyMs: res.NetLatencyMs, FrameDrop: res.FrameDrop,
 	})
+	a.release()
 }
 
 // runStaticBattery runs the static city baseline (§5.1): the team searched

@@ -64,42 +64,56 @@ var tableHeaders = [numTables][]string{
 	tabPassive: {"op", "time_utc", "km", "tech", "cell", "zone", "no_svc"},
 }
 
-func encodeThr(s ThroughputSample) []string {
-	return []string{i2s(s.TestID), s.Op.String(), s.Dir.String(), t2s(s.TimeUTC), f2s(s.Bps),
+// The append* codecs write a record's fields into a caller-owned slice so
+// streaming sinks (CSVWriter, HashSink, ParallelCSVWriter) can reuse one
+// row buffer per sink instead of allocating a field slice per record.
+// csv.Writer copies field contents on Write, so the buffer is free for
+// reuse as soon as Write returns. The encode* wrappers keep the one-shot
+// form Save uses.
+
+func appendThr(dst []string, s ThroughputSample) []string {
+	return append(dst, i2s(s.TestID), s.Op.String(), s.Dir.String(), t2s(s.TimeUTC), f2s(s.Bps),
 		s.Tech.String(), f2s(s.RSRPdBm), f2s(s.SINRdB), i2s(s.MCS), f2s(s.BLER), i2s(s.CC),
 		f2s(s.MPH), f2s(s.Km), s.Zone.String(), s.Road.String(), s.Server.String(),
-		b2s(s.Static), i2s(s.HOs)}
+		b2s(s.Static), i2s(s.HOs))
 }
 
-func encodeRTT(s RTTSample) []string {
-	return []string{i2s(s.TestID), s.Op.String(), t2s(s.TimeUTC), f2s(s.Ms), s.Tech.String(),
-		f2s(s.MPH), f2s(s.Km), s.Zone.String(), s.Server.String(), b2s(s.Static)}
+func appendRTT(dst []string, s RTTSample) []string {
+	return append(dst, i2s(s.TestID), s.Op.String(), t2s(s.TimeUTC), f2s(s.Ms), s.Tech.String(),
+		f2s(s.MPH), f2s(s.Km), s.Zone.String(), s.Server.String(), b2s(s.Static))
 }
 
-func encodeHO(h HandoverRecord) []string {
-	return []string{i2s(h.TestID), h.Op.String(), t2s(h.TimeUTC), f2s(h.DurSec),
-		h.FromTech.String(), h.ToTech.String(), h.FromCell, h.ToCell, h.Dir.String()}
+func appendHO(dst []string, h HandoverRecord) []string {
+	return append(dst, i2s(h.TestID), h.Op.String(), t2s(h.TimeUTC), f2s(h.DurSec),
+		h.FromTech.String(), h.ToTech.String(), h.FromCell, h.ToCell, h.Dir.String())
 }
 
-func encodeTest(t TestSummary) []string {
-	return []string{i2s(t.ID), t.Op.String(), string(t.Kind), t.Dir.String(), t2s(t.StartUTC),
+func appendTest(dst []string, t TestSummary) []string {
+	return append(dst, i2s(t.ID), t.Op.String(), string(t.Kind), t.Dir.String(), t2s(t.StartUTC),
 		f2s(t.DurSec), t.Zone.String(), t.Server.String(), b2s(t.Static), f2s(t.MeanBps),
 		f2s(t.StdFracBps), f2s(t.MeanRTTms), f2s(t.StdFracRTT), f2s(t.HighSpeedFrac),
-		f2s(t.Miles), i2s(t.HOCount), f2s(t.RxBytes), f2s(t.TxBytes)}
+		f2s(t.Miles), i2s(t.HOCount), f2s(t.RxBytes), f2s(t.TxBytes))
 }
 
-func encodeApp(a AppRun) []string {
-	return []string{i2s(a.ID), a.Op.String(), string(a.App), t2s(a.StartUTC), f2s(a.DurSec),
+func appendApp(dst []string, a AppRun) []string {
+	return append(dst, i2s(a.ID), a.Op.String(), string(a.App), t2s(a.StartUTC), f2s(a.DurSec),
 		a.Server.String(), b2s(a.Static), b2s(a.Compressed), f2s(a.HighSpeedFrac),
 		i2s(a.HOCount), f2s(a.MedianE2EMs), f2s(a.OffloadFPS), f2s(a.MAP), f2s(a.QoE),
 		f2s(a.RebufFrac), f2s(a.AvgBitrate), f2s(a.SendBitrate), f2s(a.NetLatencyMs),
-		f2s(a.FrameDrop)}
+		f2s(a.FrameDrop))
 }
 
-func encodePassive(p PassiveSample) []string {
-	return []string{p.Op.String(), t2s(p.TimeUTC), f2s(p.Km), p.Tech.String(), p.Cell,
-		p.Zone.String(), b2s(p.NoSvc)}
+func appendPassive(dst []string, p PassiveSample) []string {
+	return append(dst, p.Op.String(), t2s(p.TimeUTC), f2s(p.Km), p.Tech.String(), p.Cell,
+		p.Zone.String(), b2s(p.NoSvc))
 }
+
+func encodeThr(s ThroughputSample) []string  { return appendThr(nil, s) }
+func encodeRTT(s RTTSample) []string         { return appendRTT(nil, s) }
+func encodeHO(h HandoverRecord) []string     { return appendHO(nil, h) }
+func encodeTest(t TestSummary) []string      { return appendTest(nil, t) }
+func encodeApp(a AppRun) []string            { return appendApp(nil, a) }
+func encodePassive(p PassiveSample) []string { return appendPassive(nil, p) }
 
 type rowErr struct {
 	file string

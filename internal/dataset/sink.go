@@ -68,6 +68,20 @@ func NewCollector(seed int64) *Collector { return &Collector{D: Dataset{Seed: se
 // Dataset returns the collected dataset.
 func (c *Collector) Dataset() *Dataset { return &c.D }
 
+// Reset empties the collected dataset in place, keeping every table's
+// backing array (and the seed), so a collector reused as per-phase scratch
+// stops allocating once its tables have grown to the phase's working size.
+// Records previously read out of the collector must already be copied —
+// the next emits overwrite them.
+func (c *Collector) Reset() {
+	c.D.Thr = c.D.Thr[:0]
+	c.D.RTT = c.D.RTT[:0]
+	c.D.Handovers = c.D.Handovers[:0]
+	c.D.Tests = c.D.Tests[:0]
+	c.D.Apps = c.D.Apps[:0]
+	c.D.Passive = c.D.Passive[:0]
+}
+
 func (c *Collector) EmitThr(s ThroughputSample)    { c.D.Thr = append(c.D.Thr, s) }
 func (c *Collector) EmitRTT(s RTTSample)           { c.D.RTT = append(c.D.RTT, s) }
 func (c *Collector) EmitHandover(h HandoverRecord) { c.D.Handovers = append(c.D.Handovers, h) }
@@ -184,8 +198,9 @@ func (r *Renumber) Flush() error                { return r.dst.Flush() }
 // string. Emitting a dataset into a HashSink therefore fingerprints exactly
 // the bytes Save would write, table order and headers included.
 type HashSink struct {
-	h [numTables]hash.Hash
-	w [numTables]*csv.Writer
+	h   [numTables]hash.Hash
+	w   [numTables]*csv.Writer
+	row []string // reusable field buffer; csv.Writer copies on Write
 }
 
 // NewHashSink returns a HashSink with the table headers already hashed.
@@ -199,12 +214,41 @@ func NewHashSink() *HashSink {
 	return s
 }
 
-func (s *HashSink) EmitThr(r ThroughputSample)    { s.w[tabThr].Write(encodeThr(r)) }
-func (s *HashSink) EmitRTT(r RTTSample)           { s.w[tabRTT].Write(encodeRTT(r)) }
-func (s *HashSink) EmitHandover(h HandoverRecord) { s.w[tabHO].Write(encodeHO(h)) }
-func (s *HashSink) EmitTest(t TestSummary)        { s.w[tabTests].Write(encodeTest(t)) }
-func (s *HashSink) EmitApp(a AppRun)              { s.w[tabApps].Write(encodeApp(a)) }
-func (s *HashSink) EmitPassive(p PassiveSample)   { s.w[tabPassive].Write(encodePassive(p)) }
+// Reset rewinds the sink to its freshly-constructed state (headers hashed,
+// nothing else), reusing the hash and writer machinery. Fleet workers reset
+// one HashSink per seed instead of allocating a new one.
+func (s *HashSink) Reset() {
+	for i := range s.h {
+		s.w[i].Flush() // drop any buffered row bytes into the old hash
+		s.h[i].Reset()
+		s.w[i].Write(tableHeaders[i])
+	}
+}
+
+func (s *HashSink) EmitThr(r ThroughputSample) {
+	s.row = appendThr(s.row[:0], r)
+	s.w[tabThr].Write(s.row)
+}
+func (s *HashSink) EmitRTT(r RTTSample) {
+	s.row = appendRTT(s.row[:0], r)
+	s.w[tabRTT].Write(s.row)
+}
+func (s *HashSink) EmitHandover(h HandoverRecord) {
+	s.row = appendHO(s.row[:0], h)
+	s.w[tabHO].Write(s.row)
+}
+func (s *HashSink) EmitTest(t TestSummary) {
+	s.row = appendTest(s.row[:0], t)
+	s.w[tabTests].Write(s.row)
+}
+func (s *HashSink) EmitApp(a AppRun) {
+	s.row = appendApp(s.row[:0], a)
+	s.w[tabApps].Write(s.row)
+}
+func (s *HashSink) EmitPassive(p PassiveSample) {
+	s.row = appendPassive(s.row[:0], p)
+	s.w[tabPassive].Write(s.row)
+}
 func (s *HashSink) Flush() error {
 	for i := range s.w {
 		s.w[i].Flush()

@@ -20,6 +20,7 @@ type CSVWriter struct {
 	files [numTables]*os.File
 	zw    [numTables]*gzip.Writer
 	cw    [numTables]*csv.Writer
+	row   []string // reusable field buffer; csv.Writer copies on Write
 	err   error
 	done  bool
 }
@@ -75,12 +76,30 @@ func (w *CSVWriter) write(tab int, rec []string) {
 	}
 }
 
-func (w *CSVWriter) EmitThr(s ThroughputSample)    { w.write(tabThr, encodeThr(s)) }
-func (w *CSVWriter) EmitRTT(s RTTSample)           { w.write(tabRTT, encodeRTT(s)) }
-func (w *CSVWriter) EmitHandover(h HandoverRecord) { w.write(tabHO, encodeHO(h)) }
-func (w *CSVWriter) EmitTest(t TestSummary)        { w.write(tabTests, encodeTest(t)) }
-func (w *CSVWriter) EmitApp(a AppRun)              { w.write(tabApps, encodeApp(a)) }
-func (w *CSVWriter) EmitPassive(p PassiveSample)   { w.write(tabPassive, encodePassive(p)) }
+func (w *CSVWriter) EmitThr(s ThroughputSample) {
+	w.row = appendThr(w.row[:0], s)
+	w.write(tabThr, w.row)
+}
+func (w *CSVWriter) EmitRTT(s RTTSample) {
+	w.row = appendRTT(w.row[:0], s)
+	w.write(tabRTT, w.row)
+}
+func (w *CSVWriter) EmitHandover(h HandoverRecord) {
+	w.row = appendHO(w.row[:0], h)
+	w.write(tabHO, w.row)
+}
+func (w *CSVWriter) EmitTest(t TestSummary) {
+	w.row = appendTest(w.row[:0], t)
+	w.write(tabTests, w.row)
+}
+func (w *CSVWriter) EmitApp(a AppRun) {
+	w.row = appendApp(w.row[:0], a)
+	w.write(tabApps, w.row)
+}
+func (w *CSVWriter) EmitPassive(p PassiveSample) {
+	w.row = appendPassive(w.row[:0], p)
+	w.write(tabPassive, w.row)
+}
 
 // Flush drains the CSV buffers, closes the gzip streams and files, and
 // returns the first error encountered anywhere in the writer's lifetime.

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"wheels/internal/campaign"
+	"wheels/internal/dataset"
 )
 
 // Config scopes a fleet run.
@@ -25,7 +26,9 @@ type Config struct {
 
 	// Checkpoint, when set, is the JSONL file completed seeds append to
 	// and resume reads from. Seeds already present (with a matching shard
-	// count) are not re-run.
+	// count) are not re-run. The fleet holds an exclusive lock file
+	// ("<checkpoint>.lock") for the whole run: a second fleet pointed at
+	// the same checkpoint fails fast instead of interleaving writes.
 	Checkpoint string
 
 	// VerifyResume re-runs every resumed seed through the streaming engine
@@ -37,6 +40,15 @@ type Config struct {
 	// not a correction. Checkpoints from builds that predate the hash carry
 	// no fingerprint and are flagged as unverifiable.
 	VerifyResume bool
+
+	// SeedSink, when non-nil, supplies an extra sink each freshly-run
+	// seed's record stream is teed into as it is produced (the CLI wires a
+	// per-seed ParallelCSVWriter here to dump datasets while the fleet
+	// reduces them). It is called from worker goroutines; the sink it
+	// returns is owned and flushed by the fleet, and a construction or
+	// flush error fails the run. Resumed seeds are not re-streamed, so
+	// they produce no dump.
+	SeedSink func(seed int64) (dataset.Sink, error)
 
 	// Progress, when non-nil, observes every completed or skipped seed.
 	// It is called from worker goroutines under the fleet's collector
@@ -60,6 +72,12 @@ type Event struct {
 // Run executes the fleet and returns the cross-seed report. The report is
 // a pure function of (Base, StartSeed, Seeds, Shards): worker count,
 // scheduling, kills and checkpoint resumes cannot change a byte of it.
+//
+// The seed-independent campaign substrate (route, server registry) is built
+// once and shared read-only by every worker, and each worker reuses one
+// reduction pipeline (accumulator + hash sink) across all the seeds it
+// runs, so fleet throughput scales with the simulation work, not with
+// per-seed setup and GC churn.
 func Run(cfg Config) (*Report, error) {
 	if cfg.Seeds <= 0 {
 		return nil, fmt.Errorf("fleet: Seeds must be positive, got %d", cfg.Seeds)
@@ -71,6 +89,18 @@ func Run(cfg Config) (*Report, error) {
 	shards := cfg.Shards
 	if shards < 1 {
 		shards = 1
+	}
+
+	// The checkpoint is exclusive for the whole run: resume reads and
+	// completion appends from two fleets would corrupt each other.
+	var lock *checkpointLock
+	if cfg.Checkpoint != "" {
+		l, err := acquireCheckpointLock(cfg.Checkpoint)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+		lock = l
+		defer lock.release()
 	}
 
 	// Resume: adopt checkpointed summaries for seeds in this fleet's range
@@ -116,79 +146,103 @@ func Run(cfg Config) (*Report, error) {
 			HashMismatch: mismatch,
 		})
 	}
+
 	// Partition the seed range before any worker starts: the scheduling
 	// decisions read `done`, which workers mutate, so all reads happen
-	// strictly before the first spawn. Resumed seeds are announced here in
-	// seed order — except under VerifyResume, where they re-run through
-	// the pool and are announced as their verification completes.
-	type resumeJob struct {
+	// strictly before the first job is queued. Resumed seeds are announced
+	// here in seed order — except under VerifyResume, where they re-run
+	// through the pool and are announced as their verification completes.
+	type job struct {
 		seed   int64
-		stored SeedSummary
+		stored SeedSummary // valid only when verify is set
+		verify bool
 	}
-	var verifyJobs []resumeJob
-	var fresh []int64
+	var jobs []job
 	for seed := cfg.StartSeed; seed < cfg.StartSeed+int64(cfg.Seeds); seed++ {
 		if stored, ok := done[seed]; ok {
 			if cfg.VerifyResume {
-				verifyJobs = append(verifyJobs, resumeJob{seed, stored})
+				jobs = append(jobs, job{seed: seed, stored: stored, verify: true})
 			} else {
 				emit(stored, true, false)
 			}
 			continue
 		}
-		fresh = append(fresh, seed)
+		jobs = append(jobs, job{seed: seed})
 	}
 
-	// The worker pool. Each job streams its campaign straight into the
+	// The worker pool: a fixed set of goroutines draining the job queue.
+	// Each job streams its campaign straight into the worker's reusable
 	// per-seed reduction (analysis.Accumulator + dataset.HashSink), so a
 	// running seed's records are dropped as they are produced and peak
 	// memory is O(workers) accumulators, never a materialized dataset.
+	tb := campaign.NewTestbed()
 	var (
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-		writeErr error
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+		runErr error
 	)
-	sem := make(chan struct{}, workers)
-	for _, job := range verifyJobs {
-		wg.Add(1)
-		go func(seed int64, stored SeedSummary) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			c := cfg.Base
-			c.Seed = seed
-			c.Progress = nil
-			re := runSeed(c, shards)
-			mismatch := stored.DatasetSHA256 == "" || stored.DatasetSHA256 != re.DatasetSHA256
-			mu.Lock()
-			defer mu.Unlock()
-			emit(stored, true, mismatch)
-		}(job.seed, job.stored)
+	queue := make(chan job)
+	fail := func(err error) {
+		mu.Lock()
+		if runErr == nil {
+			runErr = err
+		}
+		mu.Unlock()
 	}
-	for _, seed := range fresh {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(seed int64) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			c := cfg.Base
-			c.Seed = seed
-			c.Progress = nil
-			sum := runSeed(c, shards)
-			mu.Lock()
-			defer mu.Unlock()
-			done[seed] = sum
-			if ckpt != nil {
-				if err := appendSummary(ckpt, sum); err != nil && writeErr == nil {
-					writeErr = err
+			sc := newSeedScratch()
+			for jb := range queue {
+				c := cfg.Base
+				c.Seed = jb.seed
+				c.Progress = nil
+				if jb.verify {
+					re, err := runSeed(c, tb, shards, sc, nil)
+					if err != nil {
+						fail(fmt.Errorf("fleet: re-running seed %d: %w", jb.seed, err))
+						continue
+					}
+					mismatch := jb.stored.DatasetSHA256 == "" || jb.stored.DatasetSHA256 != re.DatasetSHA256
+					mu.Lock()
+					emit(jb.stored, true, mismatch)
+					mu.Unlock()
+					continue
 				}
+				var extra dataset.Sink
+				if cfg.SeedSink != nil {
+					s, err := cfg.SeedSink(jb.seed)
+					if err != nil {
+						fail(fmt.Errorf("fleet: opening seed %d sink: %w", jb.seed, err))
+						continue
+					}
+					extra = s
+				}
+				sum, err := runSeed(c, tb, shards, sc, extra)
+				if err != nil {
+					fail(fmt.Errorf("fleet: streaming seed %d: %w", jb.seed, err))
+					continue
+				}
+				mu.Lock()
+				done[jb.seed] = sum
+				if ckpt != nil {
+					if err := appendSummary(ckpt, sum); err != nil && runErr == nil {
+						runErr = fmt.Errorf("fleet: writing checkpoint: %w", err)
+					}
+				}
+				emit(sum, false, false)
+				mu.Unlock()
 			}
-			emit(sum, false, false)
-		}(seed)
+		}()
 	}
+	for _, jb := range jobs {
+		queue <- jb
+	}
+	close(queue)
 	wg.Wait()
-	if writeErr != nil {
-		return nil, fmt.Errorf("fleet: writing checkpoint: %w", writeErr)
+	if runErr != nil {
+		return nil, runErr
 	}
 
 	sums := make([]SeedSummary, 0, len(done))

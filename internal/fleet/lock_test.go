@@ -1,0 +1,108 @@
+package fleet
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCheckpointLockExcludesSecondRun: while one fleet holds the checkpoint
+// lock, a second Run against the same checkpoint fails fast with an error
+// naming the holder, without touching the checkpoint.
+func TestCheckpointLockExcludesSecondRun(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "fleet.jsonl")
+	lock, err := acquireCheckpointLock(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lock.release()
+
+	cfg := testConfig(ck)
+	_, err = Run(cfg)
+	if err == nil {
+		t.Fatal("second fleet run acquired a held checkpoint lock")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "locked by another fleet run") {
+		t.Errorf("error does not explain the lock: %v", err)
+	}
+	if !strings.Contains(msg, lockPath(ck)) {
+		t.Errorf("error does not name the lock file to remove: %v", err)
+	}
+	if _, statErr := os.Stat(ck); !os.IsNotExist(statErr) {
+		t.Error("excluded run created or touched the checkpoint file")
+	}
+}
+
+// TestCheckpointLockBreaksStale: a lock left by a dead process on this host
+// is broken automatically and the fleet proceeds.
+func TestCheckpointLockBreaksStale(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "fleet.jsonl")
+	host, _ := os.Hostname()
+	// Start a process that exits immediately and use its PID: guaranteed
+	// dead, guaranteed to have existed. Our own PID after fork would race;
+	// a fixed huge PID could exist on a long-lived host.
+	dead := deadPID(t)
+	writeLockFile(t, lockPath(ck), lockInfo{PID: dead, Host: host, Started: time.Now().UTC()})
+
+	cfg := testConfig(ck)
+	cfg.Seeds = 1
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("fleet did not break a stale lock: %v", err)
+	}
+	if _, err := os.Stat(lockPath(ck)); !os.IsNotExist(err) {
+		t.Error("lock file survived the run")
+	}
+}
+
+// TestCheckpointLockRemoteHostNotStale: a lock from another host is never
+// broken — liveness cannot be probed remotely.
+func TestCheckpointLockRemoteHostNotStale(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "fleet.jsonl")
+	writeLockFile(t, lockPath(ck), lockInfo{PID: 1, Host: "some-other-host", Started: time.Now().UTC()})
+	if _, err := Run(testConfig(ck)); err == nil {
+		t.Fatal("fleet broke another host's lock")
+	}
+}
+
+// TestCheckpointLockEmptyFileIsStale: an empty lock file — a crash between
+// create and write — does not wedge the checkpoint.
+func TestCheckpointLockEmptyFileIsStale(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "fleet.jsonl")
+	if err := os.WriteFile(lockPath(ck), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(ck)
+	cfg.Seeds = 1
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("fleet did not break an empty lock file: %v", err)
+	}
+}
+
+func writeLockFile(t *testing.T, path string, info lockInfo) {
+	t.Helper()
+	b, err := json.Marshal(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// deadPID returns the PID of a process that has already been reaped.
+func deadPID(t *testing.T) int {
+	t.Helper()
+	p, err := os.StartProcess("/bin/true", []string{"true"}, &os.ProcAttr{})
+	if err != nil {
+		t.Skipf("cannot spawn helper process: %v", err)
+	}
+	pid := p.Pid
+	if _, err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	return pid
+}

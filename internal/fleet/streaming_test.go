@@ -17,8 +17,13 @@ import (
 func TestStreamingSummaryMatchesReduce(t *testing.T) {
 	cfg := campaign.QuickConfig(23, 60)
 
+	tb := campaign.NewTestbed()
+	sc := newSeedScratch()
 	want := Reduce(campaign.New(cfg).Run(), 1)
-	got := runSeed(cfg, 1)
+	got, err := runSeed(cfg, tb, 1, sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !reflect.DeepEqual(want, got) {
 		t.Errorf("serial: streaming summary differs from Reduce\n got %+v\nwant %+v", got, want)
 	}
@@ -26,8 +31,13 @@ func TestStreamingSummaryMatchesReduce(t *testing.T) {
 		t.Error("streaming summary has no dataset hash")
 	}
 
+	// The sharded pass reuses the same scratch, so this also pins the reset
+	// contract: a worker's second seed reduces identically to a fresh one.
 	wantSh := Reduce(campaign.RunSharded(cfg, 3, 0), 3)
-	gotSh := runSeed(cfg, 3)
+	gotSh, err := runSeed(cfg, tb, 3, sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !reflect.DeepEqual(wantSh, gotSh) {
 		t.Errorf("sharded: streaming summary differs from Reduce\n got %+v\nwant %+v", gotSh, wantSh)
 	}
@@ -62,15 +72,24 @@ func TestVerifyResumeFlagsDrift(t *testing.T) {
 		t.Fatalf("same-code verify flagged seeds %v", mismatches)
 	}
 
-	// Tamper seed 23's recorded hash.
+	// Tamper seed 23's recorded hash. Lines append in completion order,
+	// which the worker pool does not fix, so find seed 23's line by content.
 	b, err := os.ReadFile(ck)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tampered := strings.Replace(string(b), `"dataset_sha256":"`, `"dataset_sha256":"beef`, 1)
-	if tampered == string(b) {
-		t.Fatal("checkpoint has no dataset_sha256 field to tamper with")
+	lines := strings.Split(string(b), "\n")
+	tamperedOne := false
+	for i, line := range lines {
+		if strings.Contains(line, `"seed":23,`) {
+			lines[i] = strings.Replace(line, `"dataset_sha256":"`, `"dataset_sha256":"beef`, 1)
+			tamperedOne = lines[i] != line
+		}
 	}
+	if !tamperedOne {
+		t.Fatal("checkpoint has no seed-23 dataset_sha256 field to tamper with")
+	}
+	tampered := strings.Join(lines, "\n")
 	if err := os.WriteFile(ck, []byte(tampered), 0o644); err != nil {
 		t.Fatal(err)
 	}

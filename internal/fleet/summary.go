@@ -84,21 +84,39 @@ func Reduce(ds *dataset.Dataset, shards int) SeedSummary {
 	return summarize(acc, h.Sum(), shards)
 }
 
+// seedScratch is one fleet worker's reusable per-seed reduction state: the
+// accumulator and hash sink are allocated once per worker and reset between
+// seeds, so a long fleet's steady-state allocation is the records' transient
+// scratch, not a fresh reduction pipeline per seed.
+type seedScratch struct {
+	acc *analysis.Accumulator
+	h   *dataset.HashSink
+}
+
+func newSeedScratch() *seedScratch {
+	return &seedScratch{acc: analysis.NewAccumulator(0), h: dataset.NewHashSink()}
+}
+
 // runSeed executes one seed's campaign end to end in streaming form: every
 // record flows through the accumulator and the hash sink as it is produced
 // and is then dropped, so a running seed's live memory is the accumulator's
-// metric slices, not the dataset.
-func runSeed(c campaign.Config, shards int) SeedSummary {
-	acc := analysis.NewAccumulator(c.Seed)
-	h := dataset.NewHashSink()
-	sink := dataset.Tee(acc, h)
-	if shards > 1 {
-		campaign.RunShardedTo(c, shards, 0, sink)
-	} else {
-		campaign.New(c).RunTo(sink)
+// metric slices, not the dataset. The testbed is the fleet-wide shared
+// substrate; extra, when non-nil, is teed into the record stream (the CLI's
+// per-seed CSV dump).
+func runSeed(c campaign.Config, tb *campaign.Testbed, shards int, sc *seedScratch, extra dataset.Sink) (SeedSummary, error) {
+	sc.acc.Reset(c.Seed)
+	sc.h.Reset()
+	var sink dataset.Sink = dataset.Tee(sc.acc, sc.h)
+	if extra != nil {
+		sink = dataset.Tee(sc.acc, sc.h, extra)
 	}
-	sink.Flush()
-	return summarize(acc, h.Sum(), shards)
+	if shards > 1 {
+		tb.RunShardedTo(c, shards, 0, sink)
+	} else {
+		campaign.NewWithTestbed(c, tb).RunTo(sink)
+	}
+	err := sink.Flush()
+	return summarize(sc.acc, sc.h.Sum(), shards), err
 }
 
 // summarize projects a fully-fed accumulator into the SeedSummary record.

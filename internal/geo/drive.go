@@ -48,11 +48,25 @@ func dayStartSec(day int, zone Timezone) float64 {
 // randomness comes from the provided stream, so a given seed reproduces the
 // same drive exactly.
 func Drive(r *Route, rng *sim.RNG) *Trace {
+	return DriveLimited(r, rng, 0, 0)
+}
+
+// DriveLimited is Drive with an early stop: sample generation ends once the
+// drive has covered kmLimit km and trailSec seconds of trace time have
+// elapsed past the first sample at or beyond that distance. The returned
+// samples are exactly the prefix Drive followed by TruncateAfterKm(kmLimit,
+// trailSec) would keep — the generator draws the same random sequence in the
+// same order, it just stops drawing — so consumers bounded to the limit
+// observe an identical trace while a short campaign skips simulating the
+// days it will never look at. kmLimit <= 0 means no limit (full trip).
+func DriveLimited(r *Route, rng *sim.RNG, kmLimit, trailSec float64) *Trace {
 	tr := &Trace{Route: r}
 	speed := map[RoadClass]*sim.GaussMarkov{}
 	for class, p := range speedParams {
 		speed[class] = sim.NewGaussMarkov(rng.Stream("speed", class.String()), p.mean, p.sigma, p.tau)
 	}
+	cutT := 0.0
+	limitHit := false
 	// Km only ever advances across the trip, so one route cursor serves the
 	// whole build without repeated leg searches.
 	cur := r.Cursor()
@@ -64,6 +78,16 @@ func Drive(r *Route, rng *sim.RNG) *Trace {
 		t := dayStartSec(day, cur.TimezoneAt(startKm))
 		km := startKm
 		for km < endKm {
+			// Mirror TruncateAfterKm exactly: the first sample at or beyond
+			// the limit opens a trailSec window, and the first sample past
+			// that window is the first one dropped.
+			if kmLimit > 0 && !limitHit && km >= kmLimit {
+				limitHit = true
+				cutT = t + trailSec
+			}
+			if limitHit && t > cutT {
+				return tr
+			}
 			road := cur.RoadClassAt(km)
 			p := speedParams[road]
 			mph := speed[road].Step(1)
@@ -124,6 +148,10 @@ type TraceCursor struct {
 
 // Cursor returns a new trace cursor positioned at the start of the trace.
 func (tr *Trace) Cursor() *TraceCursor { return &TraceCursor{tr: tr} }
+
+// Reset re-aims the cursor at the start of tr. Callers that embed a cursor
+// by value (pooled test adapters) reset it per use instead of allocating.
+func (c *TraceCursor) Reset(tr *Trace) { c.tr, c.idx = tr, 0 }
 
 // At returns the index of the last sample with T <= t, or -1 if t precedes
 // the trace, exactly as Trace.At does.

@@ -25,6 +25,36 @@ func TestDriveDeterminism(t *testing.T) {
 	}
 }
 
+// TestDriveLimitedMatchesTruncate pins the early-stop contract: stopping
+// the generator at (kmLimit, trailSec) yields exactly the samples the full
+// drive keeps after TruncateAfterKm with the same bounds — same draws, same
+// floats, just fewer of them.
+func TestDriveLimitedMatchesTruncate(t *testing.T) {
+	route := NewRoute()
+	for _, kmLimit := range []float64{40, 120, 1000} {
+		full := Drive(route, sim.NewRNG(23).Stream("drive"))
+		full.TruncateAfterKm(kmLimit, 3600)
+		lim := DriveLimited(route, sim.NewRNG(23).Stream("drive"), kmLimit, 3600)
+		if len(lim.Samples) != len(full.Samples) {
+			t.Fatalf("kmLimit %.0f: %d limited samples, want %d", kmLimit, len(lim.Samples), len(full.Samples))
+		}
+		for i := range full.Samples {
+			if lim.Samples[i] != full.Samples[i] {
+				t.Fatalf("kmLimit %.0f: samples diverge at %d", kmLimit, i)
+			}
+		}
+	}
+}
+
+// TestDriveLimitedNoLimit checks that a zero limit is the full drive.
+func TestDriveLimitedNoLimit(t *testing.T) {
+	full := Drive(NewRoute(), sim.NewRNG(23).Stream("drive"))
+	lim := DriveLimited(NewRoute(), sim.NewRNG(23).Stream("drive"), 0, 0)
+	if len(lim.Samples) != len(full.Samples) {
+		t.Fatalf("unlimited DriveLimited has %d samples, Drive has %d", len(lim.Samples), len(full.Samples))
+	}
+}
+
 func TestDriveCoversRoute(t *testing.T) {
 	tr := testTrace(t)
 	r := tr.Route

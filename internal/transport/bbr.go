@@ -128,14 +128,14 @@ func RunBulkBBR(p Path, durSec float64) BulkResult {
 	res := BulkResult{DurSec: durSec}
 	var window float64
 	nextSample := SampleIntervalSec
-	for t := 0.0; t < durSec; t += tickSec {
+	for i := 0; float64(i)*tickSec < durSec; i++ {
 		st := p.Step(tickSec)
 		cap := st.CapBps
 		if st.Outage {
 			cap = 0
 		}
 		window += flow.Step(tickSec, cap, st.BaseRTTms)
-		if t+tickSec >= nextSample {
+		if float64(i+1)*tickSec >= nextSample {
 			res.SamplesBps = append(res.SamplesBps, window*8/SampleIntervalSec)
 			window = 0
 			nextSample += SampleIntervalSec

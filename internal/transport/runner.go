@@ -16,7 +16,11 @@ type Path interface {
 	Step(dt float64) PathState
 }
 
-// tickSec is the transport simulation tick.
+// tickSec is the transport simulation tick. It is not exactly representable
+// in binary floating point, so the runner loops drive time from an integer
+// tick index (t = i*tickSec, one correctly-rounded multiply) instead of
+// accumulating t += tickSec, whose rounding error compounds with every tick
+// and can shift a 500 ms sample boundary by one tick late in a long test.
 const tickSec = 0.02
 
 // SampleIntervalSec matches XCAL's 500 ms application-layer throughput
@@ -65,14 +69,14 @@ func RunBulk(p Path, durSec float64) BulkResult {
 	res := BulkResult{DurSec: durSec}
 	var window float64 // bytes delivered in the current 500 ms
 	nextSample := SampleIntervalSec
-	for t := 0.0; t < durSec; t += tickSec {
+	for i := 0; float64(i)*tickSec < durSec; i++ {
 		st := p.Step(tickSec)
 		cap := st.CapBps
 		if st.Outage {
 			cap = 0
 		}
 		window += flow.Step(tickSec, cap, st.BaseRTTms)
-		if t+tickSec >= nextSample {
+		if float64(i+1)*tickSec >= nextSample {
 			res.SamplesBps = append(res.SamplesBps, window*8/SampleIntervalSec)
 			window = 0
 			nextSample += SampleIntervalSec
@@ -91,13 +95,13 @@ func RunFluid(p Path, durSec float64) BulkResult {
 	res := BulkResult{DurSec: durSec}
 	var window float64
 	nextSample := SampleIntervalSec
-	for t := 0.0; t < durSec; t += tickSec {
+	for i := 0; float64(i)*tickSec < durSec; i++ {
 		st := p.Step(tickSec)
 		if !st.Outage {
 			window += st.CapBps / 8 * tickSec
 			res.DeliveredBytes += st.CapBps / 8 * tickSec
 		}
-		if t+tickSec >= nextSample {
+		if float64(i+1)*tickSec >= nextSample {
 			res.SamplesBps = append(res.SamplesBps, window*8/SampleIntervalSec)
 			window = 0
 			nextSample += SampleIntervalSec
@@ -129,11 +133,12 @@ func (r RTTResult) Mean() float64 {
 // durSec seconds. Pings sent during an outage are lost.
 func RunRTT(p Path, durSec, intervalSec float64) RTTResult {
 	var res RTTResult
-	nextPing := 0.0
-	for t := 0.0; t < durSec; t += tickSec {
+	// The next ping fires at Sent*intervalSec — counting sends instead of
+	// accumulating nextPing += intervalSec keeps both sides of the
+	// comparison drift-free for any interval.
+	for i := 0; float64(i)*tickSec < durSec; i++ {
 		st := p.Step(tickSec)
-		if t >= nextPing {
-			nextPing += intervalSec
+		if float64(i)*tickSec >= float64(res.Sent)*intervalSec {
 			res.Sent++
 			if st.Outage {
 				res.Lost++

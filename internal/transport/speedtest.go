@@ -43,7 +43,7 @@ func RunSpeedTest(p Path, durSec float64, conns int) SpeedTestResult {
 	res := SpeedTestResult{DurSec: durSec, Conns: conns}
 	var window float64
 	nextSample := SampleIntervalSec
-	for t := 0.0; t < durSec; t += tickSec {
+	for i := 0; float64(i)*tickSec < durSec; i++ {
 		st := p.Step(tickSec)
 		cap := st.CapBps
 		if st.Outage {
@@ -72,7 +72,7 @@ func RunSpeedTest(p Path, durSec float64, conns int) SpeedTestResult {
 			}
 		}
 		window += delivered
-		if t+tickSec >= nextSample {
+		if float64(i+1)*tickSec >= nextSample {
 			res.SamplesBps = append(res.SamplesBps, window*8/SampleIntervalSec)
 			window = 0
 			nextSample += SampleIntervalSec
