@@ -6,6 +6,7 @@
 // Usage:
 //
 //	benchgate -gate NAME:METRIC:BUDGET[:higher] [-gate ...] baseline.json current.json
+//	benchgate -min-ratio CURNAME:BASENAME:METRIC:RATIO [-min-ratio ...] baseline.json current.json
 //	benchgate -name B [-metric U] [-max-regress PCT] [-higher-is-better] baseline.json current.json
 //
 // Each -gate spec names a benchmark, a metric — a custom `go test -bench`
@@ -13,6 +14,16 @@
 // the built-in "ns/op" — and a maximum regression percentage. Lower is
 // better by default; a trailing ":higher" marks throughput-style metrics.
 // The single-gate -name/-metric flags remain as shorthand for one spec.
+//
+// Each -min-ratio spec is a cross-benchmark speedup gate: the CURRENT
+// report's CURNAME metric must be at least RATIO times the BASELINE
+// report's BASENAME metric. This is how the batch engine's ≥1.8x
+// seeds/hour contract over the committed scalar baseline is enforced —
+// the divisor is the committed number, so the gate measures speedup
+// against the ledger, not against whatever the scalar engine does on
+// today's runner. The metric must be higher-is-better by construction
+// (a ratio floor makes no sense for ns/op-style metrics; gate those
+// with -gate instead).
 //
 // Every gate prints an old/new/delta line. A benchmark or metric missing
 // from either report, or an absent/unreadable baseline file, is a warning,
@@ -25,6 +36,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
@@ -65,6 +77,30 @@ func parseGate(spec string) (gate, error) {
 	return g, nil
 }
 
+// ratioGate is one CURNAME:BASENAME:METRIC:RATIO spec: current[curName]
+// must be >= ratio * baseline[baseName] for the shared metric.
+type ratioGate struct {
+	curName  string
+	baseName string
+	metric   string
+	ratio    float64
+}
+
+func parseRatioGate(spec string) (ratioGate, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 4 {
+		return ratioGate{}, fmt.Errorf("min-ratio %q: want CURNAME:BASENAME:METRIC:RATIO", spec)
+	}
+	ratio, err := strconv.ParseFloat(parts[3], 64)
+	if err != nil {
+		return ratioGate{}, fmt.Errorf("min-ratio %q: bad ratio: %v", spec, err)
+	}
+	if ratio <= 0 {
+		return ratioGate{}, fmt.Errorf("min-ratio %q: ratio must be positive", spec)
+	}
+	return ratioGate{curName: parts[0], baseName: parts[1], metric: parts[2], ratio: ratio}, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchgate: ")
@@ -77,6 +113,15 @@ func main() {
 		gates = append(gates, g)
 		return nil
 	})
+	var ratioGates []ratioGate
+	flag.Func("min-ratio", "repeatable CURNAME:BASENAME:METRIC:RATIO speedup-floor spec", func(spec string) error {
+		g, err := parseRatioGate(spec)
+		if err != nil {
+			return err
+		}
+		ratioGates = append(ratioGates, g)
+		return nil
+	})
 	var (
 		name   = flag.String("name", "", "benchmark name for a single gate (shorthand for -gate)")
 		metric = flag.String("metric", "ns/op", "metric unit for -name (custom ReportMetric unit or ns/op)")
@@ -87,8 +132,8 @@ func main() {
 	if *name != "" {
 		gates = append(gates, gate{name: *name, metric: *metric, budget: *budget, higher: *higher})
 	}
-	if len(gates) == 0 || flag.NArg() != 2 {
-		log.Fatal("usage: benchgate -gate NAME:METRIC:BUDGET[:higher] [-gate ...] baseline.json current.json")
+	if len(gates)+len(ratioGates) == 0 || flag.NArg() != 2 {
+		log.Fatal("usage: benchgate [-gate NAME:METRIC:BUDGET[:higher]] [-min-ratio CURNAME:BASENAME:METRIC:RATIO] baseline.json current.json")
 	}
 
 	base, baseOK := load(flag.Arg(0))
@@ -99,6 +144,16 @@ func main() {
 		os.Exit(1)
 	}
 
+	if evalGates(os.Stdout, base, baseOK, cur, gates, ratioGates) {
+		os.Exit(1)
+	}
+}
+
+// evalGates prints one verdict line per spec and reports whether any gate
+// failed. It is the whole comparison engine, split from main so the gate
+// semantics (missing data warns, only measured regressions fail) are
+// testable without exec'ing the binary.
+func evalGates(w io.Writer, base []result, baseOK bool, cur []result, gates []gate, ratioGates []ratioGate) bool {
 	fail := false
 	for _, g := range gates {
 		label := g.name + " " + g.metric
@@ -106,13 +161,13 @@ func main() {
 		curV, haveCur := lookup(cur, g.name, g.metric)
 		switch {
 		case !baseOK || !haveBase:
-			fmt.Printf("%-50s baseline missing, current %.3f — not gated (warning)\n", label, curV)
+			fmt.Fprintf(w, "%-50s baseline missing, current %.3f — not gated (warning)\n", label, curV)
 			continue
 		case !haveCur:
-			fmt.Printf("%-50s current missing, baseline %.3f — not gated (warning)\n", label, baseV)
+			fmt.Fprintf(w, "%-50s current missing, baseline %.3f — not gated (warning)\n", label, baseV)
 			continue
 		case baseV == 0:
-			fmt.Printf("%-50s baseline is zero — not gated (warning)\n", label)
+			fmt.Fprintf(w, "%-50s baseline is zero — not gated (warning)\n", label)
 			continue
 		}
 		// Regression percentage, positive when current is worse.
@@ -125,12 +180,36 @@ func main() {
 			verdict = "FAIL"
 			fail = true
 		}
-		fmt.Printf("%-50s old %.3f  new %.3f  delta %+.1f%%  (budget %.0f%%) %s\n",
+		fmt.Fprintf(w, "%-50s old %.3f  new %.3f  delta %+.1f%%  (budget %.0f%%) %s\n",
 			label, baseV, curV, regress, g.budget, verdict)
 	}
-	if fail {
-		os.Exit(1)
+	for _, g := range ratioGates {
+		label := g.curName + "/" + g.baseName + " " + g.metric
+		baseV, haveBase := lookup(base, g.baseName, g.metric)
+		curV, haveCur := lookup(cur, g.curName, g.metric)
+		// Same missing-data philosophy as -gate: a spec with nothing to
+		// compare (new baseline, renamed bench) warns instead of failing.
+		switch {
+		case !baseOK || !haveBase:
+			fmt.Fprintf(w, "%-50s baseline missing, current %.3f — not gated (warning)\n", label, curV)
+			continue
+		case !haveCur:
+			fmt.Fprintf(w, "%-50s current missing, baseline %.3f — not gated (warning)\n", label, baseV)
+			continue
+		case baseV <= 0:
+			fmt.Fprintf(w, "%-50s baseline not positive — not gated (warning)\n", label)
+			continue
+		}
+		got := curV / baseV
+		verdict := "ok"
+		if got < g.ratio {
+			verdict = "FAIL"
+			fail = true
+		}
+		fmt.Fprintf(w, "%-50s base %.3f  cur %.3f  ratio %.2fx  (floor %.2fx) %s\n",
+			label, baseV, curV, got, g.ratio, verdict)
 	}
+	return fail
 }
 
 // load reads one benchjson report, warning instead of exiting on problems.

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkResults(name string, seedsPerHour float64) []result {
+	return []result{{Name: name, NsPerOp: 1e6, Metrics: map[string]float64{"seeds/hour": seedsPerHour}}}
+}
+
+func TestParseRatioGate(t *testing.T) {
+	g, err := parseRatioGate("BenchmarkFleetBatch:BenchmarkFleet:seeds/hour:1.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.curName != "BenchmarkFleetBatch" || g.baseName != "BenchmarkFleet" ||
+		g.metric != "seeds/hour" || g.ratio != 1.8 {
+		t.Fatalf("parsed %+v", g)
+	}
+	for _, bad := range []string{
+		"a:b:c",          // too few fields
+		"a:b:c:d:e",      // too many
+		"a:b:c:x",        // ratio not a number
+		"a:b:c:0",        // ratio must be positive
+		"a:b:c:-2",       // negative ratio
+		"a:b:seeds/hour", // metric slash eats a field -> 3 fields? actually 3 parts: a,b,seeds/hour
+	} {
+		if _, err := parseRatioGate(bad); err == nil {
+			t.Errorf("parseRatioGate(%q): want error", bad)
+		}
+	}
+}
+
+// TestRatioGateVerdicts drives evalGates through the speedup floor: pass at
+// and above the floor, fail below it, and warn (not fail) whenever either
+// side of the comparison is missing — the same missing-data philosophy as
+// the regression gates.
+func TestRatioGateVerdicts(t *testing.T) {
+	spec := ratioGate{curName: "BenchmarkFleetBatch", baseName: "BenchmarkFleet", metric: "seeds/hour", ratio: 1.8}
+	base := mkResults("BenchmarkFleet", 20000)
+
+	cases := []struct {
+		name     string
+		base     []result
+		baseOK   bool
+		cur      []result
+		wantFail bool
+		wantSub  string
+	}{
+		{"above floor", base, true, mkResults("BenchmarkFleetBatch", 40000), false, "ratio 2.00x"},
+		{"exactly at floor", base, true, mkResults("BenchmarkFleetBatch", 36000), false, "ok"},
+		{"below floor", base, true, mkResults("BenchmarkFleetBatch", 35999), true, "FAIL"},
+		{"baseline bench missing", mkResults("Other", 1), true, mkResults("BenchmarkFleetBatch", 1), false, "baseline missing"},
+		{"baseline file missing", nil, false, mkResults("BenchmarkFleetBatch", 1), false, "baseline missing"},
+		{"current bench missing", base, true, mkResults("Other", 1), false, "current missing"},
+		{"zero baseline", mkResults("BenchmarkFleet", 0), true, mkResults("BenchmarkFleetBatch", 1), false, "not positive"},
+	}
+	for _, tc := range cases {
+		var out strings.Builder
+		fail := evalGates(&out, tc.base, tc.baseOK, tc.cur, nil, []ratioGate{spec})
+		if fail != tc.wantFail {
+			t.Errorf("%s: fail = %v, want %v\n%s", tc.name, fail, tc.wantFail, out.String())
+		}
+		if !strings.Contains(out.String(), tc.wantSub) {
+			t.Errorf("%s: output missing %q:\n%s", tc.name, tc.wantSub, out.String())
+		}
+	}
+}
+
+// TestRegressionGateStillWorks pins the pre-existing -gate path through the
+// extracted evalGates, so the refactor cannot silently change its verdicts.
+func TestRegressionGateStillWorks(t *testing.T) {
+	g := gate{name: "BenchmarkFleet", metric: "seeds/hour", budget: 20, higher: true}
+	base := mkResults("BenchmarkFleet", 20000)
+
+	var out strings.Builder
+	if fail := evalGates(&out, base, true, mkResults("BenchmarkFleet", 17000), []gate{g}, nil); fail {
+		t.Errorf("15%% drop within 20%% budget must pass:\n%s", out.String())
+	}
+	out.Reset()
+	if fail := evalGates(&out, base, true, mkResults("BenchmarkFleet", 15000), []gate{g}, nil); !fail {
+		t.Errorf("25%% drop past 20%% budget must fail:\n%s", out.String())
+	}
+}

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	go test -run '^$' -bench 'UEStep|LinkStep' -benchmem ./... | benchjson > BENCH_hotpath.json
+//
+// Repeated lines for the same benchmark (go test -count=N) are averaged
+// into one entry — the arithmetic mean of ns/op, B/op, allocs/op, and
+// every custom metric, with Iterations summed. CI runs the gated fleet
+// benches with -count=3 so a single noisy run on a shared runner cannot
+// trip (or mask) a perf gate.
 package main
 
 import (
@@ -56,11 +62,79 @@ func main() {
 	if len(results) == 0 {
 		log.Fatal("no benchmark lines found on stdin")
 	}
+	results = mergeRepeats(results)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
 		log.Fatalf("encoding: %v", err)
 	}
+}
+
+// mergeRepeats averages -count=N repeats of the same (package, name) into
+// one entry, preserving first-seen order. Fields present in only some
+// repeats (e.g. a metric reported conditionally) average over the repeats
+// that carry them.
+func mergeRepeats(results []Result) []Result {
+	type acc struct {
+		out        *Result
+		runs       float64
+		ns         float64
+		bytes      float64
+		bytesN     float64
+		allocs     float64
+		allocsN    float64
+		metricSum  map[string]float64
+		metricRuns map[string]float64
+	}
+	var order []*acc
+	byKey := map[string]*acc{}
+	for i := range results {
+		r := &results[i]
+		key := r.Package + "\x00" + r.Name
+		a := byKey[key]
+		if a == nil {
+			a = &acc{out: r, metricSum: map[string]float64{}, metricRuns: map[string]float64{}}
+			byKey[key] = a
+			order = append(order, a)
+		} else {
+			a.out.Iterations += r.Iterations
+		}
+		a.runs++
+		a.ns += r.NsPerOp
+		if r.BytesPerOp != nil {
+			a.bytes += *r.BytesPerOp
+			a.bytesN++
+		}
+		if r.AllocsPerOp != nil {
+			a.allocs += *r.AllocsPerOp
+			a.allocsN++
+		}
+		for unit, v := range r.Metrics {
+			a.metricSum[unit] += v
+			a.metricRuns[unit]++
+		}
+	}
+	merged := make([]Result, 0, len(order))
+	for _, a := range order {
+		r := *a.out
+		r.NsPerOp = a.ns / a.runs
+		if a.bytesN > 0 {
+			v := a.bytes / a.bytesN
+			r.BytesPerOp = &v
+		}
+		if a.allocsN > 0 {
+			v := a.allocs / a.allocsN
+			r.AllocsPerOp = &v
+		}
+		if len(a.metricSum) > 0 {
+			r.Metrics = make(map[string]float64, len(a.metricSum))
+			for unit, sum := range a.metricSum {
+				r.Metrics[unit] = sum / a.metricRuns[unit]
+			}
+		}
+		merged = append(merged, r)
+	}
+	return merged
 }
 
 // parseLine parses one "BenchmarkName-8  N  X ns/op  [Y B/op  Z allocs/op

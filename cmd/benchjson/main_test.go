@@ -1,0 +1,48 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func f(v float64) *float64 { return &v }
+
+// TestMergeRepeats pins the -count=N averaging: repeats of one benchmark
+// collapse to their mean (iterations summed), distinct benchmarks stay
+// separate and in first-seen order, and fields carried by only some
+// repeats average over the runs that have them.
+func TestMergeRepeats(t *testing.T) {
+	in := []Result{
+		{Name: "BenchmarkFleetBatch", Package: "p", Iterations: 10, NsPerOp: 100,
+			BytesPerOp: f(1000), Metrics: map[string]float64{"seeds/hour": 40000}},
+		{Name: "BenchmarkFleet", Package: "p", Iterations: 5, NsPerOp: 300},
+		{Name: "BenchmarkFleetBatch", Package: "p", Iterations: 20, NsPerOp: 200,
+			Metrics: map[string]float64{"seeds/hour": 44000, "live-MB/seed": 3}},
+	}
+	out := mergeRepeats(in)
+	if len(out) != 2 {
+		t.Fatalf("got %d entries, want 2", len(out))
+	}
+	b := out[0]
+	if b.Name != "BenchmarkFleetBatch" || out[1].Name != "BenchmarkFleet" {
+		t.Fatalf("order: %q, %q", out[0].Name, out[1].Name)
+	}
+	if b.Iterations != 30 || b.NsPerOp != 150 {
+		t.Errorf("iters %d ns %v, want 30 / 150", b.Iterations, b.NsPerOp)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 1000 {
+		t.Errorf("bytes averages over carrying runs only: %v", b.BytesPerOp)
+	}
+	if got := b.Metrics["seeds/hour"]; got != 42000 {
+		t.Errorf("seeds/hour = %v, want 42000", got)
+	}
+	if got := b.Metrics["live-MB/seed"]; got != 3 {
+		t.Errorf("live-MB/seed = %v, want 3", got)
+	}
+	if out[1].NsPerOp != 300 || out[1].BytesPerOp != nil {
+		t.Errorf("singleton changed: %+v", out[1])
+	}
+	if math.IsNaN(b.NsPerOp) {
+		t.Error("NaN mean")
+	}
+}

@@ -7,7 +7,7 @@
 //
 //	drivesim [-seed N] [-km N] [-out DIR] [-stream-out DIR] [-quick]
 //	         [-video SEC] [-gaming SEC] [-shards N] [-workers N] [-progress]
-//	         [-cpuprofile FILE] [-memprofile FILE]
+//	         [-engine scalar|batch] [-cpuprofile FILE] [-memprofile FILE]
 //
 // With no flags it reproduces the paper's full methodology (about a minute
 // of wall time); -quick runs network tests only over the first 200 km.
@@ -20,6 +20,9 @@
 // compression runs on -stream-workers cores (chunked multi-member gzip,
 // byte-deterministic regardless of the worker count); -stream-workers 1
 // selects the serial single-member writer.
+// -engine batch selects the batched struct-of-arrays tick engine for the
+// driving test phases; its output is byte-identical to the default scalar
+// engine, which remains the oracle (see DESIGN.md "Batched tick engine").
 // -cpuprofile and -memprofile write pprof profiles covering the campaign
 // run (see README "Profiling the hot path").
 package main
@@ -54,6 +57,7 @@ func main() {
 		rawDir   = flag.String("rawlogs", "", "also write raw XCAL + app log files per bulk test into this directory")
 		shards   = flag.Int("shards", 1, "split the route into N segments simulated in parallel (1 = serial engine)")
 		workers  = flag.Int("workers", 0, "max shard workers running at once (0 = GOMAXPROCS)")
+		engine   = flag.String("engine", campaign.EngineScalar, "tick engine: scalar (per-phone goroutines, the oracle) or batch (lockstep struct-of-arrays; byte-identical output)")
 		progress = flag.Bool("progress", false, "print a per-day km ticker on stderr (serial engine only)")
 		verbose  = flag.Bool("v", false, "alias for -progress")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the campaign run to this file")
@@ -68,6 +72,12 @@ func main() {
 	cfg.RawLogDir = *rawDir
 	if *quick {
 		cfg = campaign.QuickConfig(*seed, 200)
+	}
+	switch *engine {
+	case campaign.EngineScalar, campaign.EngineBatch:
+		cfg.Engine = *engine
+	default:
+		log.Fatalf("unknown -engine %q (want %s or %s)", *engine, campaign.EngineScalar, campaign.EngineBatch)
 	}
 	// campaign.Config.Progress drives the ticker; the fleet CLI prints the
 	// same style of per-unit lines, one per completed seed.

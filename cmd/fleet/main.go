@@ -8,7 +8,7 @@
 //
 //	fleet [-seeds N] [-start-seed S] [-workers W] [-shards K]
 //	      [-checkpoint FILE] [-verify-resume] [-out FILE] [-html FILE]
-//	      [-dump-dir DIR] [-quick] [-km N] [-apps=false]
+//	      [-dump-dir DIR] [-quick] [-km N] [-apps=false] [-engine scalar|batch]
 //
 // With -checkpoint, completed seeds append to FILE as JSON lines; an
 // interrupted fleet re-run with the same flags resumes, skipping the seeds
@@ -52,6 +52,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "network tests only, first 200 km per seed")
 		km         = flag.Float64("km", 0, "truncate each campaign to the first N km (0 = full trip)")
 		apps       = flag.Bool("apps", true, "run the four killer apps in each campaign")
+		engine     = flag.String("engine", campaign.EngineScalar, "tick engine: scalar (per-phone goroutines, the oracle) or batch (lockstep struct-of-arrays; byte-identical output)")
 	)
 	flag.Parse()
 
@@ -63,6 +64,12 @@ func main() {
 		if *km > 0 {
 			base.KmLimit = *km
 		}
+	}
+	switch *engine {
+	case campaign.EngineScalar, campaign.EngineBatch:
+		base.Engine = *engine
+	default:
+		log.Fatalf("unknown -engine %q (want %s or %s)", *engine, campaign.EngineScalar, campaign.EngineBatch)
 	}
 
 	start := time.Now()

@@ -4,28 +4,12 @@ import (
 	"sync"
 
 	"wheels/internal/apps"
-	"wheels/internal/dataset"
+	"wheels/internal/batch"
 	"wheels/internal/geo"
 	"wheels/internal/radio"
 	"wheels/internal/ran"
-	"wheels/internal/servers"
-	"wheels/internal/sim"
 	"wheels/internal/transport"
 )
-
-// kpiRow is one 500 ms cross-layer KPI accumulation — the XCAL row that
-// gets joined with the application-layer throughput sample.
-type kpiRow struct {
-	t          float64
-	tech       radio.Tech
-	rsrp, sinr float64 // interval means
-	bler       float64
-	mcs        int // last in interval
-	ccDL, ccUL int
-	mph, km    float64
-	hos        int
-	outage     bool
-}
 
 // staticState pins an adapter to a fixed position and a forced technology,
 // bypassing the elevation policy — the paper's static tests were performed
@@ -38,47 +22,30 @@ type staticState struct {
 	zone geo.Timezone
 }
 
-// adapter drives one phone through one test: it advances the UE (or the
-// pinned static link) tick by tick, composes the end-to-end path state, and
-// accumulates the 500 ms KPI rows and handover records as a side effect.
+// adapter drives one phone through one test on the scalar engine: it
+// advances the embedded batch.Lane (the shared per-tick core both engines
+// run) tick by tick, resolving the vehicle position from its own trace
+// cursor. The batched engine advances the same Lane type from a lockstep
+// loop in internal/batch instead.
 type adapter struct {
-	c       *Campaign
-	ph      *phone
-	testID  int
-	t       float64
-	profile ran.Traffic
-	dir     radio.Direction
-	server  servers.Server
-	static  *staticState
+	batch.Lane
 
-	rows    []kpiRow
-	hoRecs  []dataset.HandoverRecord
-	accDur  float64
-	accRSRP float64
-	accSINR float64
-	accBLER float64
-	accHOs  int
-	last    ran.Snapshot
-	lastS   geo.Sample
+	c      *Campaign
+	ph     *phone
+	static *staticState
 
 	// trCur memoizes the trace position: a test's clock only moves forward,
 	// so each tick's position lookup is O(1). Adapters run concurrently (one
 	// per phone in fanOut), so each owns its cursor (by value, so a pooled
 	// adapter carries no heap cursor of its own).
 	trCur geo.TraceCursor
-	// Wire-RTT memo: the propagation delay to the test server depends only
-	// on the vehicle coordinate, which changes once per trace sample (the
-	// extrapolation between samples moves Km, not Pos), so the Haversine is
-	// recomputed only when the coordinate actually moves.
-	wirePos  geo.LatLon
-	wireMs   float64
-	wireInit bool
 }
 
-// adapterPool recycles adapters across tests: the rows and hoRecs backing
-// arrays grow to a test's working size once and are then reused for the
-// rest of the process, so the steady-state per-test cost of the KPI
-// accumulation is zero allocations. Adapters are handed back via release.
+// adapterPool recycles adapters across tests: the lane's rows, handover,
+// ping, and sample backing arrays grow to a test's working size once and
+// are then reused for the rest of the process, so the steady-state
+// per-test cost of the KPI accumulation is zero allocations. Adapters are
+// handed back via release.
 var adapterPool = sync.Pool{New: func() any { return new(adapter) }}
 
 // newAdapter starts a test at time t for the phone with a pre-allocated
@@ -88,83 +55,41 @@ var adapterPool = sync.Pool{New: func() any { return new(adapter) }}
 // tests pass their own state.
 func (c *Campaign) newAdapter(id int, ph *phone, t float64, profile ran.Traffic, dir radio.Direction, static *staticState) *adapter {
 	a := adapterPool.Get().(*adapter)
-	rows, hoRecs := a.rows[:0], a.hoRecs[:0]
-	*a = adapter{c: c, ph: ph, testID: id, t: t, profile: profile, dir: dir, static: static,
-		rows: rows, hoRecs: hoRecs}
+	lane := a.Lane.Recycle()
+	*a = adapter{Lane: lane, c: c, ph: ph, static: static}
 	a.trCur.Reset(c.Trace)
+	ue := ph.ue
 	if static != nil {
-		a.server = c.Reg.Select(ph.op, static.pos, static.zone)
+		ue = nil // the lane steps the pinned link, not the driving UE
+		a.Bind(ph.op, ue, ph.lat)
+		a.StartPhase(id, t, profile, dir, c.Reg.Select(ph.op, static.pos, static.zone))
 	} else {
+		a.Bind(ph.op, ue, ph.lat)
 		s := c.whereCur(&a.trCur, t)
-		a.server = c.Reg.Select(ph.op, s.Pos, s.Zone)
+		a.StartPhase(id, t, profile, dir, c.Reg.Select(ph.op, s.Pos, s.Zone))
 	}
 	ph.ue.TakeHandovers() // drop events from between tests
 	return a
 }
 
 // release hands the adapter's scratch back to the pool. The caller must be
-// done with rows and hoRecs — they are reused by the next test. Pointer
+// done with the lane's buffers — they are reused by the next test. Pointer
 // fields are dropped so a parked adapter does not pin a campaign or phone
 // in memory between seeds.
 func (a *adapter) release() {
-	rows, hoRecs := a.rows[:0], a.hoRecs[:0]
-	*a = adapter{rows: rows, hoRecs: hoRecs}
+	lane := a.Lane.Recycle()
+	*a = adapter{Lane: lane}
 	adapterPool.Put(a)
 }
 
 // advance moves the adapter forward dt seconds and returns the current
 // path condition in both directions.
 func (a *adapter) advance(dt float64) (capDL, capUL, rttMs float64, outage bool) {
-	a.t += dt
-	var snap ran.Snapshot
-	var s geo.Sample
 	if a.static != nil {
-		st := a.static.link.Step(dt, 0.04, 0, geo.RoadCity)
-		snap = ran.Snapshot{T: a.t, Tech: a.static.tech, Link: st, CapDL: st.CapDL, CapUL: st.CapUL}
-		s = geo.Sample{T: a.t, Km: a.static.km, Pos: a.static.pos, MPH: 0,
-			Road: geo.RoadCity, Zone: a.static.zone}
-	} else {
-		s = a.c.whereCur(&a.trCur, a.t)
-		snap = a.ph.ue.Step(a.t, dt, s.Km, s.MPH, s.Road, s.Zone, a.profile)
-		for _, ev := range a.ph.ue.TakeHandovers() {
-			a.accHOs++
-			a.hoRecs = append(a.hoRecs, dataset.HandoverRecord{
-				TestID: a.testID, Op: a.ph.op, TimeUTC: sim.TripStart.UTC().Add(secs(ev.T)),
-				DurSec: ev.DurSec, FromTech: ev.From.Tech, ToTech: ev.To.Tech,
-				FromCell: ev.From.ID(), ToCell: ev.To.ID(), Dir: a.dir,
-			})
-		}
+		return a.AdvanceStatic(dt, a.static.link, a.static.tech, a.static.km, a.static.pos, a.static.zone)
 	}
-	a.last, a.lastS = snap, s
-
-	// Accumulate the 500 ms KPI row.
-	a.accDur += dt
-	a.accRSRP += snap.Link.RSRPdBm * dt
-	a.accSINR += snap.Link.SINRdB * dt
-	a.accBLER += snap.Link.BLER * dt
-	if a.accDur >= transport.SampleIntervalSec-1e-9 {
-		a.rows = append(a.rows, kpiRow{
-			t:    a.t,
-			tech: snap.Tech,
-			rsrp: a.accRSRP / a.accDur,
-			sinr: a.accSINR / a.accDur,
-			bler: a.accBLER / a.accDur,
-			mcs:  snap.Link.MCS,
-			ccDL: snap.Link.CCDown, ccUL: snap.Link.CCUp,
-			mph: s.MPH, km: s.Km,
-			hos:    a.accHOs,
-			outage: snap.Outage,
-		})
-		a.accDur, a.accRSRP, a.accSINR, a.accBLER, a.accHOs = 0, 0, 0, 0, 0
-	}
-
-	if !a.wireInit || s.Pos != a.wirePos {
-		a.wireInit = true
-		a.wirePos = s.Pos
-		a.wireMs = servers.PropagationRTTms(s.Pos, a.server)
-	}
-	rttMs = a.ph.lat.RTTms(dt, snap.Tech, a.wireMs, s.MPH)
-	return snap.CapDL, snap.CapUL, rttMs, snap.Outage
+	s := a.c.whereCur(&a.trCur, a.T+dt)
+	return a.Advance(dt, &s)
 }
 
 // pathAdapter exposes the adapter as a transport.Path in one direction.
@@ -173,7 +98,7 @@ type pathAdapter struct{ a *adapter }
 func (p pathAdapter) Step(dt float64) transport.PathState {
 	dl, ul, rtt, outage := p.a.advance(dt)
 	cap := dl
-	if p.a.dir == radio.Uplink {
+	if p.a.Dir == radio.Uplink {
 		cap = ul
 	}
 	return transport.PathState{CapBps: cap, BaseRTTms: rtt, Outage: outage}
@@ -186,20 +111,3 @@ func (n netAdapter) Step(dt float64) apps.NetState {
 	dl, ul, rtt, outage := n.a.advance(dt)
 	return apps.NetState{CapDLbps: dl, CapULbps: ul, RTTms: rtt, Outage: outage}
 }
-
-// highSpeedFrac returns the fraction of recorded rows on 5G mid/mmWave.
-func (a *adapter) highSpeedFrac() float64 {
-	if len(a.rows) == 0 {
-		return 0
-	}
-	n := 0
-	for _, r := range a.rows {
-		if r.tech.IsHighSpeed() && !r.outage {
-			n++
-		}
-	}
-	return float64(n) / float64(len(a.rows))
-}
-
-// hoCount returns the number of handovers recorded during the test.
-func (a *adapter) hoCount() int { return len(a.hoRecs) }

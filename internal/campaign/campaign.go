@@ -10,6 +10,7 @@ package campaign
 import (
 	"sync"
 
+	"wheels/internal/batch"
 	"wheels/internal/dataset"
 	"wheels/internal/deploy"
 	"wheels/internal/geo"
@@ -20,9 +21,27 @@ import (
 	"wheels/internal/transport"
 )
 
+// Engine names for Config.Engine.
+const (
+	// EngineScalar is the original per-phone engine: each test phase fans
+	// out one goroutine per phone, each driving its own tick loop. It is
+	// the oracle: golden hashes are defined by its output and may never be
+	// regenerated from the batch engine.
+	EngineScalar = "scalar"
+	// EngineBatch is the batched struct-of-arrays engine: the driving
+	// bulk/RTT phases step all phones in one lockstep pass per tick.
+	// Output is byte-identical to the scalar engine's (enforced by the
+	// differential tests).
+	EngineBatch = "batch"
+)
+
 // Config controls the scope of a campaign run.
 type Config struct {
 	Seed int64
+
+	// Engine selects the tick engine: EngineScalar (or "") runs the
+	// per-phone goroutine engine, EngineBatch the lockstep batched one.
+	Engine string
 
 	BulkSec   float64 // duration of one throughput test (§5: 30-35 s)
 	RTTSec    float64 // duration of one ping test (§5: 20 s)
@@ -118,6 +137,24 @@ type Campaign struct {
 	// fanOut scratch, lazily built and reset per phase (see fanOut).
 	fanSinks []dataset.Collector
 	fanIDs   []int
+
+	// Batched-engine state, lazily built on the first batched cycle: the
+	// lockstep lane group and the trace cursor backing its Where lookups.
+	batchG   *batch.Group
+	batchCur geo.TraceCursor
+}
+
+// engineBatch reports whether the batched engine is selected, rejecting
+// unknown engine names loudly rather than silently running scalar.
+func (cfg Config) engineBatch() bool {
+	switch cfg.Engine {
+	case EngineBatch:
+		return true
+	case "", EngineScalar:
+		return false
+	default:
+		panic("campaign: unknown engine " + cfg.Engine)
+	}
 }
 
 // traceTrailSec is how much trace time a KmLimit-bounded campaign keeps
@@ -136,6 +173,19 @@ const traceTrailSec = 3600
 // samples either way.
 func newTrace(route *geo.Route, rng *sim.RNG, cfg Config) *geo.Trace {
 	return geo.DriveLimited(route, rng.Stream("drive"), cfg.KmLimit, traceTrailSec)
+}
+
+// deployKmBound returns the route span deploy.NewUpTo must cover for a
+// campaign over the given (already built) trace. Every availability query —
+// UE steps, the static-battery site probe — takes its km from a trace
+// sample, extrapolated forward by at most maxExtrapolateSec, so the trace's
+// last sample plus a generous slack bounds them all; coverage past it is
+// never read. Unbounded campaigns (no KmLimit) keep the full-route build.
+func deployKmBound(trace *geo.Trace, cfg Config) float64 {
+	if cfg.KmLimit <= 0 || len(trace.Samples) == 0 {
+		return 0
+	}
+	return trace.Samples[len(trace.Samples)-1].Km + 1
 }
 
 // New builds the testbed: route, drive trace, three deployments, three test
@@ -336,6 +386,9 @@ func (c *Campaign) fanOut(run func(sink dataset.Sink, id int, ph *phone)) {
 // runCycle runs one round-robin battery starting at t and returns the time
 // at which the next cycle may begin.
 func (c *Campaign) runCycle(t float64) float64 {
+	if c.Cfg.engineBatch() {
+		return c.runCycleBatch(t)
+	}
 	cfg := c.Cfg
 	c.fanOut(func(sink dataset.Sink, id int, ph *phone) {
 		c.runBulk(sink, id, ph, t, radio.Downlink, false, nil)

@@ -39,8 +39,9 @@ func newSharedTestbed(cfg Config, tb *Testbed) *sharedTestbed {
 		reg:   tb.Reg,
 		deps:  make([]*deploy.Deployment, radio.NumOperators),
 	}
+	depKm := deployKmBound(sh.trace, cfg)
 	for _, op := range radio.Operators() {
-		sh.deps[op] = deploy.New(tb.Route, op, rng.Stream("deploy"))
+		sh.deps[op] = deploy.NewUpTo(tb.Route, op, rng.Stream("deploy"), depKm)
 	}
 	return sh
 }

@@ -46,8 +46,9 @@ func NewWithTestbed(cfg Config, tb *Testbed) *Campaign {
 		Reg:   tb.Reg,
 		rng:   rng,
 	}
+	depKm := deployKmBound(c.Trace, cfg)
 	for _, op := range radio.Operators() {
-		dep := deploy.New(tb.Route, op, rng.Stream("deploy"))
+		dep := deploy.NewUpTo(tb.Route, op, rng.Stream("deploy"), depKm)
 		c.phones = append(c.phones, &phone{
 			op:  op,
 			dep: dep,

@@ -9,6 +9,7 @@ import (
 	"wheels/internal/apps/gaming"
 	"wheels/internal/apps/offload"
 	"wheels/internal/apps/video"
+	"wheels/internal/batch"
 	"wheels/internal/dataset"
 	"wheels/internal/deploy"
 	"wheels/internal/geo"
@@ -25,50 +26,65 @@ func secs(s float64) time.Duration { return time.Duration(s * float64(time.Secon
 // utc converts a simulation time to the wall clock.
 func utc(t float64) time.Time { return sim.TripStart.UTC().Add(secs(t)) }
 
-// runBulk runs one nuttcp-style bulk transfer and records its samples,
-// KPI-joined rows, handovers, and the per-test summary.
-func (c *Campaign) runBulk(sink dataset.Sink, id int, ph *phone, t float64, dir radio.Direction, static bool, st *staticState) {
-	profile := ran.BacklogDL
-	kind := dataset.TestBulkDL
+// bulkProfile maps a transfer direction to its traffic profile and test
+// kind, shared by both engines.
+func bulkProfile(dir radio.Direction) (ran.Traffic, dataset.TestKind) {
 	if dir == radio.Uplink {
-		profile = ran.BacklogUL
-		kind = dataset.TestBulkUL
+		return ran.BacklogUL, dataset.TestBulkUL
 	}
-	a := c.newAdapter(id, ph, t, profile, dir, st)
-	res := transport.RunBulk(pathAdapter{a}, c.Cfg.BulkSec)
+	return ran.BacklogDL, dataset.TestBulkDL
+}
 
+// runBulk runs one nuttcp-style bulk transfer on the scalar engine and
+// records its samples, KPI-joined rows, handovers, and the per-test
+// summary.
+func (c *Campaign) runBulk(sink dataset.Sink, id int, ph *phone, t float64, dir radio.Direction, static bool, st *staticState) {
+	profile, _ := bulkProfile(dir)
+	a := c.newAdapter(id, ph, t, profile, dir, st)
+	res := transport.RunBulkWith(&a.Bulk, pathAdapter{a}, c.Cfg.BulkSec)
+	c.emitBulk(sink, &a.Lane, t, dir, static, res)
+	a.release()
+}
+
+// emitBulk streams a finished bulk transfer's records — the emit half
+// shared by both engines, so the batched engine cannot drift from the
+// scalar one in what it writes. The per-table emission order (throughput
+// rows, handovers, summary) matches the order the pre-streaming merge
+// appended them.
+func (c *Campaign) emitBulk(sink dataset.Sink, ln *batch.Lane, t float64, dir radio.Direction, static bool, res transport.BulkResult) {
+	_, kind := bulkProfile(dir)
 	n := len(res.SamplesBps)
-	if len(a.rows) < n {
-		n = len(a.rows)
+	if len(ln.Rows) < n {
+		n = len(ln.Rows)
 	}
 	// Rows are km-ordered, so one route cursor serves the whole KPI join.
 	cur := c.Route.Cursor()
 	for i := 0; i < n; i++ {
-		r := a.rows[i]
-		cc := r.ccDL
+		r := ln.Rows[i]
+		cc := r.CCDL
 		if dir == radio.Uplink {
-			cc = r.ccUL
+			cc = r.CCUL
 		}
 		sink.EmitThr(dataset.ThroughputSample{
-			TestID: a.testID, Op: ph.op, Dir: dir, TimeUTC: utc(r.t), Bps: res.SamplesBps[i],
-			Tech: r.tech, RSRPdBm: r.rsrp, SINRdB: r.sinr, MCS: r.mcs, BLER: r.bler, CC: cc,
-			MPH: r.mph, Km: r.km, Zone: cur.TimezoneAt(r.km), Road: cur.RoadClassAt(r.km),
-			Server: a.server.Kind, Static: static, HOs: r.hos,
+			TestID: ln.TestID, Op: ln.Op, Dir: dir, TimeUTC: utc(r.T), Bps: res.SamplesBps[i],
+			Tech: r.Tech, RSRPdBm: r.RSRP, SINRdB: r.SINR, MCS: r.MCS, BLER: r.BLER, CC: cc,
+			MPH: r.MPH, Km: r.Km, Zone: cur.TimezoneAt(r.Km), Road: cur.RoadClassAt(r.Km),
+			Server: ln.Server.Kind, Static: static, HOs: r.HOs,
 		})
 	}
-	emitHandovers(sink, a.hoRecs)
+	emitHandovers(sink, ln.HORecs)
 
 	if c.Cfg.RawLogDir != "" {
-		if err := c.exportRaw(a, string(kind), t, res.SamplesBps, n); err != nil {
+		if err := c.exportRaw(ln, string(kind), t, res.SamplesBps, n); err != nil {
 			panic(fmt.Sprintf("campaign: raw log export: %v", err))
 		}
 	}
 
 	sum := dataset.TestSummary{
-		ID: a.testID, Op: ph.op, Kind: kind, Dir: dir, StartUTC: utc(t), DurSec: c.Cfg.BulkSec,
-		Zone: a.lastS.Zone, Server: a.server.Kind, Static: static,
+		ID: ln.TestID, Op: ln.Op, Kind: kind, Dir: dir, StartUTC: utc(t), DurSec: c.Cfg.BulkSec,
+		Zone: ln.LastS.Zone, Server: ln.Server.Kind, Static: static,
 		MeanBps: res.MeanBps(), StdFracBps: res.StdFrac(),
-		HighSpeedFrac: a.highSpeedFrac(), HOCount: a.hoCount(),
+		HighSpeedFrac: ln.HighSpeedFrac(), HOCount: ln.HOCount(),
 	}
 	if !static {
 		sum.Miles = c.Trace.MilesBetween(t, t+c.Cfg.BulkSec)
@@ -79,7 +95,6 @@ func (c *Campaign) runBulk(sink dataset.Sink, id int, ph *phone, t float64, dir 
 		sum.TxBytes = res.DeliveredBytes
 	}
 	sink.EmitTest(sum)
-	a.release()
 }
 
 // emitHandovers streams an adapter's handover records into the sink.
@@ -89,41 +104,55 @@ func emitHandovers(sink dataset.Sink, recs []dataset.HandoverRecord) {
 	}
 }
 
-// runRTT runs one ping test (one echo per 200 ms) and records each sample.
+// rttIntervalSec is the ping cadence of the RTT test (one echo per 200 ms,
+// §5). Both engines tick RTT phases at this interval.
+const rttIntervalSec = 0.2
+
+// runRTT runs one ping test on the scalar engine and records each sample.
 func (c *Campaign) runRTT(sink dataset.Sink, id int, ph *phone, t float64, static bool, st *staticState) {
 	a := c.newAdapter(id, ph, t, ran.RTTProbe, radio.Downlink, st)
-	const interval = 0.2
-	var samples []float64
 	nextPing := 0.0
-	for tt := 0.0; tt < c.Cfg.RTTSec; tt += interval {
-		_, _, rtt, outage := a.advance(interval)
+	for tt := 0.0; tt < c.Cfg.RTTSec; tt += rttIntervalSec {
+		_, _, rtt, outage := a.advance(rttIntervalSec)
 		if tt >= nextPing {
-			nextPing += interval
+			nextPing += rttIntervalSec
 			if outage {
 				continue
 			}
-			samples = append(samples, rtt)
-			sink.EmitRTT(dataset.RTTSample{
-				TestID: a.testID, Op: ph.op, TimeUTC: utc(a.t), Ms: rtt, Tech: a.last.Tech,
-				MPH: a.lastS.MPH, Km: a.lastS.Km, Zone: a.lastS.Zone, Server: a.server.Kind,
-				Static: static,
+			a.Pings = append(a.Pings, batch.Ping{
+				T: a.T, Ms: rtt, Tech: a.Last.Tech,
+				MPH: a.LastS.MPH, Km: a.LastS.Km, Zone: a.LastS.Zone,
 			})
 		}
 	}
-	emitHandovers(sink, a.hoRecs)
+	c.emitRTT(sink, &a.Lane, t, static)
+	a.release()
+}
 
-	mean, stdFrac := meanStdFrac(samples)
+// emitRTT streams a finished ping test's records — the emit half shared by
+// both engines. Ping rows land in the rtt table in probe order, exactly as
+// the scalar engine's former inline emission did.
+func (c *Campaign) emitRTT(sink dataset.Sink, ln *batch.Lane, t float64, static bool) {
+	for _, p := range ln.Pings {
+		sink.EmitRTT(dataset.RTTSample{
+			TestID: ln.TestID, Op: ln.Op, TimeUTC: utc(p.T), Ms: p.Ms, Tech: p.Tech,
+			MPH: p.MPH, Km: p.Km, Zone: p.Zone, Server: ln.Server.Kind,
+			Static: static,
+		})
+	}
+	emitHandovers(sink, ln.HORecs)
+
+	mean, stdFrac := meanStdFracPings(ln.Pings)
 	sum := dataset.TestSummary{
-		ID: a.testID, Op: ph.op, Kind: dataset.TestRTT, Dir: radio.Downlink, StartUTC: utc(t),
-		DurSec: c.Cfg.RTTSec, Zone: a.lastS.Zone, Server: a.server.Kind, Static: static,
+		ID: ln.TestID, Op: ln.Op, Kind: dataset.TestRTT, Dir: radio.Downlink, StartUTC: utc(t),
+		DurSec: c.Cfg.RTTSec, Zone: ln.LastS.Zone, Server: ln.Server.Kind, Static: static,
 		MeanRTTms: mean, StdFracRTT: stdFrac,
-		HighSpeedFrac: a.highSpeedFrac(), HOCount: a.hoCount(),
+		HighSpeedFrac: ln.HighSpeedFrac(), HOCount: ln.HOCount(),
 	}
 	if !static {
 		sum.Miles = c.Trace.MilesBetween(t, t+c.Cfg.RTTSec)
 	}
 	sink.EmitTest(sum)
-	a.release()
 }
 
 func meanStdFrac(v []float64) (mean, stdFrac float64) {
@@ -145,31 +174,52 @@ func meanStdFrac(v []float64) (mean, stdFrac float64) {
 	return mean, math.Sqrt(ss/float64(len(v))) / mean
 }
 
+// meanStdFracPings is meanStdFrac over the RTT values of a ping series,
+// accumulated in the same order with the same arithmetic.
+func meanStdFracPings(pings []batch.Ping) (mean, stdFrac float64) {
+	if len(pings) == 0 {
+		return 0, 0
+	}
+	for _, p := range pings {
+		mean += p.Ms
+	}
+	mean /= float64(len(pings))
+	if mean == 0 {
+		return 0, 0
+	}
+	var ss float64
+	for _, p := range pings {
+		d := p.Ms - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss/float64(len(pings))) / mean
+}
+
 // exportRaw writes the raw XCAL + app log file pair for a finished bulk
 // test (Config.RawLogDir).
-func (c *Campaign) exportRaw(a *adapter, kind string, t float64, samples []float64, n int) error {
+func (c *Campaign) exportRaw(ln *batch.Lane, kind string, t float64, samples []float64, n int) error {
 	exp := &xcal.Exporter{Dir: c.Cfg.RawLogDir}
 	var kpis []xcal.KPIEntry
 	var app []xcal.AppEntry
 	for i := 0; i < n; i++ {
-		r := a.rows[i]
+		r := ln.Rows[i]
 		kpis = append(kpis, xcal.KPIEntry{
-			TimeUTC: utc(r.t), Tech: r.tech, RSRPdBm: r.rsrp, SINRdB: r.sinr,
-			MCS: r.mcs, BLER: r.bler, CCDown: r.ccDL, CCUp: r.ccUL, MPH: r.mph,
+			TimeUTC: utc(r.T), Tech: r.Tech, RSRPdBm: r.RSRP, SINRdB: r.SINR,
+			MCS: r.MCS, BLER: r.BLER, CCDown: r.CCDL, CCUp: r.CCUL, MPH: r.MPH,
 		})
-		app = append(app, xcal.AppEntry{TimeUTC: utc(r.t), Value: samples[i]})
+		app = append(app, xcal.AppEntry{TimeUTC: utc(r.T), Value: samples[i]})
 	}
 	var sigs []xcal.SignalEvent
-	for _, h := range a.hoRecs {
+	for _, h := range ln.HORecs {
 		sigs = append(sigs, xcal.SignalEvent{
 			TimeUTC: h.TimeUTC, FromTech: h.FromTech, ToTech: h.ToTech,
 			FromCell: h.FromCell, ToCell: h.ToCell, DurMs: h.DurSec * 1000,
 		})
 	}
 	// The test id disambiguates tests of the same kind within one second.
-	tag := fmt.Sprintf("%s-%d", kind, a.testID)
-	offset := a.lastS.Zone.UTCOffsetHours()
-	return exp.ExportTest(a.ph.op, tag, utc(t), offset, kpis, sigs, app)
+	tag := fmt.Sprintf("%s-%d", kind, ln.TestID)
+	offset := ln.LastS.Zone.UTCOffsetHours()
+	return exp.ExportTest(ln.Op, tag, utc(t), offset, kpis, sigs, app)
 }
 
 // speedTestSec is the duration of the commercial-style speed test.
@@ -181,12 +231,12 @@ const speedTestSec = 15.0
 func (c *Campaign) runSpeedTest(sink dataset.Sink, id int, ph *phone, t float64) {
 	a := c.newAdapter(id, ph, t, ran.BacklogDL, radio.Downlink, nil)
 	res := transport.RunSpeedTest(pathAdapter{a}, speedTestSec, transport.SpeedTestConns)
-	emitHandovers(sink, a.hoRecs)
+	emitHandovers(sink, a.HORecs)
 	sink.EmitTest(dataset.TestSummary{
-		ID: a.testID, Op: ph.op, Kind: dataset.TestSpeed, Dir: radio.Downlink, StartUTC: utc(t),
-		DurSec: speedTestSec, Zone: a.lastS.Zone, Server: a.server.Kind,
+		ID: a.TestID, Op: ph.op, Kind: dataset.TestSpeed, Dir: radio.Downlink, StartUTC: utc(t),
+		DurSec: speedTestSec, Zone: a.LastS.Zone, Server: a.Server.Kind,
 		MeanBps:       res.PeakBps,
-		HighSpeedFrac: a.highSpeedFrac(), HOCount: a.hoCount(),
+		HighSpeedFrac: a.HighSpeedFrac(), HOCount: a.HOCount(),
 		Miles:   c.Trace.MilesBetween(t, t+speedTestSec),
 		RxBytes: res.MeanBps / 8 * speedTestSec,
 	})
@@ -218,11 +268,11 @@ func (c *Campaign) runAppBattery(t float64) float64 {
 func (c *Campaign) runOffload(sink dataset.Sink, id int, ph *phone, t float64, appCfg offload.Config, kind dataset.TestKind, compressed bool) {
 	a := c.newAdapter(id, ph, t, ran.AppUL, radio.Uplink, nil)
 	res := offload.Run(netAdapter{a}, appCfg, compressed, true)
-	emitHandovers(sink, a.hoRecs)
+	emitHandovers(sink, a.HORecs)
 	sink.EmitApp(dataset.AppRun{
-		ID: a.testID, Op: ph.op, App: kind, StartUTC: utc(t), DurSec: appCfg.DurSec,
-		Server: a.server.Kind, Compressed: compressed,
-		HighSpeedFrac: a.highSpeedFrac(), HOCount: a.hoCount(),
+		ID: a.TestID, Op: ph.op, App: kind, StartUTC: utc(t), DurSec: appCfg.DurSec,
+		Server: a.Server.Kind, Compressed: compressed,
+		HighSpeedFrac: a.HighSpeedFrac(), HOCount: a.HOCount(),
 		MedianE2EMs: res.MedianE2EMs, OffloadFPS: res.OffloadFPS, MAP: res.MAP,
 	})
 	a.release()
@@ -231,10 +281,10 @@ func (c *Campaign) runOffload(sink dataset.Sink, id int, ph *phone, t float64, a
 func (c *Campaign) runVideo(sink dataset.Sink, id int, ph *phone, t float64) {
 	a := c.newAdapter(id, ph, t, ran.AppDL, radio.Downlink, nil)
 	res := video.Run(netAdapter{a}, c.Cfg.VideoSec)
-	emitHandovers(sink, a.hoRecs)
+	emitHandovers(sink, a.HORecs)
 	sink.EmitApp(dataset.AppRun{
-		ID: a.testID, Op: ph.op, App: dataset.TestVideo, StartUTC: utc(t), DurSec: c.Cfg.VideoSec,
-		Server: a.server.Kind, HighSpeedFrac: a.highSpeedFrac(), HOCount: a.hoCount(),
+		ID: a.TestID, Op: ph.op, App: dataset.TestVideo, StartUTC: utc(t), DurSec: c.Cfg.VideoSec,
+		Server: a.Server.Kind, HighSpeedFrac: a.HighSpeedFrac(), HOCount: a.HOCount(),
 		QoE: res.QoE, RebufFrac: res.RebufFrac, AvgBitrate: res.AvgBitrate,
 	})
 	a.release()
@@ -243,10 +293,10 @@ func (c *Campaign) runVideo(sink dataset.Sink, id int, ph *phone, t float64) {
 func (c *Campaign) runGaming(sink dataset.Sink, id int, ph *phone, t float64) {
 	a := c.newAdapter(id, ph, t, ran.AppDL, radio.Downlink, nil)
 	res := gaming.Run(netAdapter{a}, c.Cfg.GamingSec)
-	emitHandovers(sink, a.hoRecs)
+	emitHandovers(sink, a.HORecs)
 	sink.EmitApp(dataset.AppRun{
-		ID: a.testID, Op: ph.op, App: dataset.TestGaming, StartUTC: utc(t), DurSec: c.Cfg.GamingSec,
-		Server: a.server.Kind, HighSpeedFrac: a.highSpeedFrac(), HOCount: a.hoCount(),
+		ID: a.TestID, Op: ph.op, App: dataset.TestGaming, StartUTC: utc(t), DurSec: c.Cfg.GamingSec,
+		Server: a.Server.Kind, HighSpeedFrac: a.HighSpeedFrac(), HOCount: a.HOCount(),
 		SendBitrate: res.SendBitrate, NetLatencyMs: res.NetLatencyMs, FrameDrop: res.FrameDrop,
 	})
 	a.release()

@@ -64,12 +64,13 @@ var tableHeaders = [numTables][]string{
 	tabPassive: {"op", "time_utc", "km", "tech", "cell", "zone", "no_svc"},
 }
 
-// The append* codecs write a record's fields into a caller-owned slice so
-// streaming sinks (CSVWriter, HashSink, ParallelCSVWriter) can reuse one
-// row buffer per sink instead of allocating a field slice per record.
-// csv.Writer copies field contents on Write, so the buffer is free for
-// reuse as soon as Write returns. The encode* wrappers keep the one-shot
-// form Save uses.
+// The append* codecs write a record's fields into a caller-owned slice;
+// Save feeds them to encoding/csv through the encode* wrappers. The
+// streaming sinks (CSVWriter, HashSink, ParallelCSVWriter) encode the same
+// rows through the byte codecs in rowbytes.go, which skip the per-field
+// string allocations; TestRowBytesMatchCSV pins the two encodings
+// byte-identical, so "the CSV bytes of a record" still has exactly one
+// definition in the package.
 
 func appendThr(dst []string, s ThroughputSample) []string {
 	return append(dst, i2s(s.TestID), s.Op.String(), s.Dir.String(), t2s(s.TimeUTC), f2s(s.Bps),

@@ -3,7 +3,6 @@ package dataset
 import (
 	"bytes"
 	"compress/gzip"
-	"encoding/csv"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -36,7 +35,7 @@ const DefaultChunkRows = 8192
 type ParallelCSVWriter struct {
 	files [numTables]*os.File
 	tabs  [numTables]chunkTable
-	row   []string // reusable field buffer; the csv.Writer copies on Write
+	row   []byte // reusable row encoding buffer
 
 	chunkRows int
 	jobs      chan compressJob
@@ -48,12 +47,11 @@ type ParallelCSVWriter struct {
 	done bool
 }
 
-// chunkTable is one table's encoding state: rows accumulate in buf through
-// cw, and futures for submitted chunks queue in pending for the table's
+// chunkTable is one table's encoding state: byte-encoded rows accumulate in
+// buf, and futures for submitted chunks queue in pending for the table's
 // writer goroutine to commit in order.
 type chunkTable struct {
 	buf     *bytes.Buffer
-	cw      *csv.Writer
 	rows    int
 	pending chan chan compressed
 }
@@ -106,9 +104,8 @@ func NewParallelCSVWriter(dir string, workers, chunkRows int) (*ParallelCSVWrite
 		t := &w.tabs[i]
 		t.buf = rawPool.Get().(*bytes.Buffer)
 		t.buf.Reset()
-		t.cw = csv.NewWriter(t.buf)
-		t.cw.Write(tableHeaders[i]) // bytes.Buffer writes never fail
-		t.cw.Flush()
+		w.row = csvAppendRow(w.row[:0], tableHeaders[i])
+		t.buf.Write(w.row) // bytes.Buffer writes never fail
 		// 2×workers of slack keeps every worker busy while the writer
 		// commits, and bounds in-flight chunks (memory) per table.
 		t.pending = make(chan chan compressed, 2*workers)
@@ -172,7 +169,6 @@ func (w *ParallelCSVWriter) latch(err error) {
 // submit ships the table's current chunk to the pool and starts a fresh
 // buffer. Caller is the single emit goroutine.
 func (w *ParallelCSVWriter) submit(t *chunkTable) {
-	t.cw.Flush()
 	if t.buf.Len() == 0 {
 		t.rows = 0
 		return
@@ -182,16 +178,15 @@ func (w *ParallelCSVWriter) submit(t *chunkTable) {
 	w.jobs <- compressJob{raw: t.buf, out: fut}
 	t.buf = rawPool.Get().(*bytes.Buffer)
 	t.buf.Reset()
-	t.cw = csv.NewWriter(t.buf)
 	t.rows = 0
 }
 
-func (w *ParallelCSVWriter) write(tab int, rec []string) {
+func (w *ParallelCSVWriter) write(tab int) {
 	if w.done {
 		return
 	}
 	t := &w.tabs[tab]
-	t.cw.Write(rec)
+	t.buf.Write(w.row)
 	t.rows++
 	if t.rows >= w.chunkRows {
 		w.submit(t)
@@ -199,28 +194,28 @@ func (w *ParallelCSVWriter) write(tab int, rec []string) {
 }
 
 func (w *ParallelCSVWriter) EmitThr(s ThroughputSample) {
-	w.row = appendThr(w.row[:0], s)
-	w.write(tabThr, w.row)
+	w.row = csvAppendThr(w.row[:0], s)
+	w.write(tabThr)
 }
 func (w *ParallelCSVWriter) EmitRTT(s RTTSample) {
-	w.row = appendRTT(w.row[:0], s)
-	w.write(tabRTT, w.row)
+	w.row = csvAppendRTT(w.row[:0], s)
+	w.write(tabRTT)
 }
 func (w *ParallelCSVWriter) EmitHandover(h HandoverRecord) {
-	w.row = appendHO(w.row[:0], h)
-	w.write(tabHO, w.row)
+	w.row = csvAppendHO(w.row[:0], h)
+	w.write(tabHO)
 }
 func (w *ParallelCSVWriter) EmitTest(t TestSummary) {
-	w.row = appendTest(w.row[:0], t)
-	w.write(tabTests, w.row)
+	w.row = csvAppendTest(w.row[:0], t)
+	w.write(tabTests)
 }
 func (w *ParallelCSVWriter) EmitApp(a AppRun) {
-	w.row = appendApp(w.row[:0], a)
-	w.write(tabApps, w.row)
+	w.row = csvAppendApp(w.row[:0], a)
+	w.write(tabApps)
 }
 func (w *ParallelCSVWriter) EmitPassive(p PassiveSample) {
-	w.row = appendPassive(w.row[:0], p)
-	w.write(tabPassive, w.row)
+	w.row = csvAppendPassive(w.row[:0], p)
+	w.write(tabPassive)
 }
 
 // Flush submits every partial chunk (the header-only chunk of an empty

@@ -2,7 +2,6 @@ package dataset
 
 import (
 	"crypto/sha256"
-	"encoding/csv"
 	"encoding/hex"
 	"hash"
 	"io"
@@ -193,65 +192,80 @@ func (r *Renumber) Flush() error                { return r.dst.Flush() }
 
 // HashSink computes a SHA-256 fingerprint of the dataset's canonical CSV
 // encoding without materializing any of it: each record is CSV-encoded
-// through the same codecs Save uses and fed to a per-table hash, and Sum
-// combines the per-table digests (bound to their file names) into one hex
-// string. Emitting a dataset into a HashSink therefore fingerprints exactly
-// the bytes Save would write, table order and headers included.
+// through the byte codecs (bit-identical to the encoding Save writes) and
+// fed to a per-table hash, and Sum combines the per-table digests (bound to
+// their file names) into one hex string. Emitting a dataset into a HashSink
+// therefore fingerprints exactly the bytes Save would write, table order
+// and headers included.
 type HashSink struct {
 	h   [numTables]hash.Hash
-	w   [numTables]*csv.Writer
-	row []string // reusable field buffer; csv.Writer copies on Write
+	buf [numTables][]byte // rows accumulate here between hash writes
 }
+
+// hashChunkBytes is how many encoded row bytes accumulate per table before
+// they are folded into the hash. SHA-256 consumes input in 64-byte blocks,
+// so the chunk size only amortizes call overhead; it never changes the
+// digest.
+const hashChunkBytes = 4096
 
 // NewHashSink returns a HashSink with the table headers already hashed.
 func NewHashSink() *HashSink {
 	s := &HashSink{}
 	for i := range s.h {
 		s.h[i] = sha256.New()
-		s.w[i] = csv.NewWriter(s.h[i])
-		s.w[i].Write(tableHeaders[i]) // hash.Hash writes never fail
+		s.buf[i] = csvAppendRow(make([]byte, 0, hashChunkBytes+512), tableHeaders[i])
 	}
 	return s
 }
 
 // Reset rewinds the sink to its freshly-constructed state (headers hashed,
-// nothing else), reusing the hash and writer machinery. Fleet workers reset
+// nothing else), reusing the hash and buffer machinery. Fleet workers reset
 // one HashSink per seed instead of allocating a new one.
 func (s *HashSink) Reset() {
 	for i := range s.h {
-		s.w[i].Flush() // drop any buffered row bytes into the old hash
 		s.h[i].Reset()
-		s.w[i].Write(tableHeaders[i])
+		s.buf[i] = csvAppendRow(s.buf[i][:0], tableHeaders[i])
+	}
+}
+
+// sink folds the table's buffer into its hash once enough rows accumulated.
+func (s *HashSink) sink(tab int) {
+	if len(s.buf[tab]) >= hashChunkBytes {
+		s.h[tab].Write(s.buf[tab]) // hash.Hash writes never fail
+		s.buf[tab] = s.buf[tab][:0]
 	}
 }
 
 func (s *HashSink) EmitThr(r ThroughputSample) {
-	s.row = appendThr(s.row[:0], r)
-	s.w[tabThr].Write(s.row)
+	s.buf[tabThr] = csvAppendThr(s.buf[tabThr], r)
+	s.sink(tabThr)
 }
 func (s *HashSink) EmitRTT(r RTTSample) {
-	s.row = appendRTT(s.row[:0], r)
-	s.w[tabRTT].Write(s.row)
+	s.buf[tabRTT] = csvAppendRTT(s.buf[tabRTT], r)
+	s.sink(tabRTT)
 }
 func (s *HashSink) EmitHandover(h HandoverRecord) {
-	s.row = appendHO(s.row[:0], h)
-	s.w[tabHO].Write(s.row)
+	s.buf[tabHO] = csvAppendHO(s.buf[tabHO], h)
+	s.sink(tabHO)
 }
 func (s *HashSink) EmitTest(t TestSummary) {
-	s.row = appendTest(s.row[:0], t)
-	s.w[tabTests].Write(s.row)
+	s.buf[tabTests] = csvAppendTest(s.buf[tabTests], t)
+	s.sink(tabTests)
 }
 func (s *HashSink) EmitApp(a AppRun) {
-	s.row = appendApp(s.row[:0], a)
-	s.w[tabApps].Write(s.row)
+	s.buf[tabApps] = csvAppendApp(s.buf[tabApps], a)
+	s.sink(tabApps)
 }
 func (s *HashSink) EmitPassive(p PassiveSample) {
-	s.row = appendPassive(s.row[:0], p)
-	s.w[tabPassive].Write(s.row)
+	s.buf[tabPassive] = csvAppendPassive(s.buf[tabPassive], p)
+	s.sink(tabPassive)
 }
 func (s *HashSink) Flush() error {
-	for i := range s.w {
-		s.w[i].Flush()
+	for i := range s.buf {
+		if len(s.buf[i]) > 0 {
+			s.h[i].Write(s.buf[i])
+			s.buf[i] = s.buf[i][:0]
+		}
 	}
 	return nil
 }
@@ -259,9 +273,9 @@ func (s *HashSink) Flush() error {
 // Sum returns the combined hex digest. It flushes internally, so it is
 // valid with or without a prior Flush call.
 func (s *HashSink) Sum() string {
+	s.Flush()
 	all := sha256.New()
 	for i := range s.h {
-		s.w[i].Flush()
 		io.WriteString(all, tableNames[i])
 		all.Write([]byte{0})
 		all.Write(s.h[i].Sum(nil))

@@ -2,7 +2,6 @@ package dataset
 
 import (
 	"compress/gzip"
-	"encoding/csv"
 	"os"
 	"path/filepath"
 )
@@ -11,7 +10,9 @@ import (
 // the per-table gzip CSV files as it is emitted, so exporting a campaign
 // needs no in-memory Dataset at all. The on-disk layout is the same as
 // SaveCompressed's (one <table>.csv.gz per record type, same headers, same
-// row encoding), and LoadCompressed reads it back.
+// row encoding), and LoadCompressed reads it back. Rows are encoded through
+// the byte codecs of rowbytes.go, which produce bit-identical CSV to the
+// encoding/csv path Save uses.
 //
 // Emit methods latch the first write error; Flush finalizes all six files
 // and returns it. A CSVWriter must be flushed exactly once — emits after
@@ -19,8 +20,7 @@ import (
 type CSVWriter struct {
 	files [numTables]*os.File
 	zw    [numTables]*gzip.Writer
-	cw    [numTables]*csv.Writer
-	row   []string // reusable field buffer; csv.Writer copies on Write
+	row   []byte // reusable row encoding buffer
 	err   error
 	done  bool
 }
@@ -40,8 +40,8 @@ func NewCSVWriter(dir string) (*CSVWriter, error) {
 		}
 		w.files[i] = f
 		w.zw[i] = gzip.NewWriter(f)
-		w.cw[i] = csv.NewWriter(w.zw[i])
-		if err := w.cw[i].Write(tableHeaders[i]); err != nil {
+		w.row = csvAppendRow(w.row[:0], tableHeaders[i])
+		if _, err := w.zw[i].Write(w.row); err != nil {
 			w.closeAll()
 			return nil, err
 		}
@@ -67,56 +67,48 @@ func (w *CSVWriter) closeAll() {
 	}
 }
 
-func (w *CSVWriter) write(tab int, rec []string) {
+func (w *CSVWriter) write(tab int) {
 	if w.err != nil || w.done {
 		return
 	}
-	if err := w.cw[tab].Write(rec); err != nil {
+	if _, err := w.zw[tab].Write(w.row); err != nil {
 		w.err = err
 	}
 }
 
 func (w *CSVWriter) EmitThr(s ThroughputSample) {
-	w.row = appendThr(w.row[:0], s)
-	w.write(tabThr, w.row)
+	w.row = csvAppendThr(w.row[:0], s)
+	w.write(tabThr)
 }
 func (w *CSVWriter) EmitRTT(s RTTSample) {
-	w.row = appendRTT(w.row[:0], s)
-	w.write(tabRTT, w.row)
+	w.row = csvAppendRTT(w.row[:0], s)
+	w.write(tabRTT)
 }
 func (w *CSVWriter) EmitHandover(h HandoverRecord) {
-	w.row = appendHO(w.row[:0], h)
-	w.write(tabHO, w.row)
+	w.row = csvAppendHO(w.row[:0], h)
+	w.write(tabHO)
 }
 func (w *CSVWriter) EmitTest(t TestSummary) {
-	w.row = appendTest(w.row[:0], t)
-	w.write(tabTests, w.row)
+	w.row = csvAppendTest(w.row[:0], t)
+	w.write(tabTests)
 }
 func (w *CSVWriter) EmitApp(a AppRun) {
-	w.row = appendApp(w.row[:0], a)
-	w.write(tabApps, w.row)
+	w.row = csvAppendApp(w.row[:0], a)
+	w.write(tabApps)
 }
 func (w *CSVWriter) EmitPassive(p PassiveSample) {
-	w.row = appendPassive(w.row[:0], p)
-	w.write(tabPassive, w.row)
+	w.row = csvAppendPassive(w.row[:0], p)
+	w.write(tabPassive)
 }
 
-// Flush drains the CSV buffers, closes the gzip streams and files, and
-// returns the first error encountered anywhere in the writer's lifetime.
-// Safe to call more than once; only the first call does work.
+// Flush closes the gzip streams and files, and returns the first error
+// encountered anywhere in the writer's lifetime. Safe to call more than
+// once; only the first call does work.
 func (w *CSVWriter) Flush() error {
 	if w.done {
 		return w.err
 	}
 	w.done = true
-	for i := range w.cw {
-		if w.err == nil {
-			w.cw[i].Flush()
-			if err := w.cw[i].Error(); err != nil {
-				w.err = err
-			}
-		}
-	}
 	w.closeAll()
 	return w.err
 }

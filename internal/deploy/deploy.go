@@ -123,10 +123,26 @@ type Deployment struct {
 // New builds the operator's deployment along the route. All randomness
 // derives from the stream, so the footprint is reproducible per seed.
 func New(route *geo.Route, op radio.Operator, rng *sim.RNG) *Deployment {
+	return NewUpTo(route, op, rng, 0)
+}
+
+// NewUpTo is New with the availability fields built only for the first
+// maxKm of the route (maxKm <= 0 or past the route end means the whole
+// route). The run-length walk in buildField is prefix-deterministic — bin i
+// depends only on draws for bins ≤ i — so a truncated deployment's masks
+// are bit-identical to the full build over every bin it has, and a campaign
+// bounded by a KmLimit can skip simulating coverage for the days of route
+// it will never drive. Callers must never query past maxKm: the bin clamp
+// would silently return the edge bin's mask instead of the true one.
+func NewUpTo(route *geo.Route, op radio.Operator, rng *sim.RNG, maxKm float64) *Deployment {
+	lengthKm := route.LengthKm()
+	if maxKm > 0 && maxKm < lengthKm {
+		lengthKm = maxKm
+	}
 	d := &Deployment{
 		Op:    op,
 		Route: route,
-		nbins: int(route.LengthKm()/binKm) + 1,
+		nbins: int(lengthKm/binKm) + 1,
 	}
 	d.masks = make([]TechMask, d.nbins)
 	for _, t := range radio.Techs() {

@@ -44,6 +44,32 @@ func BenchmarkFleet(b *testing.B) {
 	b.ReportMetric(float64(growth)/seeds/1e6, "live-MB/seed")
 }
 
+// BenchmarkFleetBatch is BenchmarkFleet on the batched struct-of-arrays
+// tick engine — identical workload, identical output bytes (the
+// differential harness in internal/campaign proves it), different hot
+// path. CI gates its seeds/hour at ≥1.8× the committed scalar
+// BenchmarkFleet baseline.
+func BenchmarkFleetBatch(b *testing.B) {
+	base := campaign.QuickConfig(0, 40)
+	base.Engine = campaign.EngineBatch
+	cfg := Config{
+		Base:      base,
+		StartSeed: 23,
+		Seeds:     3,
+		Workers:   2,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	seeds := float64(cfg.Seeds * b.N)
+	b.ReportMetric(seeds/b.Elapsed().Hours(), "seeds/hour")
+}
+
 // benchSeedConfig is the per-seed campaign the streaming-vs-materialized
 // pair below measures: long enough (320 km, passive loggers on) that the
 // record volume dominates the substrate both paths share.

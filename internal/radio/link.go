@@ -32,12 +32,16 @@ type Link struct {
 	Tech Tech
 	Band BandConfig
 
-	shadow  *sim.GaussMarkov // log-normal shadowing, dB
-	interf  *sim.GaussMarkov // interference-over-noise excursions, dB
-	load    *sim.GaussMarkov // fraction of cell resources available to us
-	caJit   *sim.GaussMarkov // carrier-aggregation availability jitter
-	blocked *sim.MarkovChain // 0 = clear, 1 = blocked
-	congest *sim.MarkovChain // 0 = normal, 1 = congested cell
+	// The correlated processes live by value inside the Link (not behind
+	// pointers), so one link's whole mutable channel state sits in a single
+	// contiguous block — the batch engine steps an array of Links without
+	// chasing per-process heap cells.
+	shadow  sim.GaussMarkov // log-normal shadowing, dB
+	interf  sim.GaussMarkov // interference-over-noise excursions, dB
+	load    sim.GaussMarkov // fraction of cell resources available to us
+	caJit   sim.GaussMarkov // carrier-aggregation availability jitter
+	blocked sim.MarkovChain // 0 = clear, 1 = blocked
+	congest sim.MarkovChain // 0 = normal, 1 = congested cell
 	rng     *sim.RNG
 	share   float64 // current load share, updated each Step
 
@@ -51,6 +55,15 @@ type Link struct {
 	eirp     float64 // eirpDBm(Band)
 	beamGain float64 // BeamGainDB(Op, Tech)
 	fsplRef  float64 // fsplDB(refDistKm, Band.FreqGHz)
+
+	// blockHolds memo: the vehicle speed is constant between trace samples
+	// (~50 ticks), so the Exp inside blockHolds is recomputed only when mph
+	// actually changes. The cached values are exactly what blockHolds would
+	// return, so results are bit-identical with or without the memo.
+	bhMPH   float64
+	bhClear float64
+	bhBlock float64
+	bhInit  bool
 }
 
 // linkTuning collects the model constants in one place.
@@ -106,12 +119,38 @@ const (
 func blockHolds(t Tech, mph float64) (clear, block float64) {
 	if t == NRmmW {
 		clear = 11 + 60*math.Exp(-mph/6)
-		block = 2.6 * (0.3 + 0.7*math.Min(1, mph/20))
+		block = 2.6 * (0.3 + 0.7*min(1, mph/20))
 		return clear, block
 	}
 	clear = 120 + 400*math.Exp(-mph/6)
-	block = 4 * (0.3 + 0.7*math.Min(1, mph/20))
+	block = 4 * (0.3 + 0.7*min(1, mph/20))
 	return clear, block
+}
+
+// pow22Frac is the fractional part math.Pow's Modf(2.2) produces. It must
+// be computed in float64 arithmetic at run time: as an untyped constant
+// expression 2.2-2.0 would be the exact rational 0.2, one ulp off the
+// float64 value pow multiplies by.
+var pow22Frac = 2.2 - math.Trunc(2.2)
+
+// pow22 returns math.Pow(x, 2.2) bit-for-bit for the argument range the
+// interference model uses (0 <= x < 1.13).
+//
+// math.pow computes Exp(yf*Log(x)) for the fractional exponent, then runs
+// the integer part through a Frexp/renormalize/Ldexp squaring loop. Every
+// step of that loop scales by exact powers of two, and IEEE-754
+// round-to-nearest is scale-invariant while all intermediates stay normal,
+// so for yi=2 the loop's round(t1·x1²)·2^k is bit-identical to the plain
+// round(t1·(x·x)): collapsing it drops Modf, Frexp, Ldexp, and the special-
+// case chain from the hot path. The intermediates here are safely normal —
+// x ≥ 1e-100 gives x² ≥ 1e-200 and x^0.2 ≥ 1e-20, orders of magnitude
+// above the 2^-1022 subnormal boundary — and smaller x falls back to
+// math.Pow. TestPow22MatchesPow pins the equality over the full range.
+func pow22(x float64) float64 {
+	if x < 1e-100 {
+		return math.Pow(x, 2.2)
+	}
+	return math.Exp(pow22Frac*math.Log(x)) * (x * x)
 }
 
 // interferencePenaltyDB grows toward the cell edge: the UE moves away from
@@ -122,7 +161,16 @@ func interferencePenaltyDB(distFrac float64) float64 {
 	if distFrac < 0 {
 		distFrac = 0
 	}
-	p := 26 * math.Pow(distFrac, 2.2)
+	// The cap crossover is at distFrac = (34/26)^(1/2.2) ≈ 1.1297. At 1.13
+	// the true penalty is already 34.02, a margin thousands of ulps beyond
+	// math.Pow's rounding error, so for any distFrac ≥ 1.13 the capped
+	// branch below would return exactly 34 — skip the Pow outright. (Cells
+	// past their nominal range are common: the UE camps on a far site
+	// whenever the grid leaves a coverage gap.)
+	if distFrac >= 1.13 {
+		return 34
+	}
+	p := 26 * pow22(distFrac)
 	if p > 34 {
 		p = 34
 	}
@@ -133,18 +181,28 @@ func interferencePenaltyDB(distFrac float64) float64 {
 // stream should be derived per cell so each camped cell gets independent
 // shadowing and load.
 func NewLink(rng *sim.RNG, op Operator, t Tech) *Link {
+	l := &Link{}
+	InitLink(l, rng, op, t)
+	return l
+}
+
+// InitLink initializes a caller-owned Link in place — the by-value form of
+// NewLink. ran.UE embeds its five per-technology links in one contiguous
+// array through this. Stream derivation order is identical to NewLink's, so
+// the two construction forms are draw-for-draw equivalent.
+func InitLink(l *Link, rng *sim.RNG, op Operator, t Tech) {
 	band := Bands(op, t)
-	l := &Link{
+	*l = Link{
 		Op:       op,
 		Tech:     t,
 		Band:     band,
 		eirp:     eirpDBm(band),
 		beamGain: BeamGainDB(op, t),
 		fsplRef:  fsplDB(refDistKm, band.FreqGHz),
-		shadow:   sim.NewGaussMarkov(rng.Stream("shadow"), 0, shadowSigmaDB, shadowTauSec),
-		interf:   sim.NewGaussMarkov(rng.Stream("interf"), 0, 2.5, 12),
-		load:     sim.NewGaussMarkov(rng.Stream("load"), 0.6, 0.15, 30),
-		caJit:    sim.NewGaussMarkov(rng.Stream("ca"), 0, 0.8, 25),
+		shadow:   sim.MakeGaussMarkov(rng.Stream("shadow"), 0, shadowSigmaDB, shadowTauSec),
+		interf:   sim.MakeGaussMarkov(rng.Stream("interf"), 0, 2.5, 12),
+		load:     sim.MakeGaussMarkov(rng.Stream("load"), 0.6, 0.15, 30),
+		caJit:    sim.MakeGaussMarkov(rng.Stream("ca"), 0, 0.8, 25),
 		rng:      rng.Stream("draws"),
 	}
 	// Blockage chain: state 0 clear, state 1 blocked. mmWave blocks often
@@ -154,13 +212,12 @@ func NewLink(rng *sim.RNG, op Operator, t Tech) *Link {
 	if t == NRmmW {
 		clearHold, blockHold = 11.0, 2.6
 	}
-	l.blocked = sim.NewMarkovChain(rng.Stream("block"), 0,
+	l.blocked = sim.MakeMarkovChain(rng.Stream("block"), 0,
 		[]float64{clearHold, blockHold},
 		[][]float64{{0, 1}, {1, 0}})
-	l.congest = sim.NewMarkovChain(rng.Stream("congest"), 0,
+	l.congest = sim.MakeMarkovChain(rng.Stream("congest"), 0,
 		[]float64{congestNormalHoldSec, congestHoldSec},
 		[][]float64{{0, 1}, {1, 0}})
-	return l
 }
 
 // Reset re-draws the correlated state, as happens when the UE hands over to
@@ -175,13 +232,26 @@ func (l *Link) Reset() {
 // moving at mph over the given road class, and returns the PHY snapshot.
 func (l *Link) Step(dt, distKm, mph float64, road geo.RoadClass) LinkState {
 	var st LinkState
+	l.StepInto(&st, dt, distKm, mph, road)
+	return st
+}
+
+// StepInto is Step writing the snapshot into caller-owned memory — the
+// per-tick loops build the state in place (typically directly inside the
+// UE snapshot) instead of copying a LinkState up the call chain. Every
+// LinkState field is assigned below, so no prior zeroing is needed.
+func (l *Link) StepInto(st *LinkState, dt, distKm, mph float64, road geo.RoadClass) {
 	st.Tech = l.Tech
 
 	// Blockage is speed-dependent: a stationary UE facing its base station
 	// (the static tests) is almost never blocked, while driving sweeps
-	// obstructions through the beam constantly.
-	clearHold, blockHold := blockHolds(l.Tech, mph)
-	l.blocked.HoldMean[0], l.blocked.HoldMean[1] = clearHold, blockHold
+	// obstructions through the beam constantly. The holds only change when
+	// the speed does (once per trace sample), so they are memoized.
+	if !l.bhInit || mph != l.bhMPH {
+		l.bhClear, l.bhBlock = blockHolds(l.Tech, mph)
+		l.bhMPH, l.bhInit = mph, true
+	}
+	l.blocked.HoldMean[0], l.blocked.HoldMean[1] = l.bhClear, l.bhBlock
 	blocked := l.blocked.Step(dt) == 1
 	st.Blocked = blocked
 
@@ -244,7 +314,6 @@ func (l *Link) Step(dt, distKm, mph float64, road geo.RoadClass) LinkState {
 
 	st.CapDL = l.capacity(st, Downlink)
 	st.CapUL = l.capacity(st, Uplink)
-	return st
 }
 
 // carriers picks the number of aggregated component carriers from link
@@ -304,7 +373,7 @@ const anchorMHz = 20.0
 // capacity converts the PHY snapshot into the bit rate available to this UE
 // in one direction, accounting for per-carrier MCS dispersion, duty cycle,
 // BLER, control overhead, and cell load.
-func (l *Link) capacity(st LinkState, dir Direction) float64 {
+func (l *Link) capacity(st *LinkState, dir Direction) float64 {
 	b := &l.Band
 	cc := st.CCDown
 	duty := b.DutyDown

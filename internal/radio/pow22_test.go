@@ -1,0 +1,40 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPow22MatchesPow pins pow22 to math.Pow(x, 2.2) bit-for-bit over the
+// interference model's argument range. The golden dataset hashes ride on
+// this equality: interferencePenaltyDB feeds every SINR sample, so a single
+// ulp of drift would flip CSV bytes.
+func TestPow22MatchesPow(t *testing.T) {
+	check := func(x float64) {
+		t.Helper()
+		want := math.Pow(x, 2.2)
+		got := pow22(x)
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("pow22(%v) = %v (%#x), math.Pow = %v (%#x)",
+				x, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+
+	// Boundaries: zero, the subnormal-guard fallback on both sides, the
+	// cap crossover neighborhood, and exact powers of two.
+	for _, x := range []float64{
+		0, math.SmallestNonzeroFloat64, 1e-300, 1e-101, 1e-100, 2e-100,
+		1e-10, 0.25, 0.5, 1, 1.125, 1.13, math.Nextafter(1.13, 0),
+	} {
+		check(x)
+	}
+
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 2_000_000; i++ {
+		// Dense over the live range (0, 1.13), plus wide exponents through
+		// the fallback region.
+		check(rng.Float64() * 1.13)
+		check(math.Ldexp(0.5+0.5*rng.Float64(), -rng.Intn(400)))
+	}
+}

@@ -94,7 +94,7 @@ type UE struct {
 	Dep *deploy.Deployment
 
 	rng      *sim.RNG
-	links    [radio.NumTechs]*radio.Link
+	links    [radio.NumTechs]radio.Link // by value: one contiguous block of channel state
 	tech     radio.Tech
 	cell     deploy.Cell
 	attached bool
@@ -115,15 +115,18 @@ func NewUE(rng *sim.RNG, dep *deploy.Deployment) *UE {
 		cells: map[deploy.CellKey]bool{},
 	}
 	for _, t := range radio.Techs() {
-		u.links[t] = radio.NewLink(u.rng.Stream("link", t.String()), dep.Op, t)
+		radio.InitLink(&u.links[t], u.rng.Stream("link", t.String()), dep.Op, t)
 	}
 	return u
 }
 
-// TakeHandovers returns and clears the accumulated handover events.
+// TakeHandovers returns and clears the accumulated handover events. The
+// returned slice aliases the UE's internal buffer — it is valid only until
+// the next Step, so callers must consume (or copy) it immediately. Keeping
+// the buffer makes the steady-state tick loop allocation-free.
 func (u *UE) TakeHandovers() []HandoverEvent {
 	ev := u.events
-	u.events = nil
+	u.events = u.events[:0]
 	return ev
 }
 
@@ -225,13 +228,24 @@ const warmupTickSec = 0.5
 // returns the radio snapshot. The traffic profile drives the elevation
 // policy.
 func (u *UE) Step(t, dt, km, mph float64, road geo.RoadClass, zone geo.Timezone, tr Traffic) Snapshot {
+	var snap Snapshot
+	u.StepInto(&snap, t, dt, km, mph, road, zone, tr)
+	return snap
+}
+
+// StepInto is Step writing the snapshot into caller-owned memory, so the
+// per-tick loops (the batch lanes in particular) land the radio state
+// directly in its long-lived slot instead of copying a Snapshot up the
+// call chain.
+func (u *UE) StepInto(snap *Snapshot, t, dt, km, mph float64, road geo.RoadClass, zone geo.Timezone, tr Traffic) {
 	avail := u.Dep.AvailMask(km)
 	if avail == 0 {
 		// Dead zone: out of service entirely.
 		u.attached = false
 		u.wasOut = true
-		return Snapshot{T: t, Outage: true, Tech: u.tech, Cell: u.cell,
+		*snap = Snapshot{T: t, Outage: true, Tech: u.tech, Cell: u.cell,
 			Link: radio.LinkState{Tech: u.tech, RSRPdBm: -140, SINRdB: -10}}
+		return
 	}
 	if !u.attached {
 		u.attach(t, km, avail, tr, zone)
@@ -267,14 +281,21 @@ func (u *UE) Step(t, dt, km, mph float64, road geo.RoadClass, zone geo.Timezone,
 		}
 	}
 
-	link := u.links[u.tech]
-	st := link.Step(dt, servDist, mph, road)
-	snap := Snapshot{T: t, Tech: u.tech, Cell: u.cell, Link: st}
+	// Field-wise assignment (not a composite literal) so the compiler writes
+	// the caller's snapshot in place instead of building and copying a
+	// temporary; snap.Link is fully overwritten by StepInto below.
+	snap.T = t
+	snap.Tech = u.tech
+	snap.Cell = u.cell
+	snap.InHO = false
+	snap.Outage = false
+	snap.CapDL = 0
+	snap.CapUL = 0
+	u.links[u.tech].StepInto(&snap.Link, dt, servDist, mph, road)
 	if t < u.hoUntil {
 		snap.InHO = true
 	} else {
-		snap.CapDL = st.CapDL
-		snap.CapUL = st.CapUL
+		snap.CapDL = snap.Link.CapDL
+		snap.CapUL = snap.Link.CapUL
 	}
-	return snap
 }

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFastRandMatchesMathRand pins the vendored generator to math/rand draw
+// for draw. Every golden dataset hash in the repository rides on the streams
+// staying bit-identical to rand.New(rand.NewSource(seed)), so the sweep
+// interleaves every method the simulator uses — including the rejection
+// loops (NormFloat64 tail, ExpFloat64, Int31n non-power-of-two) whose draw
+// counts must also agree for the streams to stay aligned.
+func TestFastRandMatchesMathRand(t *testing.T) {
+	seeds := []int64{0, 1, -1, 23, 89482311, math.MaxInt64, math.MinInt64, 1 << 40}
+	for _, seed := range seeds {
+		ref := rand.New(rand.NewSource(seed))
+		got := newFastRand(seed)
+		for i := 0; i < 200_000; i++ {
+			switch i % 8 {
+			case 0:
+				if a, b := ref.Int63(), got.Int63(); a != b {
+					t.Fatalf("seed %d draw %d: Int63 %d != %d", seed, i, b, a)
+				}
+			case 1:
+				if a, b := ref.Float64(), got.Float64(); math.Float64bits(a) != math.Float64bits(b) {
+					t.Fatalf("seed %d draw %d: Float64 %v != %v", seed, i, b, a)
+				}
+			case 2:
+				if a, b := ref.NormFloat64(), got.NormFloat64(); math.Float64bits(a) != math.Float64bits(b) {
+					t.Fatalf("seed %d draw %d: NormFloat64 %v != %v", seed, i, b, a)
+				}
+			case 3:
+				if a, b := ref.ExpFloat64(), got.ExpFloat64(); math.Float64bits(a) != math.Float64bits(b) {
+					t.Fatalf("seed %d draw %d: ExpFloat64 %v != %v", seed, i, b, a)
+				}
+			case 4:
+				n := 1 + i%97
+				if a, b := ref.Intn(n), got.Intn(n); a != b {
+					t.Fatalf("seed %d draw %d: Intn(%d) %d != %d", seed, i, n, b, a)
+				}
+			case 5:
+				// Power-of-two and giant arguments take distinct code paths.
+				if a, b := ref.Intn(64), got.Intn(64); a != b {
+					t.Fatalf("seed %d draw %d: Intn(64) %d != %d", seed, i, b, a)
+				}
+				if a, b := ref.Int63n(1<<40+7), got.Int63n(1<<40+7); a != b {
+					t.Fatalf("seed %d draw %d: Int63n %d != %d", seed, i, b, a)
+				}
+			case 6:
+				if a, b := ref.Uint32(), got.Uint32(); a != b {
+					t.Fatalf("seed %d draw %d: Uint32 %d != %d", seed, i, b, a)
+				}
+			case 7:
+				n := 1 + i%13
+				a, b := ref.Perm(n), got.Perm(n)
+				for k := range a {
+					if a[k] != b[k] {
+						t.Fatalf("seed %d draw %d: Perm(%d)[%d] %d != %d", seed, i, n, k, b[k], a[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFastRandSeedStateMatches compares the raw source state after seeding:
+// the first few thousand Uint64s from the lagged-Fibonacci register must
+// match rand.NewSource exactly for seeds across the int64 range (seeding
+// reduces mod 2³¹-1, so boundary seeds exercise the wraparound).
+func TestFastRandSeedStateMatches(t *testing.T) {
+	for _, seed := range []int64{0, 1, -1, int32max, int32max + 1, -int32max, math.MaxInt64, math.MinInt64} {
+		ref := rand.NewSource(seed).(rand.Source64)
+		var got rngSource
+		got.Seed(seed)
+		for i := 0; i < 5000; i++ {
+			if a, b := ref.Uint64(), got.Uint64(); a != b {
+				t.Fatalf("seed %d draw %d: Uint64 %d != %d", seed, i, b, a)
+			}
+		}
+	}
+}

@@ -32,7 +32,15 @@ type GaussMarkov struct {
 // NewGaussMarkov returns a process with the given stationary statistics. The
 // initial state is drawn from the stationary distribution on first use.
 func NewGaussMarkov(rng *RNG, mean, sigma, tau float64) *GaussMarkov {
-	return &GaussMarkov{Mean: mean, Sigma: sigma, Tau: tau, rng: rng}
+	g := MakeGaussMarkov(rng, mean, sigma, tau)
+	return &g
+}
+
+// MakeGaussMarkov is the by-value form of NewGaussMarkov, for embedding the
+// process directly in a parent struct (radio.Link packs its four processes
+// contiguously this way) instead of scattering it on the heap.
+func MakeGaussMarkov(rng *RNG, mean, sigma, tau float64) GaussMarkov {
+	return GaussMarkov{Mean: mean, Sigma: sigma, Tau: tau, rng: rng}
 }
 
 // Value returns the current state without advancing the process.
@@ -46,7 +54,14 @@ func (g *GaussMarkov) Value() float64 {
 
 // Step advances the process by dt seconds and returns the new state.
 func (g *GaussMarkov) Step(dt float64) float64 {
-	v := g.Value()
+	// Inline Value's lazy init: Value's draw branch pushes it past the
+	// inlining budget, so calling it here would cost a function call on
+	// every tick of every process.
+	if !g.init {
+		g.value = g.Mean + g.Sigma*g.rng.NormFloat64()
+		g.init = true
+	}
+	v := g.value
 	if dt <= 0 {
 		return v
 	}
@@ -89,7 +104,13 @@ type MarkovChain struct {
 
 // NewMarkovChain returns a chain starting in the given state.
 func NewMarkovChain(rng *RNG, start int, holdMean []float64, trans [][]float64) *MarkovChain {
-	return &MarkovChain{HoldMean: holdMean, Trans: trans, rng: rng, state: start}
+	m := MakeMarkovChain(rng, start, holdMean, trans)
+	return &m
+}
+
+// MakeMarkovChain is the by-value form of NewMarkovChain, for embedding.
+func MakeMarkovChain(rng *RNG, start int, holdMean []float64, trans [][]float64) MarkovChain {
+	return MarkovChain{HoldMean: holdMean, Trans: trans, rng: rng, state: start}
 }
 
 // State returns the current state.

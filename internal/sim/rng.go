@@ -11,10 +11,7 @@
 // order in which unrelated subsystems consume randomness.
 package sim
 
-import (
-	"math"
-	"math/rand"
-)
+import "math"
 
 // splitmix64 advances the classic SplitMix64 generator one step. It is used
 // only for key derivation, not for the streams themselves.
@@ -46,13 +43,18 @@ func hashLabel(key uint64, label string) uint64 {
 // The zero value is not usable; construct streams with NewRNG or Stream.
 type RNG struct {
 	key uint64
-	src *rand.Rand
+	// src is embedded by value: the generator state lives inline with the
+	// stream object, so every draw saves a pointer hop and the distribution
+	// methods inline straight onto the lagged-Fibonacci register.
+	src fastRand
 }
 
 // NewRNG returns the root stream for the given campaign seed.
 func NewRNG(seed int64) *RNG {
 	key := splitmix64(uint64(seed))
-	return &RNG{key: key, src: rand.New(rand.NewSource(int64(key)))}
+	r := &RNG{key: key}
+	r.src.seed(int64(key))
+	return r
 }
 
 // Stream derives an independent child stream identified by the given labels.
@@ -63,7 +65,9 @@ func (r *RNG) Stream(labels ...string) *RNG {
 	for _, l := range labels {
 		key = hashLabel(key, l)
 	}
-	return &RNG{key: key, src: rand.New(rand.NewSource(int64(key)))}
+	c := &RNG{key: key}
+	c.src.seed(int64(key))
+	return c
 }
 
 // Shard derives an independent child stream for the i-th route shard. The
@@ -76,7 +80,9 @@ func (r *RNG) Stream(labels ...string) *RNG {
 func (r *RNG) Shard(i int) *RNG {
 	key := hashLabel(r.key, "shard")
 	key = splitmix64(key ^ splitmix64(uint64(i)+0x9e3779b97f4a7c15))
-	return &RNG{key: key, src: rand.New(rand.NewSource(int64(key)))}
+	c := &RNG{key: key}
+	c.src.seed(int64(key))
+	return c
 }
 
 // Float64 returns a uniform draw in [0, 1).

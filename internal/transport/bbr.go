@@ -1,7 +1,5 @@
 package transport
 
-import "math"
-
 // BBRFlow is a fluid-model approximation of BBR (bottleneck bandwidth and
 // round-trip propagation time) congestion control. The paper measured with
 // CUBIC — nuttcp's default — and much of the driving throughput collapse
@@ -61,13 +59,13 @@ func (f *BBRFlow) updateBw(bw float64) {
 		cut++
 	}
 	f.bwWindow = f.bwWindow[cut:]
-	max := 0.0
+	peak := 0.0
 	for _, s := range f.bwWindow {
-		if s.bw > max {
-			max = s.bw
+		if s.bw > peak {
+			peak = s.bw
 		}
 	}
-	f.btlBw = math.Max(max, 1e5)
+	f.btlBw = max(peak, 1e5)
 }
 
 // Step advances the flow by dt seconds over a bottleneck of capBps with
@@ -76,7 +74,7 @@ func (f *BBRFlow) Step(dt float64, capBps, baseRTTms float64) float64 {
 	f.t += dt
 	rtt := baseRTTms / 1000
 	if rtt < f.rtProp || f.rtProp == 0 {
-		f.rtProp = math.Max(rtt, 1e-3)
+		f.rtProp = max(rtt, 1e-3)
 	}
 	if capBps <= 1 {
 		f.stalledS += dt
@@ -103,7 +101,7 @@ func (f *BBRFlow) Step(dt float64, capBps, baseRTTms float64) float64 {
 
 	// Pace at gain × estimate; the link delivers at most its capacity.
 	sendBps := gain * f.btlBw
-	deliveredBps := math.Min(sendBps, capBps)
+	deliveredBps := min(sendBps, capBps)
 	f.delivered += deliveredBps / 8 * dt
 	f.updateBw(deliveredBps)
 
@@ -128,14 +126,14 @@ func RunBulkBBR(p Path, durSec float64) BulkResult {
 	res := BulkResult{DurSec: durSec}
 	var window float64
 	nextSample := SampleIntervalSec
-	for i := 0; float64(i)*tickSec < durSec; i++ {
-		st := p.Step(tickSec)
+	for i := 0; float64(i)*TickSec < durSec; i++ {
+		st := p.Step(TickSec)
 		cap := st.CapBps
 		if st.Outage {
 			cap = 0
 		}
-		window += flow.Step(tickSec, cap, st.BaseRTTms)
-		if float64(i+1)*tickSec >= nextSample {
+		window += flow.Step(TickSec, cap, st.BaseRTTms)
+		if float64(i+1)*TickSec >= nextSample {
 			res.SamplesBps = append(res.SamplesBps, window*8/SampleIntervalSec)
 			window = 0
 			nextSample += SampleIntervalSec

@@ -33,11 +33,28 @@ type CubicFlow struct {
 	stalledS  float64 // time with zero delivery (RTO detection)
 	sinceLoss float64 // time since the last window reduction
 	delivered float64 // total bytes delivered
+
+	// CUBIC K memo: K depends only on wMax, which changes once per loss
+	// event, so the Cbrt is not recomputed every tick. The cached value is
+	// exactly what cubicWindow would compute, so the window trajectory is
+	// bit-identical with or without the memo.
+	kWMax float64
+	kVal  float64
+	kInit bool
 }
 
 // NewCubicFlow returns a freshly started flow (slow start from initCwnd).
 func NewCubicFlow() *CubicFlow {
-	return &CubicFlow{
+	f := &CubicFlow{}
+	f.Reset()
+	return f
+}
+
+// Reset rewinds the flow to its freshly-started state (slow start from
+// initCwnd), so a caller-owned flow can be reused across tests without
+// reallocating.
+func (f *CubicFlow) Reset() {
+	*f = CubicFlow{
 		cwnd:     initCwnd,
 		ssthresh: math.Inf(1),
 		inSS:     true,
@@ -54,10 +71,40 @@ func (f *CubicFlow) Cwnd() float64 { return f.cwnd }
 // SRTTms returns the smoothed RTT including queueing delay, in ms.
 func (f *CubicFlow) SRTTms() float64 { return f.srttSec * 1000 }
 
+// pow3 is math.Pow(x, 3) for finite x, bit for bit: it performs exactly the
+// arithmetic of package math's pure-Go pow squaring loop specialized to the
+// exponent 3 (two iterations over the bits 0b11, no fractional part, so no
+// Exp·Log), in the same order on the same values. Cubing is the hottest Pow
+// call on the bulk path and the general-purpose entry spends most of its
+// time classifying the exponent; TestPow3MatchesPow sweeps the equivalence.
+// Note x*x*x is NOT a substitute: it rounds differently (x²·x vs the loop's
+// renormalized mantissa products) and would shift the window trajectory and
+// with it the emitted throughput bytes.
+func pow3(x float64) float64 {
+	a1 := 1.0
+	ae := 0
+	x1, xe := math.Frexp(x)
+	// yi = 3 = 0b11: both loop iterations multiply into the accumulator.
+	a1 *= x1
+	ae += xe
+	x1 *= x1
+	xe <<= 1
+	if x1 < .5 {
+		x1 += x1
+		xe--
+	}
+	a1 *= x1
+	ae += xe
+	return math.Ldexp(a1, ae)
+}
+
 // cubicWindow is the CUBIC window function W(t) = C(t-K)³ + Wmax.
 func (f *CubicFlow) cubicWindow(t float64) float64 {
-	k := math.Cbrt(f.wMax * (1 - cubicBeta) / cubicC)
-	return cubicC*math.Pow(t-k, 3) + f.wMax
+	if !f.kInit || f.wMax != f.kWMax {
+		f.kVal = math.Cbrt(f.wMax * (1 - cubicBeta) / cubicC)
+		f.kWMax, f.kInit = f.wMax, true
+	}
+	return cubicC*pow3(t-f.kVal) + f.wMax
 }
 
 // onLoss applies CUBIC's multiplicative decrease and starts a new epoch.
@@ -93,7 +140,7 @@ func (f *CubicFlow) Step(dt float64, capBps, baseRTTms float64) float64 {
 	if capBps <= 1 {
 		// Outage or handover execution: nothing delivered; queue holds.
 		f.stalledS += dt
-		if f.stalledS > math.Max(rtoMinSec, 2*f.srttSec) {
+		if f.stalledS > max(rtoMinSec, 2*f.srttSec) {
 			f.onRTO()
 		}
 		f.srttSec = baseRTT + 0.2 // ACK clock frozen; pessimistic estimate
@@ -101,7 +148,7 @@ func (f *CubicFlow) Step(dt float64, capBps, baseRTTms float64) float64 {
 	}
 	f.stalledS = 0
 
-	queueCap := math.Max(queueMinB, capBps/8*queueMs/1000)
+	queueCap := max(queueMinB, capBps/8*queueMs/1000)
 	rtt := baseRTT + f.queueB/(capBps/8)
 	f.srttSec = 0.8*f.srttSec + 0.2*rtt
 
@@ -111,7 +158,7 @@ func (f *CubicFlow) Step(dt float64, capBps, baseRTTms float64) float64 {
 	// The bottleneck serves capBps; excess fills the queue.
 	arriveB := sendBps / 8 * dt
 	serveB := capBps / 8 * dt
-	deliveredB := math.Min(arriveB+f.queueB, serveB)
+	deliveredB := min(arriveB+f.queueB, serveB)
 	f.queueB += arriveB - deliveredB
 	lost := false
 	if f.queueB > queueCap {
@@ -142,7 +189,7 @@ func (f *CubicFlow) Step(dt float64, capBps, baseRTTms float64) float64 {
 		target := f.cubicWindow(f.epochT)
 		if target > f.cwnd {
 			// Approach the CUBIC target over one RTT.
-			f.cwnd += (target - f.cwnd) * math.Min(1, dt/rtt)
+			f.cwnd += (target - f.cwnd) * min(1, dt/rtt)
 		} else {
 			f.cwnd += 0.5 * ackedPkts / f.cwnd // Reno-friendly floor
 		}

@@ -1,0 +1,50 @@
+package transport
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPow3MatchesPow pins pow3 to math.Pow(x, 3) bit for bit. The CUBIC
+// window trajectory — and through it every emitted throughput byte — rides
+// on this equivalence, so the sweep is deliberately paranoid: the operating
+// range of t-K (a few hundred seconds either side of zero), wide random
+// magnitudes, sign boundaries, denormals, and exact powers of two where the
+// squaring loop's renormalization branch flips.
+func TestPow3MatchesPow(t *testing.T) {
+	check := func(x float64) {
+		t.Helper()
+		want := math.Pow(x, 3)
+		got := pow3(x)
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("pow3(%g) = %x, math.Pow = %x", x, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+
+	fixed := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, -0.5, 2, -2,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		math.MaxFloat64 / 4, 1e-300, -1e-300,
+		0.7071067811865476, // renormalization threshold: x1² straddles 0.5
+		1.4142135623730951,
+	}
+	for _, x := range fixed {
+		check(x)
+	}
+	for e := -60; e <= 60; e++ {
+		p := math.Ldexp(1, e)
+		for _, d := range []float64{0, 1e-16, -1e-16, 1e-9, -1e-9} {
+			check(p + d)
+			check(-(p + d))
+		}
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2_000_000; i++ {
+		// Dense in the cubic operating range, then wide exponents.
+		x := (rng.Float64() - 0.5) * 2000
+		check(x)
+		check(math.Ldexp(rng.Float64()-0.5, rng.Intn(600)-300))
+	}
+}

@@ -16,12 +16,12 @@ type Path interface {
 	Step(dt float64) PathState
 }
 
-// tickSec is the transport simulation tick. It is not exactly representable
+// TickSec is the transport simulation tick (exported for the batch engine, whose lockstep loops must tick at exactly this cadence). It is not exactly representable
 // in binary floating point, so the runner loops drive time from an integer
-// tick index (t = i*tickSec, one correctly-rounded multiply) instead of
-// accumulating t += tickSec, whose rounding error compounds with every tick
+// tick index (t = i*TickSec, one correctly-rounded multiply) instead of
+// accumulating t += TickSec, whose rounding error compounds with every tick
 // and can shift a 500 ms sample boundary by one tick late in a long test.
-const tickSec = 0.02
+const TickSec = 0.02
 
 // SampleIntervalSec matches XCAL's 500 ms application-layer throughput
 // logging (§5).
@@ -61,29 +61,79 @@ func (r BulkResult) StdFrac() float64 {
 	return math.Sqrt(ss/float64(len(r.SamplesBps))) / mean
 }
 
+// BulkRunner is the step-wise form of RunBulk: one nuttcp-style bulk
+// transfer whose tick loop is driven by the caller. The batch engine holds
+// one BulkRunner per lane and feeds all lanes from a single lockstep loop;
+// RunBulk drives the same state machine from its own loop, so the two
+// engines share every arithmetic step of the transfer, tick for tick.
+// The zero BulkRunner is ready after Reset.
+type BulkRunner struct {
+	Flow CubicFlow // by value: the flow state lives inside the runner
+
+	samples    []float64
+	durSec     float64
+	window     float64 // bytes delivered in the current 500 ms
+	nextSample float64
+}
+
+// Reset rewinds the runner for a fresh durSec-second transfer, keeping the
+// samples backing array so a pooled runner stops allocating once it has
+// reached a test's working size.
+func (b *BulkRunner) Reset(durSec float64) {
+	b.Flow.Reset()
+	b.samples = b.samples[:0]
+	b.durSec = durSec
+	b.window = 0
+	b.nextSample = SampleIntervalSec
+}
+
+// Recycle returns a zero runner that keeps the samples capacity, for
+// pooled reuse across tests.
+func (b *BulkRunner) Recycle() BulkRunner {
+	return BulkRunner{samples: b.samples[:0]}
+}
+
+// Tick advances the transfer by one TickSec step; i is the zero-based tick
+// index within the test (the sample boundary is computed from it, not from
+// accumulated time, so boundaries stay drift-free).
+func (b *BulkRunner) Tick(i int, st PathState) {
+	cap := st.CapBps
+	if st.Outage {
+		cap = 0
+	}
+	b.window += b.Flow.Step(TickSec, cap, st.BaseRTTms)
+	if float64(i+1)*TickSec >= b.nextSample {
+		b.samples = append(b.samples, b.window*8/SampleIntervalSec)
+		b.window = 0
+		b.nextSample += SampleIntervalSec
+	}
+}
+
+// Finish returns the transfer's result. SamplesBps aliases the runner's
+// buffer and is valid until the next Reset.
+func (b *BulkRunner) Finish() BulkResult {
+	return BulkResult{
+		SamplesBps:     b.samples,
+		DeliveredBytes: b.Flow.DeliveredBytes(),
+		DurSec:         b.durSec,
+	}
+}
+
 // RunBulk runs a single-connection TCP CUBIC bulk transfer over the path
 // for durSec seconds, sampling application-layer throughput every 500 ms
 // exactly as the paper's nuttcp + XCAL setup does.
 func RunBulk(p Path, durSec float64) BulkResult {
-	flow := NewCubicFlow()
-	res := BulkResult{DurSec: durSec}
-	var window float64 // bytes delivered in the current 500 ms
-	nextSample := SampleIntervalSec
-	for i := 0; float64(i)*tickSec < durSec; i++ {
-		st := p.Step(tickSec)
-		cap := st.CapBps
-		if st.Outage {
-			cap = 0
-		}
-		window += flow.Step(tickSec, cap, st.BaseRTTms)
-		if float64(i+1)*tickSec >= nextSample {
-			res.SamplesBps = append(res.SamplesBps, window*8/SampleIntervalSec)
-			window = 0
-			nextSample += SampleIntervalSec
-		}
+	var b BulkRunner
+	return RunBulkWith(&b, p, durSec)
+}
+
+// RunBulkWith is RunBulk over a caller-owned (typically pooled) runner.
+func RunBulkWith(b *BulkRunner, p Path, durSec float64) BulkResult {
+	b.Reset(durSec)
+	for i := 0; float64(i)*TickSec < durSec; i++ {
+		b.Tick(i, p.Step(TickSec))
 	}
-	res.DeliveredBytes = flow.DeliveredBytes()
-	return res
+	return b.Finish()
 }
 
 // RunFluid is the idealized-transport baseline used by the ablation
@@ -95,13 +145,13 @@ func RunFluid(p Path, durSec float64) BulkResult {
 	res := BulkResult{DurSec: durSec}
 	var window float64
 	nextSample := SampleIntervalSec
-	for i := 0; float64(i)*tickSec < durSec; i++ {
-		st := p.Step(tickSec)
+	for i := 0; float64(i)*TickSec < durSec; i++ {
+		st := p.Step(TickSec)
 		if !st.Outage {
-			window += st.CapBps / 8 * tickSec
-			res.DeliveredBytes += st.CapBps / 8 * tickSec
+			window += st.CapBps / 8 * TickSec
+			res.DeliveredBytes += st.CapBps / 8 * TickSec
 		}
-		if float64(i+1)*tickSec >= nextSample {
+		if float64(i+1)*TickSec >= nextSample {
 			res.SamplesBps = append(res.SamplesBps, window*8/SampleIntervalSec)
 			window = 0
 			nextSample += SampleIntervalSec
@@ -136,9 +186,9 @@ func RunRTT(p Path, durSec, intervalSec float64) RTTResult {
 	// The next ping fires at Sent*intervalSec — counting sends instead of
 	// accumulating nextPing += intervalSec keeps both sides of the
 	// comparison drift-free for any interval.
-	for i := 0; float64(i)*tickSec < durSec; i++ {
-		st := p.Step(tickSec)
-		if float64(i)*tickSec >= float64(res.Sent)*intervalSec {
+	for i := 0; float64(i)*TickSec < durSec; i++ {
+		st := p.Step(TickSec)
+		if float64(i)*TickSec >= float64(res.Sent)*intervalSec {
 			res.Sent++
 			if st.Outage {
 				res.Lost++

@@ -1,7 +1,5 @@
 package transport
 
-import "math"
-
 // This file models the methodology gap the paper calls out in Table 3 /
 // §5.6: commercial bandwidth apps (Ookla SpeedTest) measure *peak*
 // bandwidth using several parallel TCP connections to a nearby server,
@@ -43,8 +41,8 @@ func RunSpeedTest(p Path, durSec float64, conns int) SpeedTestResult {
 	res := SpeedTestResult{DurSec: durSec, Conns: conns}
 	var window float64
 	nextSample := SampleIntervalSec
-	for i := 0; float64(i)*tickSec < durSec; i++ {
-		st := p.Step(tickSec)
+	for i := 0; float64(i)*TickSec < durSec; i++ {
+		st := p.Step(TickSec)
 		cap := st.CapBps
 		if st.Outage {
 			cap = 0
@@ -57,9 +55,9 @@ func RunSpeedTest(p Path, durSec float64, conns int) SpeedTestResult {
 		var delivered float64
 		hungry := make([]*CubicFlow, 0, conns)
 		for _, f := range flows {
-			want := f.cwnd * mssBytes * 8 / math.Max(f.srttSec, 1e-3)
+			want := f.cwnd * mssBytes * 8 / max(f.srttSec, 1e-3)
 			if want < share {
-				delivered += f.Step(tickSec, share, st.BaseRTTms)
+				delivered += f.Step(TickSec, share, st.BaseRTTms)
 				leftover += share - want
 			} else {
 				hungry = append(hungry, f)
@@ -68,11 +66,11 @@ func RunSpeedTest(p Path, durSec float64, conns int) SpeedTestResult {
 		if len(hungry) > 0 {
 			bonus := leftover / float64(len(hungry))
 			for _, f := range hungry {
-				delivered += f.Step(tickSec, share+bonus, st.BaseRTTms)
+				delivered += f.Step(TickSec, share+bonus, st.BaseRTTms)
 			}
 		}
 		window += delivered
-		if float64(i+1)*tickSec >= nextSample {
+		if float64(i+1)*TickSec >= nextSample {
 			res.SamplesBps = append(res.SamplesBps, window*8/SampleIntervalSec)
 			window = 0
 			nextSample += SampleIntervalSec
