@@ -9,6 +9,13 @@
 //	fleet [-seeds N] [-start-seed S] [-workers W] [-shards K]
 //	      [-checkpoint FILE] [-verify-resume] [-out FILE] [-html FILE]
 //	      [-dump-dir DIR] [-quick] [-km N] [-apps=false] [-engine scalar|batch]
+//	      [-cpuprofile FILE] [-memprofile FILE]
+//
+// -cpuprofile and -memprofile write pprof profiles covering the fleet run
+// (all seeds, all workers), mirroring drivesim's flags: the CPU profile
+// spans fleet.Run only, and the heap profile is written after a final GC so
+// it shows live objects. This is the profile source DESIGN.md's PGO recipe
+// and the kernel-bank cost model are built from.
 //
 // With -checkpoint, completed seeds append to FILE as JSON lines; an
 // interrupted fleet re-run with the same flags resumes, skipping the seeds
@@ -29,6 +36,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"wheels/internal/campaign"
@@ -53,6 +62,8 @@ func main() {
 		km         = flag.Float64("km", 0, "truncate each campaign to the first N km (0 = full trip)")
 		apps       = flag.Bool("apps", true, "run the four killer apps in each campaign")
 		engine     = flag.String("engine", campaign.EngineScalar, "tick engine: scalar (per-phone goroutines, the oracle) or batch (lockstep struct-of-arrays; byte-identical output)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the fleet run to this file")
+		memProf    = flag.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	flag.Parse()
 
@@ -106,7 +117,34 @@ func main() {
 	fmt.Fprintf(os.Stderr, "fleet: %d seeds from %d, %d shard(s) per campaign...\n",
 		*seeds, *startSeed, *shards)
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatalf("creating CPU profile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("starting CPU profile: %v", err)
+		}
+	}
+
 	rep, err := fleet.Run(cfg)
+
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			log.Fatalf("creating heap profile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("writing heap profile: %v", err)
+		}
+	}
+
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -136,6 +136,14 @@ func (ln *Lane) Recycle() Lane {
 func (ln *Lane) Advance(dt float64, s *geo.Sample) (capDL, capUL, rttMs float64, outage bool) {
 	ln.T += dt
 	ln.UE.StepInto(&ln.Last, ln.T, dt, s.Km, s.MPH, s.Road, s.Zone, ln.Profile)
+	ln.drainHandovers()
+	return ln.finish(dt, s)
+}
+
+// drainHandovers consumes the UE's pending handover events into the lane's
+// record buffer. Called once per tick on every stepped lane, by Advance and
+// by the banked RunBulk finish pass alike.
+func (ln *Lane) drainHandovers() {
 	for _, ev := range ln.UE.TakeHandovers() {
 		ln.accHOs++
 		ln.HORecs = append(ln.HORecs, dataset.HandoverRecord{
@@ -144,7 +152,6 @@ func (ln *Lane) Advance(dt float64, s *geo.Sample) (capDL, capUL, rttMs float64,
 			FromCell: ev.From.ID(), ToCell: ev.To.ID(), Dir: ln.Dir,
 		})
 	}
-	return ln.finish(dt, s)
 }
 
 // staticDistKm is the UE-to-cell distance of the static tests: the team
@@ -222,26 +229,66 @@ type Group struct {
 	// Where resolves the trace position at simulation time t. Group time
 	// only moves forward, so a cursor-backed closure stays O(1) per call.
 	Where func(t float64) geo.Sample
+
+	// Kernel banks, reused across ticks: the radio SoA kernel and the flow
+	// pass. Zero values are ready to use.
+	link radio.LinkBank
+	flow transport.FlowBank
 }
 
 // RunBulk runs one bulk-transfer phase of durSec seconds across all lanes.
 // Tick cadence, sample boundaries, and flow arithmetic match RunBulk on
 // the scalar path step for step.
+//
+// Each tick runs in three banked passes instead of one whole-lane pass:
+// every lane's control-plane step (availability, handovers, geometry —
+// draws only on the per-phone "ue" streams), then radio.LinkBank stepping
+// all serving links through the subsystem-major SoA kernel, then the KPI
+// accumulation and transport.FlowBank flow pass. Per-lane and per-stream
+// operation order is identical to Lane.Advance — only the cross-lane
+// interleaving changes, which the disjoint-stream contract makes free — so
+// output stays byte-identical to the scalar engine, as the differential
+// harness asserts.
 func (g *Group) RunBulk(durSec float64) {
 	for j := range g.Lanes {
 		g.Lanes[j].Bulk.Reset(durSec)
 	}
 	for i := 0; float64(i)*transport.TickSec < durSec; i++ {
 		s := g.Where(g.Lanes[0].T + transport.TickSec)
+
+		// Control pass: advance each lane's clock and control plane,
+		// enrolling the serving links that survive to a radio step.
+		g.link.Reset()
 		for j := range g.Lanes {
 			ln := &g.Lanes[j]
-			dl, ul, rtt, outage := ln.Advance(transport.TickSec, &s)
+			ln.T += transport.TickSec
+			link, servDist, ok := ln.UE.StepControl(&ln.Last, ln.T, s.Km, ln.Profile, s.Zone)
+			if ok {
+				g.link.Add(link, &ln.Last.Link, servDist, s.MPH, s.Road)
+			}
+		}
+
+		// Radio pass: all enrolled links through the SoA kernel.
+		g.link.Step(transport.TickSec)
+
+		// Finish pass: handover gate, KPI accumulation, path composition,
+		// and the flow tick. StepFinish runs only for lanes whose link
+		// stepped (StepControl leaves Outage=true exactly when it didn't).
+		g.flow.Reset()
+		for j := range g.Lanes {
+			ln := &g.Lanes[j]
+			if !ln.Last.Outage {
+				ln.UE.StepFinish(&ln.Last, ln.T)
+			}
+			ln.drainHandovers()
+			dl, ul, rtt, outage := ln.finish(transport.TickSec, &s)
 			cap := dl
 			if ln.Dir == radio.Uplink {
 				cap = ul
 			}
-			ln.Bulk.Tick(i, transport.PathState{CapBps: cap, BaseRTTms: rtt, Outage: outage})
+			g.flow.Add(&ln.Bulk, transport.PathState{CapBps: cap, BaseRTTms: rtt, Outage: outage})
 		}
+		g.flow.Tick(i)
 	}
 }
 

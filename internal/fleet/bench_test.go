@@ -47,8 +47,10 @@ func BenchmarkFleet(b *testing.B) {
 // BenchmarkFleetBatch is BenchmarkFleet on the batched struct-of-arrays
 // tick engine — identical workload, identical output bytes (the
 // differential harness in internal/campaign proves it), different hot
-// path. CI gates its seeds/hour at ≥1.8× the committed scalar
-// BenchmarkFleet baseline.
+// path. CI gates its seeds/hour against the committed scalar
+// BenchmarkFleet baseline and pins its live-MB/seed like the other fleet
+// benches: the kernel banks reuse flat rows across ticks, so the batched
+// path must hold no more live heap per seed than the scalar one.
 func BenchmarkFleetBatch(b *testing.B) {
 	base := campaign.QuickConfig(0, 40)
 	base.Engine = campaign.EngineBatch
@@ -58,6 +60,9 @@ func BenchmarkFleetBatch(b *testing.B) {
 		Seeds:     3,
 		Workers:   2,
 	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -66,8 +71,15 @@ func BenchmarkFleetBatch(b *testing.B) {
 		}
 	}
 	b.StopTimer()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
 	seeds := float64(cfg.Seeds * b.N)
 	b.ReportMetric(seeds/b.Elapsed().Hours(), "seeds/hour")
+	growth := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	if growth < 0 {
+		growth = 0
+	}
+	b.ReportMetric(float64(growth)/seeds/1e6, "live-MB/seed")
 }
 
 // benchSeedConfig is the per-seed campaign the streaming-vs-materialized

@@ -1,0 +1,154 @@
+package radio
+
+import (
+	"testing"
+
+	"wheels/internal/geo"
+	"wheels/internal/sim"
+)
+
+// bankFixture builds n links with per-lane label-derived streams, exactly as
+// the fleet engines do. Calling it twice with the same seed yields two
+// independent Link sets whose RNG streams are byte-identical, so one can be
+// stepped scalar and the other banked and the outputs compared bit for bit.
+func bankFixture(seed int64, n int) []*Link {
+	root := sim.NewRNG(seed)
+	links := make([]*Link, n)
+	for i := range links {
+		tech := Techs()[i%len(Techs())]
+		links[i] = NewLink(root.Stream("bank", string(rune('a'+i)), tech.String()), TMobile, tech)
+	}
+	return links
+}
+
+// TestLinkBankMatchesScalar is the bank's own differential: every enrolled
+// lane's LinkState after LinkBank.Step must equal, bit for bit, what
+// Link.StepInto produces on an identically-seeded twin. Geometry sweeps the
+// full operating range — including the near-cell and cell-edge extremes that
+// trigger the pass-4 clamp skips and the pass-5 rail memos — and membership
+// varies per tick to model lanes dropping out for outage or handover.
+func TestLinkBankMatchesScalar(t *testing.T) {
+	const lanes, ticks = 9, 400
+	scalar := bankFixture(42, lanes)
+	banked := bankFixture(42, lanes)
+	meta := sim.NewRNG(1234).Stream("geometry")
+	roads := []geo.RoadClass{geo.RoadCity, geo.RoadSuburban, geo.RoadHighway}
+
+	var bank LinkBank
+	scalarOut := make([]LinkState, lanes)
+	bankOut := make([]LinkState, lanes)
+	const dt = 0.02
+
+	for tick := 0; tick < ticks; tick++ {
+		road := roads[meta.Intn(len(roads))]
+		mph := meta.Uniform(0, 85)
+		bank.Reset()
+		type step struct {
+			i    int
+			dist float64
+		}
+		var enrolled []step
+		for i := 0; i < lanes; i++ {
+			if meta.Float64() < 0.15 {
+				continue // lane sits this tick out (outage / handover)
+			}
+			var dist float64
+			switch meta.Intn(10) {
+			case 0:
+				dist = meta.Uniform(0, refDistKm) // inside the reference distance
+			case 1:
+				dist = meta.Uniform(8, 15) // deep cell edge: low-rail skip
+			default:
+				dist = meta.Uniform(0.05, 6)
+			}
+			enrolled = append(enrolled, step{i, dist})
+			bank.Add(banked[i], &bankOut[i], dist, mph, road)
+		}
+		bank.Step(dt)
+		for _, s := range enrolled {
+			scalar[s.i].StepInto(&scalarOut[s.i], dt, s.dist, mph, road)
+		}
+		for _, s := range enrolled {
+			if bankOut[s.i] != scalarOut[s.i] {
+				t.Fatalf("tick %d lane %d (dist %.4f mph %.1f road %v):\n bank   %+v\n scalar %+v",
+					tick, s.i, s.dist, mph, road, bankOut[s.i], scalarOut[s.i])
+			}
+		}
+		// The flat KPI rows must mirror the scattered snapshots.
+		for k, s := range enrolled {
+			if bank.RSRP[k] != bankOut[s.i].RSRPdBm || bank.SINR[k] != bankOut[s.i].SINRdB ||
+				bank.MCS[k] != bankOut[s.i].MCS || bank.BLER[k] != bankOut[s.i].BLER ||
+				bank.CCDL[k] != bankOut[s.i].CCDown || bank.CCUL[k] != bankOut[s.i].CCUp ||
+				bank.Blocked[k] != bankOut[s.i].Blocked {
+				t.Fatalf("tick %d row %d: KPI rows diverge from snapshot", tick, k)
+			}
+		}
+	}
+}
+
+// TestLinkBankRailMemos pins the package-variable rail memos against the
+// functions they cache: a memo that drifted from MCSForSINR or math.Exp
+// would silently break bit-identity at the clamp rails.
+func TestLinkBankRailMemos(t *testing.T) {
+	if mcsRailLo != MCSForSINR(sinrMinDB) || mcsRailHi != MCSForSINR(sinrMaxDB) {
+		t.Fatalf("MCS rail memos diverge from MCSForSINR: %d/%d", mcsRailLo, mcsRailHi)
+	}
+	// The memoized rail logistics must reproduce the scalar BLER function
+	// exactly at the clamp arguments, across the speed range.
+	for _, mph := range []float64{0, 17.5, 55, 85} {
+		for _, rail := range []float64{sinrMinDB, sinrMaxDB} {
+			e := blerExpLo
+			if rail == sinrMaxDB {
+				e = blerExpHi
+			}
+			got := 0.02 + 0.35/(1+e) + 0.0009*mph
+			if got > 0.5 {
+				got = 0.5
+			}
+			if want := BLER(rail, mph); got != want {
+				t.Fatalf("BLER memo at rail %v mph %v: %v != %v", rail, mph, got, want)
+			}
+		}
+	}
+}
+
+// TestLinkBankAllocs pins the steady-state contract from the Step doc
+// comment: once the rows have grown to the tick's lane count, re-enrolling
+// and stepping the same lanes allocates nothing.
+func TestLinkBankAllocs(t *testing.T) {
+	const lanes = 8
+	links := bankFixture(7, lanes)
+	outs := make([]LinkState, lanes)
+	var bank LinkBank
+	enroll := func() {
+		bank.Reset()
+		for i, l := range links {
+			bank.Add(l, &outs[i], 0.4+0.3*float64(i), 55, geo.RoadHighway)
+		}
+	}
+	enroll()
+	bank.Step(0.02) // warm: grow rows, draw process initializations
+	if n := testing.AllocsPerRun(200, func() {
+		enroll()
+		bank.Step(0.02)
+	}); n != 0 {
+		t.Fatalf("steady-state LinkBank tick allocates %v objects, want 0", n)
+	}
+}
+
+// BenchmarkLinkBankStep measures one banked radio tick at the fleet
+// engine's typical group width (one lane per operator).
+func BenchmarkLinkBankStep(b *testing.B) {
+	const lanes = 3
+	links := bankFixture(7, lanes)
+	outs := make([]LinkState, lanes)
+	var bank LinkBank
+	b.ReportAllocs()
+	for b.Loop() {
+		bank.Reset()
+		for i, l := range links {
+			bank.Add(l, &outs[i], 0.4+0.3*float64(i), 55, geo.RoadHighway)
+		}
+		bank.Step(0.02)
+	}
+}

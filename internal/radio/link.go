@@ -111,6 +111,14 @@ const (
 	congestFactorMax = 0.20
 )
 
+// The log-uniform severity draw's bounds, evaluated once by the same
+// math.Log the draw used to call on every congestion entry — identical
+// bits, two fewer transcendentals per episode.
+var (
+	logCongestFactorMin = math.Log(congestFactorMin)
+	logCongestFactorMax = math.Log(congestFactorMax)
+)
+
 // blockHolds returns the mean holding times (seconds) of the clear and
 // blocked states as a function of vehicle speed. The stationary blocked
 // fraction ~ block/(clear+block): ~2% at rest, ~19% for mmWave at highway
@@ -280,17 +288,28 @@ func (l *Link) StepInto(st *LinkState, dt, distKm, mph float64, road geo.RoadCla
 	st.MCS = MCSForSINR(sinr)
 	st.BLER = BLER(sinr, mph)
 
-	st.CCDown, st.CCUp = l.carriers(rsrp, dt)
+	st.CCDown, st.CCUp = l.carriersWithJit(rsrp, l.caJit.Step(dt))
 
 	// Cell load drifts toward the environment's mean as the vehicle moves;
 	// congested cells collapse the UE's share outright.
 	l.load.Mean = loadMean(road, mph)
-	l.share = l.load.Step(dt)
+	l.stepShare(dt, mph, l.load.Step(dt))
+
+	st.CapDL = l.capacity(st, Downlink)
+	st.CapUL = l.capacity(st, Uplink)
+}
+
+// stepShare folds the cell-load draw and the congestion chain into the UE's
+// share of the cell for this tick. loadVal must be the value just produced
+// by l.load.Step(dt) (with Mean already set for this environment) — the
+// bank fills all lanes' load draws subsystem-major before calling this.
+func (l *Link) stepShare(dt, mph, loadVal float64) {
+	l.share = loadVal
 	if congested := l.congest.Step(dt) == 1; congested {
 		if !l.inCongest {
 			// Entering a congested stretch: draw its severity, log-uniform
 			// so the worst episodes starve the UE almost entirely.
-			l.congestFactor = math.Exp(l.rng.Uniform(math.Log(congestFactorMin), math.Log(congestFactorMax)))
+			l.congestFactor = math.Exp(l.rng.Uniform(logCongestFactorMin, logCongestFactorMax))
 		}
 		l.inCongest = true
 		factor := l.congestFactor
@@ -311,14 +330,14 @@ func (l *Link) StepInto(st *LinkState, dt, distKm, mph float64, road geo.RoadCla
 	if l.share > 0.92 {
 		l.share = 0.92
 	}
-
-	st.CapDL = l.capacity(st, Downlink)
-	st.CapUL = l.capacity(st, Uplink)
 }
 
-// carriers picks the number of aggregated component carriers from link
-// quality: secondary carriers drop off first as the UE approaches the edge.
-func (l *Link) carriers(rsrp, dt float64) (down, up int) {
+// carriersWithJit picks the number of aggregated component carriers from
+// link quality: secondary carriers drop off first as the UE approaches the
+// edge. The caller supplies the availability-jitter draw (caJit.Step) so
+// the bank can issue all lanes' draws in one subsystem-major fill before
+// the carrier arithmetic runs.
+func (l *Link) carriersWithJit(rsrp, jit float64) (down, up int) {
 	q := (rsrp + 118) / 45 // 0 at deep edge, 1 near the cell
 	if l.Tech == NRmmW {
 		// Beamformed mmWave carriers aggregate aggressively whenever the
@@ -331,7 +350,6 @@ func (l *Link) carriers(rsrp, dt float64) (down, up int) {
 	if q > 1 {
 		q = 1
 	}
-	jit := l.caJit.Step(dt)
 	down = 1 + int(math.Floor(q*float64(l.Band.MaxCCDown-1)+jit+0.5))
 	if down < 1 {
 		down = 1

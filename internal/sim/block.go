@@ -1,0 +1,48 @@
+package sim
+
+// Block-drawn RNG layer: subsystem-major fills over per-lane processes.
+//
+// The batch engine's kernel banks step every lane of a shard through one
+// subsystem at a time (all shadowing processes, then all interference
+// processes, ...) instead of one lane at a time. That reordering is free
+// under the repository's determinism contract because every draw comes from
+// a per-(phone, subsystem) stream derived by label: two different lanes
+// never share a stream, so interleaving their draws cannot move a single
+// draw within any stream. The only ordering that matters — the sequence of
+// draws WITHIN one stream — is preserved exactly: FillGM issues, per
+// process, precisely the draws GaussMarkov.Step would (one stationary
+// initialization draw on first use, then one innovation draw per step), in
+// slice order.
+//
+// The fill is not a semantic change; it is a scheduling change. Packing the
+// independent per-lane draw chains back to back lets the CPU overlap their
+// latencies (each chain is serially dependent, but chains of different
+// lanes are not), which is where the batch engine's single-core speedup
+// comes from. TestFillGMDrawOrder pins the draw-for-draw equivalence.
+
+// FillGM advances each process by dt and writes the new values into dst in
+// lane order: dst[i] = procs[i].Step(dt). Entries must be non-nil and dst
+// must be at least as long as procs.
+func FillGM(dst []float64, procs []*GaussMarkov, dt float64) {
+	for i, g := range procs {
+		dst[i] = g.Step(dt)
+	}
+}
+
+// FillNorm writes one standard-normal draw from each stream into dst in
+// lane order: dst[i] = rngs[i].NormFloat64(). It is the block form of the
+// per-lane innovation draw for callers that manage the AR(1) arithmetic
+// themselves.
+func FillNorm(dst []float64, rngs []*RNG) {
+	for i, r := range rngs {
+		dst[i] = r.NormFloat64()
+	}
+}
+
+// FillUniform writes one uniform [lo, hi) draw from each stream into dst in
+// lane order: dst[i] = rngs[i].Uniform(lo, hi).
+func FillUniform(dst []float64, rngs []*RNG, lo, hi float64) {
+	for i, r := range rngs {
+		dst[i] = r.Uniform(lo, hi)
+	}
+}

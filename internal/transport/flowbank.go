@@ -1,0 +1,37 @@
+package transport
+
+// FlowBank ticks the bulk transfers of a lane group in one flat pass: the
+// batch engine enrolls each lane's BulkRunner with the path state its radio
+// step just produced, then Tick runs every flow's congestion-control
+// arithmetic back to back. CubicFlow.Step draws no randomness and touches
+// only its own state, so the pass order is unconstrained — grouping the
+// steps simply packs the independent cwnd/queue dependency chains of all
+// lanes into the out-of-order window together, the same latency-hiding
+// schedule LinkBank applies to the radio math.
+type FlowBank struct {
+	runners []*BulkRunner
+	states  []PathState
+}
+
+// Reset empties the bank for a new tick, keeping the backing arrays.
+func (fb *FlowBank) Reset() {
+	fb.runners = fb.runners[:0]
+	fb.states = fb.states[:0]
+}
+
+// Add enrolls one lane's transfer for this tick with its path condition.
+func (fb *FlowBank) Add(r *BulkRunner, st PathState) {
+	fb.runners = append(fb.runners, r)
+	fb.states = append(fb.states, st)
+}
+
+// Len returns the number of transfers enrolled for this tick.
+func (fb *FlowBank) Len() int { return len(fb.runners) }
+
+// Tick advances every enrolled transfer through tick index i, exactly as
+// calling BulkRunner.Tick per lane would.
+func (fb *FlowBank) Tick(i int) {
+	for j, r := range fb.runners {
+		r.Tick(i, fb.states[j])
+	}
+}

@@ -1,0 +1,118 @@
+package transport
+
+import (
+	"testing"
+
+	"wheels/internal/sim"
+)
+
+// syntheticPath produces a deterministic per-tick PathState trace with the
+// dynamics a drive produces: capacity swings, RTT jitter, and outage bursts.
+func syntheticPath(rng *sim.RNG, ticks int) []PathState {
+	trace := make([]PathState, ticks)
+	for i := range trace {
+		trace[i] = PathState{
+			CapBps:    rng.Uniform(1e6, 600e6),
+			BaseRTTms: rng.Uniform(18, 140),
+			Outage:    rng.Bool(0.04),
+		}
+	}
+	return trace
+}
+
+// TestFlowBankMatchesScalar pins FlowBank.Tick against driving each
+// BulkRunner individually: same traces in, bit-identical samples and
+// delivered bytes out. CubicFlow draws no randomness, so this is pure
+// state-machine equivalence.
+func TestFlowBankMatchesScalar(t *testing.T) {
+	const lanes = 5
+	const durSec = 30.0
+	ticks := int(durSec / TickSec)
+	root := sim.NewRNG(9)
+
+	traces := make([][]PathState, lanes)
+	for j := range traces {
+		traces[j] = syntheticPath(root.Stream("path", string(rune('a'+j))), ticks)
+	}
+
+	scalar := make([]BulkRunner, lanes)
+	banked := make([]BulkRunner, lanes)
+	var fb FlowBank
+	for j := range scalar {
+		scalar[j].Reset(durSec)
+		banked[j].Reset(durSec)
+	}
+	for i := 0; i < ticks; i++ {
+		for j := range scalar {
+			scalar[j].Tick(i, traces[j][i])
+		}
+		fb.Reset()
+		for j := range banked {
+			fb.Add(&banked[j], traces[j][i])
+		}
+		fb.Tick(i)
+	}
+	for j := range scalar {
+		a, b := scalar[j].Finish(), banked[j].Finish()
+		if a.DeliveredBytes != b.DeliveredBytes {
+			t.Fatalf("lane %d: delivered %v != %v", j, b.DeliveredBytes, a.DeliveredBytes)
+		}
+		if len(a.SamplesBps) != len(b.SamplesBps) {
+			t.Fatalf("lane %d: %d samples != %d", j, len(b.SamplesBps), len(a.SamplesBps))
+		}
+		for k := range a.SamplesBps {
+			if a.SamplesBps[k] != b.SamplesBps[k] {
+				t.Fatalf("lane %d sample %d: %v != %v", j, k, b.SamplesBps[k], a.SamplesBps[k])
+			}
+		}
+	}
+}
+
+// TestFlowBankAllocs pins the steady-state contract: once every runner's
+// samples buffer has reached the transfer's working size, an entire banked
+// transfer allocates nothing.
+func TestFlowBankAllocs(t *testing.T) {
+	const lanes = 4
+	const durSec = 10.0
+	ticks := int(durSec / TickSec)
+	runners := make([]BulkRunner, lanes)
+	var fb FlowBank
+	transfer := func() {
+		for j := range runners {
+			runners[j].Reset(durSec)
+		}
+		for i := 0; i < ticks; i++ {
+			fb.Reset()
+			for j := range runners {
+				fb.Add(&runners[j], PathState{CapBps: 80e6, BaseRTTms: 40})
+			}
+			fb.Tick(i)
+		}
+	}
+	transfer() // warm: grow samples buffers and bank arrays
+	if n := testing.AllocsPerRun(20, transfer); n != 0 {
+		t.Fatalf("steady-state banked transfer allocates %v objects, want 0", n)
+	}
+}
+
+// BenchmarkFlowBankTick measures one banked congestion-control tick at the
+// fleet engine's typical group width.
+func BenchmarkFlowBankTick(b *testing.B) {
+	const lanes = 3
+	runners := make([]BulkRunner, lanes)
+	for j := range runners {
+		runners[j].Reset(3600)
+	}
+	st := PathState{CapBps: 120e6, BaseRTTms: 35}
+	var fb FlowBank
+	b.ReportAllocs()
+	for b.Loop() {
+		fb.Reset()
+		for j := range runners {
+			fb.Add(&runners[j], st)
+		}
+		// Tick index 0 stays short of the first sample boundary, so the
+		// loop measures the pure per-tick cost without growing samples.
+		fb.Tick(0)
+	}
+}

@@ -1,0 +1,115 @@
+// 4-wide math.Exp, bit-identical to the runtime's archExp avxfma path.
+//
+// This is the SLEEF/Shibata kernel from GOROOT/src/math/exp_amd64.s with
+// every scalar instruction widened to its 256-bit form: the same argument
+// reduction against the split LN2U/LN2L, the same ×0.0625 pre-scale, the
+// same FMA Horner chain over the same nine coefficients, the same four
+// add-2-and-multiply squaring steps, and the same integer-bias ldexp tail.
+// The wrapper guarantees |x| ≤ 700 on every lane, which keeps the biased
+// result exponent strictly inside [1, 0x7FE]: none of archExp's overflow,
+// denormal, or non-finite branches can trigger, so the straight-line code
+// below performs exactly the arithmetic the scalar routine would.
+//
+// IEEE-754 operations are deterministic per (op, inputs, rounding mode),
+// and the Go runtime runs with the default round-to-nearest MXCSR that
+// both CVTSD2SL and VCVTPD2DQ use, so lane i of every vector instruction
+// produces the identical bits of its scalar counterpart.
+
+#include "textflag.h"
+
+DATA expLOG2E<>+0(SB)/8, $1.4426950408889634073599246810018920
+GLOBL expLOG2E<>(SB), RODATA, $8
+DATA expLN2U<>+0(SB)/8, $0.69314718055966295651160180568695068359375
+GLOBL expLN2U<>(SB), RODATA, $8
+DATA expLN2L<>+0(SB)/8, $0.28235290563031577122588448175013436025525412068e-12
+GLOBL expLN2L<>(SB), RODATA, $8
+DATA expSCALE<>+0(SB)/8, $0.0625
+GLOBL expSCALE<>(SB), RODATA, $8
+DATA expONE<>+0(SB)/8, $1.0
+GLOBL expONE<>(SB), RODATA, $8
+DATA expTWO<>+0(SB)/8, $2.0
+GLOBL expTWO<>(SB), RODATA, $8
+DATA expHALF<>+0(SB)/8, $0.5
+GLOBL expHALF<>(SB), RODATA, $8
+DATA expT3<>+0(SB)/8, $1.6666666666666666667e-1
+GLOBL expT3<>(SB), RODATA, $8
+DATA expT4<>+0(SB)/8, $4.1666666666666666667e-2
+GLOBL expT4<>(SB), RODATA, $8
+DATA expT5<>+0(SB)/8, $8.3333333333333333333e-3
+GLOBL expT5<>(SB), RODATA, $8
+DATA expT6<>+0(SB)/8, $1.3888888888888888889e-3
+GLOBL expT6<>(SB), RODATA, $8
+DATA expT7<>+0(SB)/8, $1.9841269841269841270e-4
+GLOBL expT7<>(SB), RODATA, $8
+DATA expT8<>+0(SB)/8, $2.4801587301587301587e-5
+GLOBL expT8<>(SB), RODATA, $8
+
+// expBIAS is the float64 exponent bias as 4 packed int32s for the ldexp
+// tail (archExp's ADDL $0x3FF, BX per lane).
+DATA expBIAS<>+0(SB)/4, $0x000003ff
+DATA expBIAS<>+4(SB)/4, $0x000003ff
+DATA expBIAS<>+8(SB)/4, $0x000003ff
+DATA expBIAS<>+12(SB)/4, $0x000003ff
+GLOBL expBIAS<>(SB), RODATA, $16
+
+// func exp4(v *[4]float64)
+TEXT ·exp4(SB), NOSPLIT, $0-8
+	MOVQ v+0(FP), AX
+	VMOVUPD (AX), Y0
+
+	// k := round-to-nearest(x * LOG2E), as int32 and as float64.
+	VBROADCASTSD expLOG2E<>(SB), Y1
+	VMULPD Y0, Y1, Y1
+	VCVTPD2DQY Y1, X2
+	VCVTDQ2PD X2, Y1
+
+	// x -= k*LN2U; x -= k*LN2L (fused, exactly archExp's VFNMADD231SD).
+	VBROADCASTSD expLN2U<>(SB), Y3
+	VFNMADD231PD Y3, Y1, Y0
+	VBROADCASTSD expLN2L<>(SB), Y3
+	VFNMADD231PD Y3, Y1, Y0
+
+	// reduce argument
+	VBROADCASTSD expSCALE<>(SB), Y3
+	VMULPD Y3, Y0, Y0
+
+	// Taylor series evaluation (FMA Horner, T8 down to 1.0).
+	VBROADCASTSD expT8<>(SB), Y4
+	VBROADCASTSD expT7<>(SB), Y5
+	VFMADD213PD Y5, Y0, Y4
+	VBROADCASTSD expT6<>(SB), Y5
+	VFMADD213PD Y5, Y0, Y4
+	VBROADCASTSD expT5<>(SB), Y5
+	VFMADD213PD Y5, Y0, Y4
+	VBROADCASTSD expT4<>(SB), Y5
+	VFMADD213PD Y5, Y0, Y4
+	VBROADCASTSD expT3<>(SB), Y5
+	VFMADD213PD Y5, Y0, Y4
+	VBROADCASTSD expHALF<>(SB), Y5
+	VFMADD213PD Y5, Y0, Y4
+	VBROADCASTSD expONE<>(SB), Y5
+	VFMADD213PD Y5, Y0, Y4
+	VMULPD Y4, Y0, Y0
+
+	// Four squaring steps: u = u*(u+2), then fr = u*(u+2) + 1 fused.
+	VBROADCASTSD expTWO<>(SB), Y5
+	VADDPD Y5, Y0, Y4
+	VMULPD Y4, Y0, Y0
+	VADDPD Y5, Y0, Y4
+	VMULPD Y4, Y0, Y0
+	VADDPD Y5, Y0, Y4
+	VMULPD Y4, Y0, Y0
+	VADDPD Y5, Y0, Y4
+	VBROADCASTSD expONE<>(SB), Y5
+	VFMADD213PD Y5, Y4, Y0
+
+	// ldexp: fr * 2**k via the biased exponent shifted into place.
+	VMOVDQU expBIAS<>(SB), X3
+	VPADDD X3, X2, X2
+	VPMOVSXDQ X2, Y2
+	VPSLLQ $52, Y2, Y2
+	VMULPD Y2, Y0, Y0
+
+	VMOVUPD Y0, (AX)
+	VZEROUPPER
+	RET

@@ -1,0 +1,148 @@
+// 4-wide math.Log, bit-identical to the runtime's archLog.
+//
+// This is GOROOT/src/math/log_amd64.s widened lane-by-lane: the same
+// bit-level Frexp (mantissa masked and OR'd with 0.5, exponent field
+// shifted down and rebased), the same branchless f1 < sqrt(2)/2 mask
+// adjustment, the same s = f/(2+f) rational argument, the same two L1..L7
+// polynomial halves evaluated with plain multiplies and adds (archLog
+// never fuses, so neither does this kernel — no FMA instructions below),
+// and the same final Ln2Hi/Ln2Lo reconstruction.
+//
+// The wrapper guarantees every lane is positive and finite. Subnormals
+// take the same masked bit path the scalar routine runs them through, so
+// they are covered without a special case; only zero, negatives, ±Inf and
+// NaN (which archLog catches in its early-out branches) are excluded.
+
+#include "textflag.h"
+
+DATA logHSqrt2<>+0(SB)/8, $7.07106781186547524401e-01
+GLOBL logHSqrt2<>(SB), RODATA, $8
+DATA logLn2Hi<>+0(SB)/8, $6.93147180369123816490e-01
+GLOBL logLn2Hi<>(SB), RODATA, $8
+DATA logLn2Lo<>+0(SB)/8, $1.90821492927058770002e-10
+GLOBL logLn2Lo<>(SB), RODATA, $8
+DATA logL1<>+0(SB)/8, $6.666666666666735130e-01
+GLOBL logL1<>(SB), RODATA, $8
+DATA logL2<>+0(SB)/8, $3.999999999940941908e-01
+GLOBL logL2<>(SB), RODATA, $8
+DATA logL3<>+0(SB)/8, $2.857142874366239149e-01
+GLOBL logL3<>(SB), RODATA, $8
+DATA logL4<>+0(SB)/8, $2.222219843214978396e-01
+GLOBL logL4<>(SB), RODATA, $8
+DATA logL5<>+0(SB)/8, $1.818357216161805012e-01
+GLOBL logL5<>(SB), RODATA, $8
+DATA logL6<>+0(SB)/8, $1.531383769920937332e-01
+GLOBL logL6<>(SB), RODATA, $8
+DATA logL7<>+0(SB)/8, $1.479819860511658591e-01
+GLOBL logL7<>(SB), RODATA, $8
+DATA logHALF<>+0(SB)/8, $0.5
+GLOBL logHALF<>(SB), RODATA, $8
+DATA logONE<>+0(SB)/8, $1.0
+GLOBL logONE<>(SB), RODATA, $8
+DATA logTWO<>+0(SB)/8, $2.0
+GLOBL logTWO<>(SB), RODATA, $8
+
+DATA logMANT<>+0(SB)/8, $0x000FFFFFFFFFFFFF
+GLOBL logMANT<>(SB), RODATA, $8
+DATA logEXPM<>+0(SB)/8, $0x00000000000007FF
+GLOBL logEXPM<>(SB), RODATA, $8
+DATA logEXPB<>+0(SB)/8, $0x00000000000003FE
+GLOBL logEXPB<>(SB), RODATA, $8
+
+// logPERM packs the low dword of each qword lane into the low xmm half
+// (indices 0,2,4,6), turning four int64 exponents into four int32s for
+// VCVTDQ2PD.
+DATA logPERM<>+0(SB)/4, $0
+DATA logPERM<>+4(SB)/4, $2
+DATA logPERM<>+8(SB)/4, $4
+DATA logPERM<>+12(SB)/4, $6
+DATA logPERM<>+16(SB)/4, $0
+DATA logPERM<>+20(SB)/4, $0
+DATA logPERM<>+24(SB)/4, $0
+DATA logPERM<>+28(SB)/4, $0
+GLOBL logPERM<>(SB), RODATA, $32
+
+// func log4(v *[4]float64)
+TEXT ·log4(SB), NOSPLIT, $0-8
+	MOVQ v+0(FP), AX
+	VMOVUPD (AX), Y0
+
+	// f1, ki := math.Frexp(x): mantissa | 0.5, rebased exponent field.
+	VPBROADCASTQ logMANT<>(SB), Y2
+	VPAND Y0, Y2, Y2
+	VBROADCASTSD logHALF<>(SB), Y3
+	VORPD Y3, Y2, Y2
+	VPSRLQ $52, Y0, Y4
+	VPBROADCASTQ logEXPM<>(SB), Y5
+	VPAND Y5, Y4, Y4
+	VPBROADCASTQ logEXPB<>(SB), Y5
+	VPSUBQ Y5, Y4, Y4
+	VMOVDQU logPERM<>(SB), Y6
+	VPERMD Y4, Y6, Y4
+	VCVTDQ2PD X4, Y1
+
+	// if f1 < math.Sqrt2/2 { k -= 1; f1 *= 2 } (branchless, as archLog).
+	VBROADCASTSD logHSqrt2<>(SB), Y5
+	VCMPPD $5, Y2, Y5, Y5
+	VBROADCASTSD logONE<>(SB), Y6
+	VANDPD Y6, Y5, Y5
+	VSUBPD Y5, Y1, Y1
+	VADDPD Y6, Y5, Y5
+	VMULPD Y5, Y2, Y2
+
+	// f := f1 - 1; s := f / (2 + f)
+	VSUBPD Y6, Y2, Y2
+	VBROADCASTSD logTWO<>(SB), Y5
+	VADDPD Y2, Y5, Y3
+	VDIVPD Y3, Y2, Y3
+
+	// s2 := s*s; s4 := s2*s2
+	VMULPD Y3, Y3, Y4
+	VMULPD Y4, Y4, Y5
+
+	// t1 := s2 * (L1 + s4*(L3+s4*(L5+s4*L7)))
+	VBROADCASTSD logL7<>(SB), Y6
+	VMULPD Y5, Y6, Y6
+	VBROADCASTSD logL5<>(SB), Y7
+	VADDPD Y7, Y6, Y6
+	VMULPD Y5, Y6, Y6
+	VBROADCASTSD logL3<>(SB), Y7
+	VADDPD Y7, Y6, Y6
+	VMULPD Y5, Y6, Y6
+	VBROADCASTSD logL1<>(SB), Y7
+	VADDPD Y7, Y6, Y6
+	VMULPD Y6, Y4, Y4
+
+	// t2 := s4 * (L2 + s4*(L4+s4*L6))
+	VBROADCASTSD logL6<>(SB), Y6
+	VMULPD Y5, Y6, Y6
+	VBROADCASTSD logL4<>(SB), Y7
+	VADDPD Y7, Y6, Y6
+	VMULPD Y5, Y6, Y6
+	VBROADCASTSD logL2<>(SB), Y7
+	VADDPD Y7, Y6, Y6
+	VMULPD Y6, Y5, Y5
+
+	// R := t1 + t2
+	VADDPD Y5, Y4, Y4
+
+	// hfsq := 0.5 * f * f
+	VBROADCASTSD logHALF<>(SB), Y6
+	VMULPD Y2, Y6, Y6
+	VMULPD Y2, Y6, Y6
+
+	// k*Ln2Hi - ((hfsq - (s*(hfsq+R) + k*Ln2Lo)) - f)
+	VADDPD Y6, Y4, Y4
+	VMULPD Y4, Y3, Y3
+	VBROADCASTSD logLn2Lo<>(SB), Y7
+	VMULPD Y1, Y7, Y7
+	VADDPD Y7, Y3, Y3
+	VSUBPD Y3, Y6, Y6
+	VSUBPD Y2, Y6, Y6
+	VBROADCASTSD logLn2Hi<>(SB), Y7
+	VMULPD Y7, Y1, Y1
+	VSUBPD Y6, Y1, Y1
+
+	VMOVUPD Y1, (AX)
+	VZEROUPPER
+	RET

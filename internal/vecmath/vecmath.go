@@ -1,0 +1,75 @@
+// Package vecmath provides 4-wide SIMD kernels for math.Exp and math.Log
+// that are bit-identical to package math's scalar results on every input
+// they accept. The batch tick engine packs the per-lane transcendental
+// arguments of one simulation tick (path-loss Log10, the interference
+// pow22's Exp∘Log pair, the BLER logistic's Exp) into [4]float64 blocks and
+// evaluates them in one call instead of four.
+//
+// Bit identity is the whole contract: the campaign's differential harness
+// and the seed-23 golden hash pin the simulator's output byte-for-byte, so
+// a vector kernel that is merely accurate to 1 ulp would be a correctness
+// bug. The amd64 kernels therefore replicate the exact instruction
+// sequences of the Go runtime's archExp (the SLEEF/Shibata FMA path that
+// useFMA selects on AVX+FMA hardware) and archLog (SSE, no FMA) lane by
+// lane: the same constants, the same operation order, the same fused
+// multiply-adds — VFNMADD231PD where archExp uses VFNMADD231SD, plain
+// VMULPD/VADDPD where archLog uses MULSD/ADDSD (the Go compiler never
+// auto-fuses, and neither may we).
+//
+// Inputs outside the kernels' guarded ranges (and every input on machines
+// without AVX2+FMA, where math itself takes a different scalar path) fall
+// back to per-element math.Exp/math.Log, which is trivially identical.
+// TestExp4MatchesMathExp and TestLog4MatchesMathLog sweep the equivalence.
+package vecmath
+
+import "math"
+
+// expMaxAbs bounds the asm fast path for Exp4 well inside archExp's
+// overflow (x > 709.78) and denormal-result (x < -708.39) branches: for
+// |x| ≤ 700 the biased result exponent stays strictly inside [1, 0x7FE],
+// so the kernel's ldexp tail is a single shift-and-multiply with no
+// special cases, exactly the instructions archExp runs for such x.
+const expMaxAbs = 700.0
+
+// Enabled reports whether the 4-wide asm kernels are active (amd64 with
+// AVX2+FMA and OS-enabled YMM state). Exported for tests and benchmarks;
+// callers of Exp4/Log4 never need to check it.
+func Enabled() bool { return useAsm }
+
+// Exp4 replaces each element of v with math.Exp of that element,
+// bit-for-bit. Arguments of any value are accepted; only in-range finite
+// lanes take the SIMD path.
+func Exp4(v *[4]float64) {
+	if useAsm &&
+		v[0] < expMaxAbs && v[0] > -expMaxAbs &&
+		v[1] < expMaxAbs && v[1] > -expMaxAbs &&
+		v[2] < expMaxAbs && v[2] > -expMaxAbs &&
+		v[3] < expMaxAbs && v[3] > -expMaxAbs {
+		exp4(v)
+		return
+	}
+	v[0] = math.Exp(v[0])
+	v[1] = math.Exp(v[1])
+	v[2] = math.Exp(v[2])
+	v[3] = math.Exp(v[3])
+}
+
+// Log4 replaces each element of v with math.Log of that element,
+// bit-for-bit. The SIMD path covers every positive finite argument —
+// archLog runs subnormals through the same Frexp bit arithmetic, so they
+// need no special case — and anything else (zero, negatives, infinities,
+// NaN) falls back to math.Log.
+func Log4(v *[4]float64) {
+	if useAsm &&
+		v[0] > 0 && v[0] <= math.MaxFloat64 &&
+		v[1] > 0 && v[1] <= math.MaxFloat64 &&
+		v[2] > 0 && v[2] <= math.MaxFloat64 &&
+		v[3] > 0 && v[3] <= math.MaxFloat64 {
+		log4(v)
+		return
+	}
+	v[0] = math.Log(v[0])
+	v[1] = math.Log(v[1])
+	v[2] = math.Log(v[2])
+	v[3] = math.Log(v[3])
+}

@@ -1,0 +1,47 @@
+//go:build amd64
+
+package vecmath
+
+// cpuid and xgetbv are implemented in cpuid_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// exp4 and log4 are the AVX2(+FMA) kernels in exp4_amd64.s and
+// log4_amd64.s. They require useAsm and in-range arguments (see the
+// wrappers in vecmath.go).
+//
+//go:noescape
+func exp4(v *[4]float64)
+
+//go:noescape
+func log4(v *[4]float64)
+
+// useAsm gates the SIMD kernels on AVX2 + FMA with OS-enabled YMM state.
+// The FMA requirement also guarantees math.Exp is on its useFMA assembly
+// path (which needs only AVX+FMA, a superset of this check), so the
+// replicated avxfma instruction sequence is the one the scalar oracle
+// actually runs wherever the kernels are active.
+var useAsm = func() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		cpuidFMA     = 1 << 12
+		cpuidOSXSAVE = 1 << 27
+		cpuidAVX     = 1 << 28
+	)
+	if ecx1&cpuidFMA == 0 || ecx1&cpuidOSXSAVE == 0 || ecx1&cpuidAVX == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX): the OS saves YMM state on context
+	// switch. Without this, executing VEX-encoded code faults.
+	xcr0, _ := xgetbv()
+	if xcr0&6 != 6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const cpuidAVX2 = 1 << 5
+	return ebx7&cpuidAVX2 != 0
+}()

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package vecmath
+
+// Non-amd64 platforms have no SIMD kernels; Exp4/Log4 always take the
+// per-element math.Exp/math.Log path, which matches those platforms' own
+// scalar engines by construction.
+const useAsm = false
+
+func exp4(v *[4]float64) { panic("vecmath: exp4 asm not available") }
+func log4(v *[4]float64) { panic("vecmath: log4 asm not available") }

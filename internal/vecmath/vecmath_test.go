@@ -1,0 +1,148 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+
+	"wheels/internal/sim"
+)
+
+// checkExp4 asserts Exp4 matches math.Exp bit-for-bit on one block.
+func checkExp4(t *testing.T, in [4]float64) {
+	t.Helper()
+	got := in
+	Exp4(&got)
+	for i, x := range in {
+		want := math.Exp(x)
+		if math.Float64bits(got[i]) != math.Float64bits(want) {
+			t.Fatalf("Exp4 lane %d: Exp(%g) = %x, want %x (scalar %g)",
+				i, x, math.Float64bits(got[i]), math.Float64bits(want), want)
+		}
+	}
+}
+
+// checkLog4 asserts Log4 matches math.Log bit-for-bit on one block.
+func checkLog4(t *testing.T, in [4]float64) {
+	t.Helper()
+	got := in
+	Log4(&got)
+	for i, x := range in {
+		want := math.Log(x)
+		if math.Float64bits(got[i]) != math.Float64bits(want) {
+			t.Fatalf("Log4 lane %d: Log(%g) = %x, want %x (scalar %g)",
+				i, x, math.Float64bits(got[i]), math.Float64bits(want), want)
+		}
+	}
+}
+
+// TestExp4MatchesMathExp sweeps the bit equivalence of the vector kernel
+// against math.Exp over the full guarded range plus the simulator's actual
+// argument windows (the BLER logistic and the pow22 fractional exponent).
+func TestExp4MatchesMathExp(t *testing.T) {
+	t.Logf("asm kernels enabled: %v", Enabled())
+	rng := sim.NewRNG(23)
+	spans := [...][2]float64{
+		{-700, 700},  // full guarded range
+		{-5.3, 10.1}, // BLER logistic: (sinr-3)/2.5 over clamped sinr
+		{-50, 0.05},  // pow22: 0.2*log(distFrac)
+	}
+	for _, span := range spans {
+		for n := 0; n < 200000; n++ {
+			var in [4]float64
+			for i := range in {
+				in[i] = rng.Uniform(span[0], span[1])
+			}
+			checkExp4(t, in)
+		}
+	}
+	// Edge and special cases: the wrapper must route these to math.Exp.
+	checkExp4(t, [4]float64{0, 1, -1, math.Copysign(0, -1)})
+	checkExp4(t, [4]float64{699.9999, -699.9999, 700.0001, -700.0001})
+	checkExp4(t, [4]float64{710, -746, math.Inf(1), math.Inf(-1)})
+	checkExp4(t, [4]float64{math.NaN(), 0.5, 1e-300, -1e-300})
+	// Mixed in/out-of-range blocks take the scalar path wholesale.
+	checkExp4(t, [4]float64{1, 2, 3, 800})
+}
+
+// TestLog4MatchesMathLog sweeps the bit equivalence of the vector kernel
+// against math.Log over the positive-finite range, including subnormals
+// and exact powers of two.
+func TestLog4MatchesMathLog(t *testing.T) {
+	rng := sim.NewRNG(24)
+	for n := 0; n < 200000; n++ {
+		var in [4]float64
+		for i := range in {
+			// Log-uniform over the full normal range, hitting every
+			// exponent regime the Frexp bit path touches.
+			in[i] = math.Exp(rng.Uniform(-700, 700))
+		}
+		checkLog4(t, in)
+	}
+	// The simulator's actual windows: path-loss distance ratios and the
+	// interference model's distance fraction.
+	for n := 0; n < 200000; n++ {
+		var in [4]float64
+		for i := range in {
+			in[i] = rng.Uniform(1e-3, 2000)
+		}
+		checkLog4(t, in)
+	}
+	// Exact powers of two exercise the f1 == 0.5 mask boundary.
+	checkLog4(t, [4]float64{0.25, 0.5, 1, 2})
+	checkLog4(t, [4]float64{4, 1024, math.Ldexp(1, -1022), math.Ldexp(1, 1023)})
+	// Subnormals run through the same bit path as archLog.
+	checkLog4(t, [4]float64{5e-324, 1e-310, 2.2250738585072014e-308, 1.5e-308})
+	// Specials fall back to math.Log.
+	checkLog4(t, [4]float64{0, -1, math.Inf(1), math.NaN()})
+	checkLog4(t, [4]float64{math.Inf(-1), math.Copysign(0, -1), 1, 2})
+}
+
+// TestKernelAllocs pins the kernels as allocation-free.
+func TestKernelAllocs(t *testing.T) {
+	v := [4]float64{0.1, 0.2, 0.3, 0.4}
+	if n := testing.AllocsPerRun(1000, func() {
+		Exp4(&v)
+		v[0], v[1], v[2], v[3] = 0.1, 0.2, 0.3, 0.4
+		Log4(&v)
+	}); n != 0 {
+		t.Fatalf("Exp4+Log4 allocate %v times per call, want 0", n)
+	}
+}
+
+func BenchmarkExp4(b *testing.B) {
+	v := [4]float64{-3.2, 0.7, 5.5, -40}
+	for i := 0; i < b.N; i++ {
+		w := v
+		Exp4(&w)
+	}
+}
+
+func BenchmarkExpScalar4(b *testing.B) {
+	v := [4]float64{-3.2, 0.7, 5.5, -40}
+	for i := 0; i < b.N; i++ {
+		w := v
+		w[0] = math.Exp(w[0])
+		w[1] = math.Exp(w[1])
+		w[2] = math.Exp(w[2])
+		w[3] = math.Exp(w[3])
+	}
+}
+
+func BenchmarkLog4(b *testing.B) {
+	v := [4]float64{0.3, 7.7, 125.5, 1e-4}
+	for i := 0; i < b.N; i++ {
+		w := v
+		Log4(&w)
+	}
+}
+
+func BenchmarkLogScalar4(b *testing.B) {
+	v := [4]float64{0.3, 7.7, 125.5, 1e-4}
+	for i := 0; i < b.N; i++ {
+		w := v
+		w[0] = math.Log(w[0])
+		w[1] = math.Log(w[1])
+		w[2] = math.Log(w[2])
+		w[3] = math.Log(w[3])
+	}
+}
