@@ -5,12 +5,19 @@
 //
 // Usage:
 //
-//	drivesim [-seed N] [-km N] [-out DIR] [-stream-out DIR] [-quick]
-//	         [-video SEC] [-gaming SEC] [-shards N] [-workers N] [-progress]
-//	         [-engine scalar|batch] [-cpuprofile FILE] [-memprofile FILE]
+//	drivesim [-scenario NAME] [-seed N] [-km N] [-out DIR] [-stream-out DIR]
+//	         [-quick] [-video SEC] [-gaming SEC] [-shards N] [-workers N]
+//	         [-progress] [-engine scalar|batch]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // With no flags it reproduces the paper's full methodology (about a minute
 // of wall time); -quick runs network tests only over the first 200 km.
+// -scenario selects the route: a library name ("paper", "dense-urban",
+// "interstate-only", "mountain-sparse", "commuter-loop", "mmwave-downtown")
+// or "random:<seed>" for a procedurally generated route. The default
+// "paper" scenario is byte-identical to the pre-scenario simulator. A
+// scenario may pin parts of the test schedule (commuter-loop disables app
+// tests) and rescore the shape invariants against its own thresholds.
 // -shards N splits the route into N segments simulated in parallel; the
 // output is deterministic per (seed, shards) but differs sample-by-sample
 // from the serial dataset (see README "Sharded execution").
@@ -38,13 +45,14 @@ import (
 	"wheels/internal/analysis"
 	"wheels/internal/campaign"
 	"wheels/internal/dataset"
-	"wheels/internal/geo"
+	"wheels/internal/scenario"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("drivesim: ")
 	var (
+		scn      = flag.String("scenario", "paper", "route scenario: a library name or random:<seed>")
 		seed     = flag.Int64("seed", 23, "campaign random seed")
 		km       = flag.Float64("km", 0, "truncate the campaign to the first N km (0 = full trip)")
 		out      = flag.String("out", "dataset", "output directory for the CSV dataset")
@@ -65,6 +73,15 @@ func main() {
 	)
 	flag.Parse()
 
+	sc, err := scenario.Resolve(*scn)
+	if err != nil {
+		log.Fatalf("-scenario %s: %v", *scn, err)
+	}
+	tb, err := sc.Compile()
+	if err != nil {
+		log.Fatalf("-scenario %s: %v", *scn, err)
+	}
+
 	cfg := campaign.DefaultConfig(*seed)
 	cfg.KmLimit = *km
 	cfg.VideoSec = *video
@@ -73,6 +90,8 @@ func main() {
 	if *quick {
 		cfg = campaign.QuickConfig(*seed, 200)
 	}
+	// The scenario's pinned schedule phases override the flag-derived mix.
+	cfg = sc.ApplySchedule(cfg)
 	switch *engine {
 	case campaign.EngineScalar, campaign.EngineBatch:
 		cfg.Engine = *engine
@@ -98,7 +117,7 @@ func main() {
 		}
 	}
 
-	rt := geo.NewRoute()
+	rt := tb.Route
 	var ds *dataset.Dataset
 	var acc *analysis.Accumulator
 	if *stream != "" {
@@ -116,25 +135,28 @@ func main() {
 			log.Fatalf("opening stream output: %v", err)
 		}
 		acc = analysis.NewAccumulator(cfg.Seed)
+		acc.SetShapeParams(sc.ShapeParams())
 		sink := dataset.Tee(w, acc)
-		fmt.Fprintf(os.Stderr, "simulating %s over %.0f km (seed %d, %d shard(s)), streaming to %s...\n",
-			describe(cfg), rt.LengthKm(), cfg.Seed, *shards, *stream)
+		fmt.Fprintf(os.Stderr, "simulating %s on scenario %s over %.0f km (seed %d, %d shard(s)), streaming to %s...\n",
+			describe(cfg), sc.Name(), rt.LengthKm(), cfg.Seed, *shards, *stream)
 		if *shards > 1 {
-			campaign.RunShardedTo(cfg, *shards, *workers, sink)
+			tb.RunShardedTo(cfg, *shards, *workers, sink)
 		} else {
-			campaign.New(cfg).RunTo(sink)
+			campaign.NewWithTestbed(cfg, tb).RunTo(sink)
 		}
 		if err := sink.Flush(); err != nil {
 			log.Fatalf("streaming dataset: %v", err)
 		}
 	} else if *shards > 1 {
-		fmt.Fprintf(os.Stderr, "simulating %s over %.0f km (seed %d, %d shards)...\n",
-			describe(cfg), rt.LengthKm(), cfg.Seed, *shards)
-		ds = campaign.RunSharded(cfg, *shards, *workers)
+		fmt.Fprintf(os.Stderr, "simulating %s on scenario %s over %.0f km (seed %d, %d shards)...\n",
+			describe(cfg), sc.Name(), rt.LengthKm(), cfg.Seed, *shards)
+		col := dataset.NewCollector(cfg.Seed)
+		tb.RunShardedTo(cfg, *shards, *workers, col)
+		ds = col.Dataset()
 	} else {
-		fmt.Fprintf(os.Stderr, "simulating %s over %.0f km (seed %d)...\n",
-			describe(cfg), rt.LengthKm(), cfg.Seed)
-		ds = campaign.New(cfg).Run()
+		fmt.Fprintf(os.Stderr, "simulating %s on scenario %s over %.0f km (seed %d)...\n",
+			describe(cfg), sc.Name(), rt.LengthKm(), cfg.Seed)
+		ds = campaign.NewWithTestbed(cfg, tb).Run()
 	}
 
 	if *cpuProf != "" {

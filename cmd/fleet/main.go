@@ -1,4 +1,4 @@
-// Command fleet runs the measurement campaign across many seeds and
+// Command fleet runs the measurement campaign across scenarios × seeds and
 // reports which EXPERIMENTS.md shape invariants replicate, with what
 // confidence — the replication-of-the-replication: N full drives instead
 // of one, reduced to per-seed summaries as they finish so memory stays
@@ -6,10 +6,19 @@
 //
 // Usage:
 //
-//	fleet [-seeds N] [-start-seed S] [-workers W] [-shards K]
+//	fleet [-scenario LIST] [-seeds N] [-start-seed S] [-workers W] [-shards K]
 //	      [-checkpoint FILE] [-verify-resume] [-out FILE] [-html FILE]
 //	      [-dump-dir DIR] [-quick] [-km N] [-apps=false] [-engine scalar|batch]
 //	      [-cpuprofile FILE] [-memprofile FILE]
+//
+// -scenario takes a comma-separated list of route scenarios (library names
+// like "paper" or "dense-urban", or "random:<seed>" for a procedurally
+// generated route) and sweeps the full seed range over each. With two or
+// more scenarios the report adds a per-invariant robustness verdict:
+// route-robust claims replicate everywhere, route-specific claims hold on
+// some routes and fail on others. Checkpoint rows carry the scenario name,
+// so one checkpoint file resumes a whole sweep; files written before
+// scenarios existed resume as the "paper" scenario.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the fleet run
 // (all seeds, all workers), mirroring drivesim's flags: the CPU profile
@@ -26,8 +35,8 @@
 // code.
 //
 // -dump-dir DIR additionally streams each freshly-run seed's full dataset
-// to DIR/seed-N/ as gzip CSVs (parallel chunked compression); resumed
-// seeds are not re-run, so they leave no dump.
+// to DIR/<scenario>/seed-N/ as gzip CSVs (parallel chunked compression);
+// resumed seeds are not re-run, so they leave no dump.
 package main
 
 import (
@@ -38,18 +47,21 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"wheels/internal/campaign"
 	"wheels/internal/dataset"
 	"wheels/internal/fleet"
+	"wheels/internal/scenario"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fleet: ")
 	var (
-		seeds      = flag.Int("seeds", 5, "number of campaigns (seeds start-seed..start-seed+N-1)")
+		scenarios  = flag.String("scenario", "paper", "comma-separated scenario list (library names or random:<seed>) to sweep the seed range over")
+		seeds      = flag.Int("seeds", 5, "number of campaigns per scenario (seeds start-seed..start-seed+N-1)")
 		startSeed  = flag.Int64("start-seed", 23, "first campaign seed")
 		workers    = flag.Int("workers", 0, "max campaigns in flight at once (0 = GOMAXPROCS)")
 		shards     = flag.Int("shards", 1, "route shards per campaign (1 = serial engine)")
@@ -57,7 +69,7 @@ func main() {
 		verify     = flag.Bool("verify-resume", false, "re-run resumed seeds and warn when the recomputed dataset hash disagrees with the checkpoint (code drift)")
 		out        = flag.String("out", "", "write the cross-seed text report to this file (default stdout)")
 		htmlOut    = flag.String("html", "", "also write the report as a self-contained HTML page")
-		dumpDir    = flag.String("dump-dir", "", "stream each freshly-run seed's dataset to DIR/seed-N/ as gzip CSVs")
+		dumpDir    = flag.String("dump-dir", "", "stream each freshly-run seed's dataset to DIR/<scenario>/seed-N/ as gzip CSVs")
 		quick      = flag.Bool("quick", false, "network tests only, first 200 km per seed")
 		km         = flag.Float64("km", 0, "truncate each campaign to the first N km (0 = full trip)")
 		apps       = flag.Bool("apps", true, "run the four killer apps in each campaign")
@@ -83,9 +95,38 @@ func main() {
 		log.Fatalf("unknown -engine %q (want %s or %s)", *engine, campaign.EngineScalar, campaign.EngineBatch)
 	}
 
+	// Compile every requested scenario once up front: a bad name fails
+	// before any campaign runs, and the immutable testbeds are shared by
+	// all seeds of their scenario.
+	var sweep []fleet.Scenario
+	for _, spec := range strings.Split(*scenarios, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		sc, err := scenario.Resolve(spec)
+		if err != nil {
+			log.Fatalf("-scenario %s: %v", spec, err)
+		}
+		tb, err := sc.Compile()
+		if err != nil {
+			log.Fatalf("-scenario %s: %v", spec, err)
+		}
+		sweep = append(sweep, fleet.Scenario{
+			Name:      sc.Name(),
+			Testbed:   tb,
+			Shapes:    sc.ShapeParams(),
+			Configure: sc.ApplySchedule,
+		})
+	}
+	if len(sweep) == 0 {
+		log.Fatal("-scenario lists no scenarios")
+	}
+
 	start := time.Now()
 	cfg := fleet.Config{
 		Base:         base,
+		Scenarios:    sweep,
 		StartSeed:    *startSeed,
 		Seeds:        *seeds,
 		Workers:      *workers,
@@ -100,22 +141,26 @@ func main() {
 					state = "resumed, hash verified"
 				}
 			}
-			fmt.Fprintf(os.Stderr, "  seed %d %s (%d/%d, shapes %d/%d, %s)\n",
-				ev.Seed, state, ev.Done, ev.Total, ev.ShapesPass, ev.ShapesTotal,
+			fmt.Fprintf(os.Stderr, "  %s seed %d %s (%d/%d, shapes %d/%d, %s)\n",
+				ev.Scenario, ev.Seed, state, ev.Done, ev.Total, ev.ShapesPass, ev.ShapesTotal,
 				time.Since(start).Round(time.Second))
 			if ev.HashMismatch {
-				fmt.Fprintf(os.Stderr, "  WARNING: seed %d checkpoint hash disagrees with this build's recomputed dataset hash — the checkpoint was written by different code\n", ev.Seed)
+				fmt.Fprintf(os.Stderr, "  WARNING: %s seed %d checkpoint hash disagrees with this build's recomputed dataset hash — the checkpoint was written by different code\n", ev.Scenario, ev.Seed)
 			}
 		},
 	}
 	if *dumpDir != "" {
 		dir := *dumpDir
-		cfg.SeedSink = func(seed int64) (dataset.Sink, error) {
-			return dataset.NewParallelCSVWriter(filepath.Join(dir, fmt.Sprintf("seed-%d", seed)), 0, 0)
+		cfg.SeedSink = func(scn string, seed int64) (dataset.Sink, error) {
+			return dataset.NewParallelCSVWriter(filepath.Join(dir, scn, fmt.Sprintf("seed-%d", seed)), 0, 0)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "fleet: %d seeds from %d, %d shard(s) per campaign...\n",
-		*seeds, *startSeed, *shards)
+	names := make([]string, len(sweep))
+	for i, sn := range sweep {
+		names[i] = sn.Name
+	}
+	fmt.Fprintf(os.Stderr, "fleet: scenarios %s, %d seeds from %d, %d shard(s) per campaign...\n",
+		strings.Join(names, ","), *seeds, *startSeed, *shards)
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

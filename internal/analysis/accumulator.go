@@ -17,9 +17,10 @@ import (
 // over a materialized Dataset. Records must all be emitted before the
 // first read (Headline, ShapeResults, Fig2a).
 type Accumulator struct {
-	seed int64
-	ops  []opAccum // indexed by operator
-	n    Counts
+	seed   int64
+	ops    []opAccum // indexed by operator
+	n      Counts
+	params ShapeParams
 }
 
 // opAccum holds one operator's metric samples. Slices append in emission
@@ -62,9 +63,10 @@ type OpHeadline struct {
 	GamingRuns      int
 }
 
-// NewAccumulator returns an empty accumulator for the given campaign seed.
+// NewAccumulator returns an empty accumulator for the given campaign seed,
+// evaluating shapes under the default paper-route thresholds.
 func NewAccumulator(seed int64) *Accumulator {
-	a := &Accumulator{seed: seed, ops: make([]opAccum, radio.NumOperators)}
+	a := &Accumulator{seed: seed, ops: make([]opAccum, radio.NumOperators), params: DefaultShapeParams()}
 	for i := range a.ops {
 		a.ops[i].techMiles = TechShare{}
 	}
@@ -73,6 +75,11 @@ func NewAccumulator(seed int64) *Accumulator {
 
 // Seed returns the campaign seed the accumulator was created for.
 func (a *Accumulator) Seed() int64 { return a.seed }
+
+// SetShapeParams replaces the thresholds ShapeResults evaluates under.
+// Reset does not touch them: a fleet worker pinned to one scenario sets
+// them once and reuses the accumulator across seeds.
+func (a *Accumulator) SetShapeParams(p ShapeParams) { a.params = p }
 
 // Reset clears the accumulator for a new campaign with the given seed,
 // keeping every metric slice's capacity. A fleet worker owns one
@@ -216,5 +223,5 @@ func (a *Accumulator) ShapeResults() []ShapeResult {
 			st.fiveGShare[op] = float64(o.fiveDrive) / float64(len(o.driveDL))
 		}
 	}
-	return evalShapes(st)
+	return evalShapes(st, a.params)
 }

@@ -41,7 +41,7 @@ func newSharedTestbed(cfg Config, tb *Testbed) *sharedTestbed {
 	}
 	depKm := deployKmBound(sh.trace, cfg)
 	for _, op := range radio.Operators() {
-		sh.deps[op] = deploy.NewUpTo(tb.Route, op, rng.Stream("deploy"), depKm)
+		sh.deps[op] = deploy.NewUpToDensity(tb.Route, op, rng.Stream("deploy"), depKm, tb.densityFor(op))
 	}
 	return sh
 }

@@ -2,44 +2,22 @@ package campaign
 
 import (
 	"bytes"
-	"os"
-	"path/filepath"
 	"runtime"
-	"sort"
 	"testing"
 
 	"wheels/internal/analysis"
 	"wheels/internal/dataset"
+	"wheels/internal/pathtest"
 )
 
 // exportBytes saves the dataset under a temp dir and returns the
 // concatenated bytes of every CSV file — the byte-level identity the
-// sharding contract promises.
+// sharding contract promises. It delegates to the shared helper so every
+// byte-identity test (including the scenario paper-route guard) hashes the
+// same form.
 func exportBytes(t *testing.T, ds *dataset.Dataset) []byte {
 	t.Helper()
-	dir := t.TempDir()
-	if err := ds.Save(dir); err != nil {
-		t.Fatalf("saving dataset: %v", err)
-	}
-	names, err := filepath.Glob(filepath.Join(dir, "*.csv"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	sort.Strings(names)
-	if len(names) == 0 {
-		t.Fatal("export produced no CSV files")
-	}
-	var buf bytes.Buffer
-	for _, name := range names {
-		b, err := os.ReadFile(name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		buf.WriteString(filepath.Base(name))
-		buf.WriteByte(0)
-		buf.Write(b)
-	}
-	return buf.Bytes()
+	return pathtest.ExportBytes(t, ds)
 }
 
 // shardTestConfig is a reduced campaign that still exercises the sharded

@@ -25,12 +25,31 @@ import (
 type Testbed struct {
 	Route *geo.Route
 	Reg   *servers.Registry
+
+	// Scenario names the scenario this testbed was compiled from ("" and
+	// "paper" both mean the paper's itinerary). Campaigns don't read it;
+	// the fleet threads it into checkpoint rows and report grouping.
+	Scenario string
+
+	// Density scales each operator's deployment away from the calibrated
+	// tables. The zero value of an entry means the identity scaling, so a
+	// hand-built Testbed{Route: ..., Reg: ...} behaves exactly as before.
+	Density [radio.NumOperators]deploy.Density
 }
 
 // NewTestbed builds the shared substrate once.
 func NewTestbed() *Testbed {
 	route := geo.NewRoute()
 	return &Testbed{Route: route, Reg: servers.NewRegistry(route)}
+}
+
+// densityFor resolves the operator's deployment density, mapping the zero
+// value to the identity scaling.
+func (tb *Testbed) densityFor(op radio.Operator) deploy.Density {
+	if tb.Density[op] == (deploy.Density{}) {
+		return deploy.DefaultDensity()
+	}
+	return tb.Density[op]
 }
 
 // NewWithTestbed builds a campaign on a pre-built shared testbed. The
@@ -48,7 +67,7 @@ func NewWithTestbed(cfg Config, tb *Testbed) *Campaign {
 	}
 	depKm := deployKmBound(c.Trace, cfg)
 	for _, op := range radio.Operators() {
-		dep := deploy.NewUpTo(tb.Route, op, rng.Stream("deploy"), depKm)
+		dep := deploy.NewUpToDensity(tb.Route, op, rng.Stream("deploy"), depKm, tb.densityFor(op))
 		c.phones = append(c.phones, &phone{
 			op:  op,
 			dep: dep,

@@ -120,6 +120,29 @@ type Deployment struct {
 	lateralKm [radio.NumTechs]float64
 }
 
+// Density scales one operator's deployment away from the calibrated paper
+// tables, per technology. Avail multiplies the local availability
+// probability (clamped to the same 0.97 ceiling the tables obey); RunLen
+// multiplies the mean coverage run length. All-ones means the paper's
+// deployment exactly: scaling by 1.0 is a bit-exact no-op, so the paper
+// scenario's coverage fields are byte-identical to an unscaled build.
+// Scenarios use this to model denser mid-band/mmWave metros or sparser
+// rural 5G without touching the calibration tables.
+type Density struct {
+	Avail  [radio.NumTechs]float64
+	RunLen [radio.NumTechs]float64
+}
+
+// DefaultDensity returns the identity scaling (the paper's deployment).
+func DefaultDensity() Density {
+	var d Density
+	for t := range d.Avail {
+		d.Avail[t] = 1
+		d.RunLen[t] = 1
+	}
+	return d
+}
+
 // New builds the operator's deployment along the route. All randomness
 // derives from the stream, so the footprint is reproducible per seed.
 func New(route *geo.Route, op radio.Operator, rng *sim.RNG) *Deployment {
@@ -135,6 +158,14 @@ func New(route *geo.Route, op radio.Operator, rng *sim.RNG) *Deployment {
 // it will never drive. Callers must never query past maxKm: the bin clamp
 // would silently return the edge bin's mask instead of the true one.
 func NewUpTo(route *geo.Route, op radio.Operator, rng *sim.RNG, maxKm float64) *Deployment {
+	return NewUpToDensity(route, op, rng, maxKm, DefaultDensity())
+}
+
+// NewUpToDensity is NewUpTo with the operator's deployment density scaled
+// by den. The identity scaling reproduces NewUpTo bit for bit: every stream
+// label and draw is unchanged, and ×1.0 on the probability and run-length
+// mean leaves each draw's arguments exactly equal.
+func NewUpToDensity(route *geo.Route, op radio.Operator, rng *sim.RNG, maxKm float64, den Density) *Deployment {
 	lengthKm := route.LengthKm()
 	if maxKm > 0 && maxKm < lengthKm {
 		lengthKm = maxKm
@@ -146,7 +177,7 @@ func NewUpTo(route *geo.Route, op radio.Operator, rng *sim.RNG, maxKm float64) *
 	}
 	d.masks = make([]TechMask, d.nbins)
 	for _, t := range radio.Techs() {
-		d.buildField(t, rng.Stream("field", op.String(), t.String()))
+		d.buildField(t, rng.Stream("field", op.String(), t.String()), den)
 		d.spacingKm[t] = radio.Bands(op, t).CellSpacingKm
 		d.lateralKm[t] = lateralOffsetKm(t)
 	}
@@ -158,8 +189,8 @@ func NewUpTo(route *geo.Route, op radio.Operator, rng *sim.RNG, maxKm float64) *
 // re-draws from the local availability probability. This produces the
 // fragmented, spatially correlated coverage the paper observed (Fig. 1).
 // Covered bins set the technology's bit in the packed mask.
-func (d *Deployment) buildField(t radio.Tech, rng *sim.RNG) {
-	mean := runLengthKm[t]
+func (d *Deployment) buildField(t radio.Tech, rng *sim.RNG, den Density) {
+	mean := runLengthKm[t] * den.RunLen[t]
 	remaining := 0.0
 	covered := false
 	cur := d.Route.Cursor()
@@ -167,7 +198,13 @@ func (d *Deployment) buildField(t radio.Tech, rng *sim.RNG) {
 	for i := 0; i < d.nbins; i++ {
 		km := float64(i) * binKm
 		if remaining <= 0 {
-			p := availability(d.Op, t, cur.RoadClassAt(km), cur.TimezoneAt(km))
+			// The density scale applies after availability()'s internal
+			// clamp, under the same 0.97 ceiling: with Avail == 1 the
+			// multiply and the re-clamp are both exact no-ops.
+			p := availability(d.Op, t, cur.RoadClassAt(km), cur.TimezoneAt(km)) * den.Avail[t]
+			if p > availCeiling {
+				p = availCeiling
+			}
 			covered = rng.Bool(p)
 			remaining = rng.Exponential(mean)
 			if remaining < binKm {

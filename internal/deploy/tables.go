@@ -78,6 +78,10 @@ var runLengthKm = map[radio.Tech]float64{
 	radio.NRmmW: 0.5,
 }
 
+// availCeiling caps deployment probability: even LTE has dead spots, and
+// density-scaled scenarios saturate here rather than reaching certainty.
+const availCeiling = 0.97
+
 // availability returns the probability that tech is deployed at the given
 // road class and timezone for the operator.
 func availability(op radio.Operator, t radio.Tech, road geo.RoadClass, zone geo.Timezone) float64 {
@@ -85,8 +89,8 @@ func availability(op radio.Operator, t radio.Tech, road geo.RoadClass, zone geo.
 	if s, ok := zoneScale[op][t]; ok {
 		p *= s[zone]
 	}
-	if p > 0.97 {
-		p = 0.97
+	if p > availCeiling {
+		p = availCeiling
 	}
 	return p
 }

@@ -157,7 +157,7 @@ func BenchmarkFleetStreaming(b *testing.B) {
 		}
 		peakSum += liveHeapMB(base)
 		runtime.KeepAlive(c)
-		sums = append(sums, summarize(acc, h.Sum(), 1))
+		sums = append(sums, summarize(acc, h.Sum(), 1, "paper"))
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Hours(), "seeds/hour")

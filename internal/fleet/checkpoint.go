@@ -5,13 +5,15 @@ package fleet
 // for the file a killed fleet leaves behind:
 //
 //   - a truncated final line (the write the kill interrupted) is dropped;
-//   - duplicate seed entries collapse to the first occurrence, so a seed
-//     can never be counted twice;
+//   - duplicate (scenario, seed) entries collapse to the first occurrence,
+//     so a seed can never be counted twice;
 //   - unknown fields are ignored, so older binaries read newer files;
+//   - an absent scenario field means "paper" — the only scenario builds
+//     that predate scenarios could run — so their files keep resuming;
 //   - any undecodable line is skipped rather than failing the resume.
 //
-// Every surviving entry is a pure function of (seed, shards), so "skip the
-// seeds already on disk" is equivalent to re-running them.
+// Every surviving entry is a pure function of (scenario, seed, shards), so
+// "skip the seeds already on disk" is equivalent to re-running them.
 
 import (
 	"bufio"
@@ -24,12 +26,21 @@ import (
 // maxCheckpointLine bounds one JSONL record (a summary is well under 4 KiB).
 const maxCheckpointLine = 1 << 20
 
+// SeedKey identifies one checkpoint row: a seed is only "already done" for
+// the scenario it ran over, so a multi-scenario sweep never mistakes one
+// route's summary for another's.
+type SeedKey struct {
+	Scenario string
+	Seed     int64
+}
+
 // ParseCheckpoint reads checkpoint JSONL from r and returns the surviving
-// summaries keyed by seed. It never fails on malformed content — torn
-// lines, garbage, and duplicates are skipped per the rules above — and
-// only returns r's read error, if any.
-func ParseCheckpoint(r io.Reader) (map[int64]SeedSummary, error) {
-	out := map[int64]SeedSummary{}
+// summaries keyed by (scenario, seed), with absent scenario fields
+// defaulted to "paper". It never fails on malformed content — torn lines,
+// garbage, and duplicates are skipped per the rules above — and only
+// returns r's read error, if any.
+func ParseCheckpoint(r io.Reader) (map[SeedKey]SeedSummary, error) {
+	out := map[SeedKey]SeedSummary{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), maxCheckpointLine)
 	for sc.Scan() {
@@ -49,20 +60,24 @@ func ParseCheckpoint(r io.Reader) (map[int64]SeedSummary, error) {
 		if err := json.Unmarshal(line, &sum); err != nil {
 			continue
 		}
-		if _, dup := out[sum.Seed]; dup {
+		if sum.Scenario == "" {
+			sum.Scenario = "paper" // pre-scenario checkpoint line
+		}
+		key := SeedKey{Scenario: sum.Scenario, Seed: sum.Seed}
+		if _, dup := out[key]; dup {
 			continue // first occurrence wins; never double-count a seed
 		}
-		out[sum.Seed] = sum
+		out[key] = sum
 	}
 	return out, sc.Err()
 }
 
 // LoadCheckpoint reads the checkpoint file at path. A missing file is an
 // empty checkpoint, not an error.
-func LoadCheckpoint(path string) (map[int64]SeedSummary, error) {
+func LoadCheckpoint(path string) (map[SeedKey]SeedSummary, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return map[int64]SeedSummary{}, nil
+		return map[SeedKey]SeedSummary{}, nil
 	}
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"wheels/internal/analysis"
 	"wheels/internal/campaign"
 	"wheels/internal/dataset"
 )
@@ -14,19 +15,25 @@ import (
 // Config scopes a fleet run.
 type Config struct {
 	// Base is the per-seed campaign template. Seed and Progress are
-	// overwritten per job; everything else (km limit, enabled subsystems,
-	// durations) applies to every seed identically — the fleet varies
-	// only the randomness.
+	// overwritten per job, and a scenario's Configure hook may rewrite the
+	// rest; within one scenario everything but the seed applies to every
+	// campaign identically — the fleet varies only the randomness.
 	Base campaign.Config
 
+	// Scenarios is the list of routes to sweep the seed range over, in
+	// sweep order. Empty means the single paper scenario with the default
+	// shape thresholds — the pre-scenario fleet, byte for byte.
+	Scenarios []Scenario
+
 	StartSeed int64 // first seed; the fleet runs StartSeed..StartSeed+Seeds-1
-	Seeds     int   // number of campaigns
+	Seeds     int   // number of campaigns per scenario
 	Workers   int   // max campaigns in flight at once (0 = GOMAXPROCS)
 	Shards    int   // route shards per campaign (<= 1 = serial engine)
 
 	// Checkpoint, when set, is the JSONL file completed seeds append to
-	// and resume reads from. Seeds already present (with a matching shard
-	// count) are not re-run. The fleet holds an exclusive lock file
+	// and resume reads from. (Scenario, seed) pairs already present (with a
+	// matching shard count) are not re-run, so one checkpoint file carries
+	// a whole multi-scenario sweep. The fleet holds an exclusive lock file
 	// ("<checkpoint>.lock") for the whole run: a second fleet pointed at
 	// the same checkpoint fails fast instead of interleaving writes.
 	Checkpoint string
@@ -48,7 +55,7 @@ type Config struct {
 	// returns is owned and flushed by the fleet, and a construction or
 	// flush error fails the run. Resumed seeds are not re-streamed, so
 	// they produce no dump.
-	SeedSink func(seed int64) (dataset.Sink, error)
+	SeedSink func(scenario string, seed int64) (dataset.Sink, error)
 
 	// Progress, when non-nil, observes every completed or skipped seed.
 	// It is called from worker goroutines under the fleet's collector
@@ -56,10 +63,45 @@ type Config struct {
 	Progress func(Event)
 }
 
+// scenarios returns the normalized sweep list: an empty Config.Scenarios
+// becomes the single paper scenario, empty names become "paper", a zero
+// Shapes becomes the paper thresholds, and a nil Testbed becomes the paper
+// testbed (built once and shared by every scenario that needs it).
+func (cfg Config) scenarios() ([]Scenario, error) {
+	list := cfg.Scenarios
+	if len(list) == 0 {
+		list = []Scenario{{}}
+	}
+	out := make([]Scenario, len(list))
+	seen := map[string]bool{}
+	var paperTB *campaign.Testbed
+	for i, sn := range list {
+		if sn.Name == "" {
+			sn.Name = "paper"
+		}
+		if seen[sn.Name] {
+			return nil, fmt.Errorf("scenario %q listed twice — its checkpoint rows would be indistinguishable", sn.Name)
+		}
+		seen[sn.Name] = true
+		if sn.Shapes == (analysis.ShapeParams{}) {
+			sn.Shapes = analysis.DefaultShapeParams()
+		}
+		if sn.Testbed == nil {
+			if paperTB == nil {
+				paperTB = campaign.NewTestbed()
+			}
+			sn.Testbed = paperTB
+		}
+		out[i] = sn
+	}
+	return out, nil
+}
+
 // Event reports one seed's completion to Config.Progress.
 type Event struct {
+	Scenario    string
 	Seed        int64
-	Done, Total int  // completed seeds after this event
+	Done, Total int  // completed campaigns after this event, across scenarios
 	Resumed     bool // loaded from the checkpoint, not re-run
 	ShapesPass  int  // shape invariants this seed replicated
 	ShapesTotal int
@@ -70,18 +112,31 @@ type Event struct {
 }
 
 // Run executes the fleet and returns the cross-seed report. The report is
-// a pure function of (Base, StartSeed, Seeds, Shards): worker count,
-// scheduling, kills and checkpoint resumes cannot change a byte of it.
+// a pure function of (Base, Scenarios, StartSeed, Seeds, Shards): worker
+// count, scheduling, kills and checkpoint resumes cannot change a byte of
+// it.
 //
-// The seed-independent campaign substrate (route, server registry) is built
-// once and shared read-only by every worker, and each worker reuses one
-// reduction pipeline (accumulator + hash sink) across all the seeds it
-// runs, so fleet throughput scales with the simulation work, not with
-// per-seed setup and GC churn.
+// The seed-independent campaign substrate (route, server registry, per-
+// scenario deployment densities) is built once per scenario and shared
+// read-only by every worker, and each worker reuses one reduction pipeline
+// (accumulator + hash sink) across all the seeds it runs, so fleet
+// throughput scales with the simulation work, not with per-seed setup and
+// GC churn.
 func Run(cfg Config) (*Report, error) {
 	if cfg.Seeds <= 0 {
 		return nil, fmt.Errorf("fleet: Seeds must be positive, got %d", cfg.Seeds)
 	}
+	scenarios, err := cfg.scenarios()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	names := make([]string, len(scenarios))
+	order := map[string]int{}
+	for i, sn := range scenarios {
+		names[i] = sn.Name
+		order[sn.Name] = i
+	}
+	total := len(scenarios) * cfg.Seeds
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -103,18 +158,21 @@ func Run(cfg Config) (*Report, error) {
 		defer lock.release()
 	}
 
-	// Resume: adopt checkpointed summaries for seeds in this fleet's range
-	// that were reduced under the same shard count (a different shard
-	// count is a different dataset, hence a different summary).
-	done := map[int64]SeedSummary{}
+	// Resume: adopt checkpointed summaries for (scenario, seed) pairs in
+	// this fleet's sweep that were reduced under the same shard count (a
+	// different shard count is a different dataset, hence a different
+	// summary). Rows for scenarios this sweep does not run are left alone —
+	// they stay in the file for the fleet that does run them.
+	done := map[SeedKey]SeedSummary{}
 	if cfg.Checkpoint != "" {
 		prev, err := LoadCheckpoint(cfg.Checkpoint)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: reading checkpoint: %w", err)
 		}
-		for seed, sum := range prev {
-			if seed >= cfg.StartSeed && seed < cfg.StartSeed+int64(cfg.Seeds) && sum.Shards == shards {
-				done[seed] = sum
+		for key, sum := range prev {
+			_, swept := order[key.Scenario]
+			if swept && key.Seed >= cfg.StartSeed && key.Seed < cfg.StartSeed+int64(cfg.Seeds) && sum.Shards == shards {
+				done[key] = sum
 			}
 		}
 	}
@@ -141,33 +199,37 @@ func Run(cfg Config) (*Report, error) {
 			}
 		}
 		cfg.Progress(Event{
-			Seed: sum.Seed, Done: completed, Total: cfg.Seeds, Resumed: resumed,
+			Scenario: sum.Scenario,
+			Seed:     sum.Seed, Done: completed, Total: total, Resumed: resumed,
 			ShapesPass: pass, ShapesTotal: len(sum.Shapes),
 			HashMismatch: mismatch,
 		})
 	}
 
-	// Partition the seed range before any worker starts: the scheduling
+	// Partition the sweep before any worker starts: the scheduling
 	// decisions read `done`, which workers mutate, so all reads happen
 	// strictly before the first job is queued. Resumed seeds are announced
-	// here in seed order — except under VerifyResume, where they re-run
+	// here in sweep order — except under VerifyResume, where they re-run
 	// through the pool and are announced as their verification completes.
 	type job struct {
+		sn     int // index into scenarios
 		seed   int64
 		stored SeedSummary // valid only when verify is set
 		verify bool
 	}
 	var jobs []job
-	for seed := cfg.StartSeed; seed < cfg.StartSeed+int64(cfg.Seeds); seed++ {
-		if stored, ok := done[seed]; ok {
-			if cfg.VerifyResume {
-				jobs = append(jobs, job{seed: seed, stored: stored, verify: true})
-			} else {
-				emit(stored, true, false)
+	for i, sn := range scenarios {
+		for seed := cfg.StartSeed; seed < cfg.StartSeed+int64(cfg.Seeds); seed++ {
+			if stored, ok := done[SeedKey{Scenario: sn.Name, Seed: seed}]; ok {
+				if cfg.VerifyResume {
+					jobs = append(jobs, job{sn: i, seed: seed, stored: stored, verify: true})
+				} else {
+					emit(stored, true, false)
+				}
+				continue
 			}
-			continue
+			jobs = append(jobs, job{sn: i, seed: seed})
 		}
-		jobs = append(jobs, job{seed: seed})
 	}
 
 	// The worker pool: a fixed set of goroutines draining the job queue.
@@ -175,7 +237,6 @@ func Run(cfg Config) (*Report, error) {
 	// per-seed reduction (analysis.Accumulator + dataset.HashSink), so a
 	// running seed's records are dropped as they are produced and peak
 	// memory is O(workers) accumulators, never a materialized dataset.
-	tb := campaign.NewTestbed()
 	var (
 		mu     sync.Mutex
 		wg     sync.WaitGroup
@@ -195,13 +256,17 @@ func Run(cfg Config) (*Report, error) {
 			defer wg.Done()
 			sc := newSeedScratch()
 			for jb := range queue {
+				sn := scenarios[jb.sn]
 				c := cfg.Base
 				c.Seed = jb.seed
 				c.Progress = nil
+				if sn.Configure != nil {
+					c = sn.Configure(c)
+				}
 				if jb.verify {
-					re, err := runSeed(c, tb, shards, sc, nil)
+					re, err := runSeed(c, sn, shards, sc, nil)
 					if err != nil {
-						fail(fmt.Errorf("fleet: re-running seed %d: %w", jb.seed, err))
+						fail(fmt.Errorf("fleet: re-running %s seed %d: %w", sn.Name, jb.seed, err))
 						continue
 					}
 					mismatch := jb.stored.DatasetSHA256 == "" || jb.stored.DatasetSHA256 != re.DatasetSHA256
@@ -212,20 +277,20 @@ func Run(cfg Config) (*Report, error) {
 				}
 				var extra dataset.Sink
 				if cfg.SeedSink != nil {
-					s, err := cfg.SeedSink(jb.seed)
+					s, err := cfg.SeedSink(sn.Name, jb.seed)
 					if err != nil {
-						fail(fmt.Errorf("fleet: opening seed %d sink: %w", jb.seed, err))
+						fail(fmt.Errorf("fleet: opening %s seed %d sink: %w", sn.Name, jb.seed, err))
 						continue
 					}
 					extra = s
 				}
-				sum, err := runSeed(c, tb, shards, sc, extra)
+				sum, err := runSeed(c, sn, shards, sc, extra)
 				if err != nil {
-					fail(fmt.Errorf("fleet: streaming seed %d: %w", jb.seed, err))
+					fail(fmt.Errorf("fleet: streaming %s seed %d: %w", sn.Name, jb.seed, err))
 					continue
 				}
 				mu.Lock()
-				done[jb.seed] = sum
+				done[SeedKey{Scenario: sn.Name, Seed: jb.seed}] = sum
 				if ckpt != nil {
 					if err := appendSummary(ckpt, sum); err != nil && runErr == nil {
 						runErr = fmt.Errorf("fleet: writing checkpoint: %w", err)
@@ -245,10 +310,17 @@ func Run(cfg Config) (*Report, error) {
 		return nil, runErr
 	}
 
+	// Sort by (sweep position, seed): the report's grouping is the sweep
+	// order the caller asked for, not map iteration order.
 	sums := make([]SeedSummary, 0, len(done))
 	for _, sum := range done {
 		sums = append(sums, sum)
 	}
-	sort.Slice(sums, func(i, j int) bool { return sums[i].Seed < sums[j].Seed })
-	return &Report{StartSeed: cfg.StartSeed, Seeds: cfg.Seeds, Shards: shards, Summaries: sums}, nil
+	sort.Slice(sums, func(i, j int) bool {
+		if oi, oj := order[sums[i].Scenario], order[sums[j].Scenario]; oi != oj {
+			return oi < oj
+		}
+		return sums[i].Seed < sums[j].Seed
+	})
+	return &Report{StartSeed: cfg.StartSeed, Seeds: cfg.Seeds, Shards: shards, Scenarios: names, Summaries: sums}, nil
 }

@@ -10,6 +10,7 @@ import (
 
 	"wheels/internal/campaign"
 	"wheels/internal/dataset"
+	"wheels/internal/scenario"
 )
 
 // testConfig is a small three-seed fleet over the route's first 40 km.
@@ -138,6 +139,180 @@ func TestFleetShardedSmoke(t *testing.T) {
 	}
 	if rep.Summaries[0].Shards != 2 {
 		t.Errorf("summary records %d shards, want 2", rep.Summaries[0].Shards)
+	}
+}
+
+// sweepScenarios compiles three library scenarios the way cmd/fleet does —
+// the fleet package itself never imports internal/scenario, so this is also
+// the integration check that the compile API carries everything a sweep
+// needs (testbed, thresholds, schedule hook).
+func sweepScenarios(t *testing.T, names ...string) []Scenario {
+	t.Helper()
+	var out []Scenario
+	for _, name := range names {
+		sc := scenario.MustLoad(name)
+		out = append(out, Scenario{
+			Name:      sc.Name(),
+			Testbed:   sc.MustCompile(),
+			Shapes:    sc.ShapeParams(),
+			Configure: sc.ApplySchedule,
+		})
+	}
+	return out
+}
+
+// sweepConfig is a 3-scenario × 2-seed sweep over short campaigns.
+func sweepConfig(t *testing.T, checkpoint string) Config {
+	cfg := testConfig(checkpoint)
+	cfg.Seeds = 2
+	cfg.Scenarios = sweepScenarios(t, "paper", "dense-urban", "commuter-loop")
+	return cfg
+}
+
+func TestFleetScenarioSweep(t *testing.T) {
+	cfg := sweepConfig(t, "")
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("fleet.Run: %v", err)
+	}
+	if len(rep.Summaries) != 6 {
+		t.Fatalf("sweep produced %d summaries, want 6", len(rep.Summaries))
+	}
+	// Summaries group by sweep order, seeds ascending within a scenario.
+	wantOrder := []SeedKey{
+		{"paper", 23}, {"paper", 24},
+		{"dense-urban", 23}, {"dense-urban", 24},
+		{"commuter-loop", 23}, {"commuter-loop", 24},
+	}
+	for i, want := range wantOrder {
+		s := rep.Summaries[i]
+		if s.Scenario != want.Scenario || s.Seed != want.Seed {
+			t.Errorf("summary[%d] = (%s, %d), want %v", i, s.Scenario, s.Seed, want)
+		}
+	}
+	// Different routes must actually produce different data.
+	if rep.Summaries[0].DatasetSHA256 == rep.Summaries[2].DatasetSHA256 {
+		t.Error("paper and dense-urban seed 23 produced identical datasets")
+	}
+	text := rep.RenderText()
+	for _, want := range []string{
+		"3 scenarios", "Invariant robustness across routes",
+		"=== scenario paper", "=== scenario dense-urban", "=== scenario commuter-loop",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("sweep report missing %q:\n%s", want, text)
+		}
+	}
+	if rob := rep.Robustness(); len(rob) == 0 {
+		t.Error("multi-scenario report produced no robustness verdicts")
+	} else {
+		for _, ir := range rob {
+			switch ir.Verdict {
+			case VerdictRobust, VerdictRouteSpecific, VerdictFragile:
+			default:
+				t.Errorf("invariant %s has verdict %q", ir.Name, ir.Verdict)
+			}
+			if len(ir.Rates) != 3 {
+				t.Errorf("invariant %s has rates for %d scenarios, want 3", ir.Name, len(ir.Rates))
+			}
+		}
+	}
+	if _, err := rep.HTML(); err != nil {
+		t.Errorf("sweep report HTML: %v", err)
+	}
+
+	// The sweep is a pure function of the config: worker count is invisible.
+	cfg2 := sweepConfig(t, "")
+	cfg2.Workers = 1
+	rep2, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.RenderText() != text {
+		t.Error("worker count changed the rendered sweep report")
+	}
+}
+
+// TestFleetScenarioSweepResume is the multi-scenario crash-resume contract:
+// kill a sweep mid-flight (simulated by truncating the checkpoint to a
+// prefix plus a torn line), re-run, and the report must be byte-identical
+// while the surviving (scenario, seed) rows are skipped.
+func TestFleetScenarioSweepResume(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "sweep.jsonl")
+	cfg := sweepConfig(t, ck)
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := rep.RenderText()
+
+	b, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(b), "\n")
+	if len(lines) < 6 {
+		t.Fatalf("sweep checkpoint has %d lines, want >= 6", len(lines))
+	}
+	truncated := lines[0] + lines[1] + lines[2] + `{"scenario":"dense-urban","seed":24,"shards":1,"ops":{"V":{"dri`
+	if err := os.WriteFile(ck, []byte(truncated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []Event
+	cfg.Progress = func(ev Event) { events = append(events, ev) }
+	rep2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.RenderText() != full {
+		t.Error("resumed sweep report differs from the uninterrupted run")
+	}
+	resumed := 0
+	for _, ev := range events {
+		if ev.Resumed {
+			resumed++
+		}
+		if ev.Total != 6 {
+			t.Errorf("event Total = %d, want 6", ev.Total)
+		}
+	}
+	if resumed != 3 {
+		t.Errorf("resume reused %d rows, want the 3 intact checkpoint lines", resumed)
+	}
+}
+
+// TestFleetScenarioMismatchNotReused: a checkpoint row from one scenario
+// must never satisfy another scenario's (seed, shards) — same seed, same
+// shard count, different route, different data.
+func TestFleetScenarioMismatchNotReused(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "fleet.jsonl")
+	cfg := testConfig(ck)
+	cfg.Seeds = 1
+	if _, err := Run(cfg); err != nil { // writes the paper seed-23 row
+		t.Fatal(err)
+	}
+
+	cfg.Scenarios = sweepScenarios(t, "dense-urban")
+	var events []Event
+	cfg.Progress = func(ev Event) { events = append(events, ev) }
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if ev.Resumed {
+			t.Errorf("dense-urban seed %d resumed from a paper checkpoint row", ev.Seed)
+		}
+	}
+}
+
+// TestFleetDuplicateScenarioRejected: two scenarios with one name would
+// write indistinguishable checkpoint rows, so Run refuses up front.
+func TestFleetDuplicateScenarioRejected(t *testing.T) {
+	cfg := testConfig("")
+	cfg.Scenarios = []Scenario{{Name: "dense-urban"}, {Name: "dense-urban"}}
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "listed twice") {
+		t.Fatalf("duplicate scenario names not rejected: %v", err)
 	}
 }
 

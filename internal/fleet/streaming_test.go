@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"wheels/internal/analysis"
 	"wheels/internal/campaign"
 )
 
@@ -17,10 +18,10 @@ import (
 func TestStreamingSummaryMatchesReduce(t *testing.T) {
 	cfg := campaign.QuickConfig(23, 60)
 
-	tb := campaign.NewTestbed()
+	sn := Scenario{Name: "paper", Testbed: campaign.NewTestbed(), Shapes: analysis.DefaultShapeParams()}
 	sc := newSeedScratch()
 	want := Reduce(campaign.New(cfg).Run(), 1)
-	got, err := runSeed(cfg, tb, 1, sc, nil)
+	got, err := runSeed(cfg, sn, 1, sc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestStreamingSummaryMatchesReduce(t *testing.T) {
 	// The sharded pass reuses the same scratch, so this also pins the reset
 	// contract: a worker's second seed reduces identically to a fresh one.
 	wantSh := Reduce(campaign.RunSharded(cfg, 3, 0), 3)
-	gotSh, err := runSeed(cfg, tb, 3, sc, nil)
+	gotSh, err := runSeed(cfg, sn, 3, sc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

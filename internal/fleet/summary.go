@@ -1,8 +1,9 @@
-// Package fleet runs the campaign many times — seeds s..s+N-1 — over a
-// bounded worker pool and scores how reliably the EXPERIMENTS.md shape
-// invariants replicate across seeds. The source study replicates one drive;
-// the fleet asks the next question: with everything resampled, which of its
-// qualitative claims survive, with what confidence?
+// Package fleet runs the campaign many times — scenarios × seeds s..s+N-1
+// — over a bounded worker pool and scores how reliably the EXPERIMENTS.md
+// shape invariants replicate across seeds and routes. The source study
+// replicates one drive; the fleet asks the next questions: with everything
+// resampled, which of its qualitative claims survive, with what confidence
+// — and do they survive because of the physics or because of the route?
 //
 // Memory model: each campaign streams its records straight into a compact
 // per-seed reduction — an analysis.Accumulator (headline medians, coverage
@@ -23,6 +24,33 @@ import (
 	"wheels/internal/radio"
 )
 
+// Scenario is one route the fleet sweeps its seed range over. The fleet
+// does not know how testbeds are made — the caller (cmd/fleet compiles
+// internal/scenario definitions) supplies the immutable substrate and the
+// scenario-specific scoring knobs; the fleet only varies the randomness.
+type Scenario struct {
+	// Name keys checkpoint rows and report groups. Empty normalizes to
+	// "paper", matching the checkpoint decoder's default for files written
+	// before scenarios existed.
+	Name string
+
+	// Testbed is the seed-independent substrate (route, server registry,
+	// deployment densities) every seed of this scenario shares read-only.
+	// Nil means the paper testbed, built once per Run.
+	Testbed *campaign.Testbed
+
+	// Shapes parameterizes the shape invariants this scenario's seeds are
+	// scored against (a mountain route does not hand over like the paper
+	// route). The zero value normalizes to analysis.DefaultShapeParams().
+	Shapes analysis.ShapeParams
+
+	// Configure, when non-nil, rewrites the per-seed campaign config after
+	// Base and Seed are applied — the hook scenarios with a pinned test
+	// schedule (e.g. commuter-loop disables app tests) use to override the
+	// fleet-wide Base without the fleet knowing why.
+	Configure func(campaign.Config) campaign.Config
+}
+
 // OpSummary is one operator's headline numbers for one seed — the compact
 // projection of the EXPERIMENTS.md per-figure medians.
 type OpSummary struct {
@@ -42,10 +70,17 @@ type OpSummary struct {
 
 // SeedSummary is the per-seed reduction the fleet keeps after dropping the
 // dataset, and the unit record of the checkpoint JSONL file. It is a pure
-// function of (seed, shards): re-running the same seed with the same shard
-// count reproduces the summary bit-for-bit, which is what makes checkpoint
-// resume equivalent to re-execution.
+// function of (scenario, seed, shards): re-running the same seed with the
+// same shard count over the same scenario reproduces the summary
+// bit-for-bit, which is what makes checkpoint resume equivalent to
+// re-execution.
 type SeedSummary struct {
+	// Scenario names the route this seed ran over. It is omitted from the
+	// JSON encoding when empty so pre-scenario fleets' checkpoint lines are
+	// a strict subset of current ones; the decoder maps an absent field to
+	// "paper" (the only scenario those builds could run).
+	Scenario string `json:"scenario,omitempty"`
+
 	Seed   int64 `json:"seed"`
 	Shards int   `json:"shards"`
 
@@ -71,17 +106,19 @@ type SeedSummary struct {
 // Reduce collapses a campaign dataset to its SeedSummary by replaying it
 // through the streaming reduction (analysis.Accumulator + dataset.HashSink)
 // — the materialized and streaming paths share one definition of every
-// metric. It tolerates empty and partial datasets (a seed whose campaign
-// yields zero tests of some kind): empty slices reduce to zero-valued
-// medians, never NaN — the summary must survive a JSON round-trip through
-// the checkpoint file.
+// metric. The dataset is scored against the paper's shape thresholds and
+// labeled as the paper scenario (a materialized dataset carries no scenario
+// of its own). It tolerates empty and partial datasets (a seed whose
+// campaign yields zero tests of some kind): empty slices reduce to
+// zero-valued medians, never NaN — the summary must survive a JSON
+// round-trip through the checkpoint file.
 func Reduce(ds *dataset.Dataset, shards int) SeedSummary {
 	acc := analysis.NewAccumulator(ds.Seed)
 	h := dataset.NewHashSink()
 	sink := dataset.Tee(acc, h)
 	ds.EmitTo(sink)
 	sink.Flush() // Accumulator and HashSink flushes cannot fail
-	return summarize(acc, h.Sum(), shards)
+	return summarize(acc, h.Sum(), shards, "paper")
 }
 
 // seedScratch is one fleet worker's reusable per-seed reduction state: the
@@ -100,32 +137,35 @@ func newSeedScratch() *seedScratch {
 // runSeed executes one seed's campaign end to end in streaming form: every
 // record flows through the accumulator and the hash sink as it is produced
 // and is then dropped, so a running seed's live memory is the accumulator's
-// metric slices, not the dataset. The testbed is the fleet-wide shared
-// substrate; extra, when non-nil, is teed into the record stream (the CLI's
-// per-seed CSV dump).
-func runSeed(c campaign.Config, tb *campaign.Testbed, shards int, sc *seedScratch, extra dataset.Sink) (SeedSummary, error) {
+// metric slices, not the dataset. The scenario supplies the shared testbed
+// substrate and the shape thresholds to score against (sn must be
+// normalized — see Config.scenarios); extra, when non-nil, is teed into the
+// record stream (the CLI's per-seed CSV dump).
+func runSeed(c campaign.Config, sn Scenario, shards int, sc *seedScratch, extra dataset.Sink) (SeedSummary, error) {
 	sc.acc.Reset(c.Seed)
+	sc.acc.SetShapeParams(sn.Shapes)
 	sc.h.Reset()
 	var sink dataset.Sink = dataset.Tee(sc.acc, sc.h)
 	if extra != nil {
 		sink = dataset.Tee(sc.acc, sc.h, extra)
 	}
 	if shards > 1 {
-		tb.RunShardedTo(c, shards, 0, sink)
+		sn.Testbed.RunShardedTo(c, shards, 0, sink)
 	} else {
-		campaign.NewWithTestbed(c, tb).RunTo(sink)
+		campaign.NewWithTestbed(c, sn.Testbed).RunTo(sink)
 	}
 	err := sink.Flush()
-	return summarize(sc.acc, sc.h.Sum(), shards), err
+	return summarize(sc.acc, sc.h.Sum(), shards, sn.Name), err
 }
 
 // summarize projects a fully-fed accumulator into the SeedSummary record.
-func summarize(acc *analysis.Accumulator, sha string, shards int) SeedSummary {
+func summarize(acc *analysis.Accumulator, sha string, shards int, scenario string) SeedSummary {
 	if shards < 1 {
 		shards = 1
 	}
 	n := acc.Counts()
 	sum := SeedSummary{
+		Scenario:       scenario,
 		Seed:           acc.Seed(),
 		Shards:         shards,
 		Ops:            map[string]OpSummary{},

@@ -25,17 +25,6 @@ type Trace struct {
 	Samples []Sample
 }
 
-// speedParams are the Gauss–Markov speed-profile parameters per road class.
-// Means are chosen so city driving lands mostly in the paper's 0–20 mph bin,
-// suburban in 20–60, and interstate in 60+.
-var speedParams = map[RoadClass]struct {
-	mean, sigma, tau, lo, hi float64
-}{
-	RoadCity:     {mean: 13, sigma: 7, tau: 25, lo: 0, hi: 32},
-	RoadSuburban: {mean: 42, sigma: 9, tau: 40, lo: 8, hi: 58},
-	RoadHighway:  {mean: 68, sigma: 5.5, tau: 60, lo: 42, hi: 82},
-}
-
 // dayStartSec returns the simulation time of 8:00 local on the given 1-based
 // trip day, in the timezone at the day's starting position. Day 1 at 8:00
 // PDT is simulation time zero (sim.TripStart).
@@ -61,9 +50,14 @@ func Drive(r *Route, rng *sim.RNG) *Trace {
 // days it will never look at. kmLimit <= 0 means no limit (full trip).
 func DriveLimited(r *Route, rng *sim.RNG, kmLimit, trailSec float64) *Trace {
 	tr := &Trace{Route: r}
-	speed := map[RoadClass]*sim.GaussMarkov{}
-	for class, p := range speedParams {
-		speed[class] = sim.NewGaussMarkov(rng.Stream("speed", class.String()), p.mean, p.sigma, p.tau)
+	// One Gauss–Markov process per road class, each on its own labeled
+	// stream: streams are derived by label, not construction order, so the
+	// draw sequences match the old map-ordered construction exactly. The
+	// parameters come from the route's speed profile.
+	var speed [3]*sim.GaussMarkov
+	for class := range r.Speeds {
+		p := r.Speeds[class]
+		speed[class] = sim.NewGaussMarkov(rng.Stream("speed", RoadClass(class).String()), p.MeanMPH, p.SigmaMPH, p.TauSec)
 	}
 	cutT := 0.0
 	limitHit := false
@@ -89,13 +83,13 @@ func DriveLimited(r *Route, rng *sim.RNG, kmLimit, trailSec float64) *Trace {
 				return tr
 			}
 			road := cur.RoadClassAt(km)
-			p := speedParams[road]
+			p := r.Speeds[road]
 			mph := speed[road].Step(1)
-			if mph < p.lo {
-				mph = p.lo
+			if mph < p.LoMPH {
+				mph = p.LoMPH
 			}
-			if mph > p.hi {
-				mph = p.hi
+			if mph > p.HiMPH {
+				mph = p.HiMPH
 			}
 			// Occasional full stops in city traffic (lights, congestion).
 			if road == RoadCity && rng.Bool(0.02) {

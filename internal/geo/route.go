@@ -29,83 +29,216 @@ type Leg struct {
 	startKm   float64   // cumulative route distance at leg start
 }
 
-// windingFactor inflates great-circle distance to road distance. Calibrated
-// so the total route length lands at the paper's 5711+ km.
-const windingFactor = 1.2318
+// RoadBands parameterizes a route's road-class geometry. These were
+// package-level constants calibrated to the paper's itinerary; every route
+// now carries its own so scenarios (dense metro loops, pure interstate
+// chains) can reshape the city/suburban/highway split.
+type RoadBands struct {
+	// WindingFactor inflates great-circle distance to road distance.
+	WindingFactor float64
+	// CityKm and SuburbKm bound the road-class bands at each end of a leg:
+	// city within CityKm of an endpoint, suburban within SuburbKm.
+	CityKm   float64
+	SuburbKm float64
+	// TownKm is the width of the suburban band around each intermediate town.
+	TownKm float64
+}
 
-// cityKm / suburbKm bound the road-class bands at each end of a leg, and
-// townKm is the suburban band around each intermediate town.
-const (
-	cityKm   = 9.0
-	suburbKm = 22.0
-	townKm   = 14.0
-)
+// PaperRoadBands returns the paper route's calibrated bands. The winding
+// factor lands the total route length at the paper's 5711+ km.
+func PaperRoadBands() RoadBands {
+	return RoadBands{WindingFactor: 1.2318, CityKm: 9.0, SuburbKm: 22.0, TownKm: 14.0}
+}
 
-// Route is the full LA → Boston route.
+// SpeedParams are the Gauss–Markov speed-profile parameters for one road
+// class: mean/sigma/clamp bounds in mph, correlation time in seconds.
+type SpeedParams struct {
+	MeanMPH  float64
+	SigmaMPH float64
+	TauSec   float64
+	LoMPH    float64
+	HiMPH    float64
+}
+
+// SpeedProfile holds a route's speed parameters, indexed by RoadClass.
+type SpeedProfile [3]SpeedParams
+
+// PaperSpeedProfile returns the paper trip's speed model: city driving lands
+// mostly in the paper's 0–20 mph bin, suburban in 20–60, interstate in 60+.
+func PaperSpeedProfile() SpeedProfile {
+	return SpeedProfile{
+		RoadCity:     {MeanMPH: 13, SigmaMPH: 7, TauSec: 25, LoMPH: 0, HiMPH: 32},
+		RoadSuburban: {MeanMPH: 42, SigmaMPH: 9, TauSec: 40, LoMPH: 8, HiMPH: 58},
+		RoadHighway:  {MeanMPH: 68, SigmaMPH: 5.5, TauSec: 60, LoMPH: 42, HiMPH: 82},
+	}
+}
+
+// LegSpec declares one leg of a route: the trip day it is driven on, the
+// states it crosses, and how many intermediate towns break up the highway.
+// Leg i of a RouteSpec runs Cities[i] → Cities[i+1].
+type LegSpec struct {
+	Day    int
+	States []string
+	Towns  int
+}
+
+// RouteSpec is the declarative route definition NewRouteFrom compiles: the
+// waypoint cities, per-leg day/state/town annotations, the road-class band
+// geometry, and the speed profile. The scenario subsystem builds these;
+// PaperRouteSpec is the paper's itinerary expressed in the same form.
+type RouteSpec struct {
+	Cities []City
+	Legs   []LegSpec // len(Cities)-1 entries
+	Bands  RoadBands
+	Speeds SpeedProfile
+	// FixedZone, when non-nil, pins the whole route into one timezone
+	// (metro-scale scenarios never cross a zone line); nil derives the
+	// zone from longitude along the continental-US interstate boundaries.
+	FixedZone *Timezone
+}
+
+// Route is a compiled driving route: an immutable chain of legs with
+// road-class bands and a speed profile, answering positional queries by
+// route distance. The paper's LA → Boston itinerary is one instance
+// (NewRoute); scenarios compile others through NewRouteFrom.
 type Route struct {
 	Cities []City
 	Legs   []Leg
-	total  float64
+	Bands  RoadBands
+	Speeds SpeedProfile
+
+	fixedZone *Timezone
+	total     float64
 }
 
-// NewRoute constructs the paper's route: Los Angeles to Boston via Las Vegas,
-// Salt Lake City, Denver, Omaha, Chicago, Indianapolis, Cleveland, and
-// Rochester, driven over 8 days (08/08/2022 – 08/15/2022).
+// PaperRouteSpec returns the paper's route as a declarative spec: Los
+// Angeles to Boston via Las Vegas, Salt Lake City, Denver, Omaha, Chicago,
+// Indianapolis, Cleveland, and Rochester, driven over 8 days
+// (08/08/2022 – 08/15/2022).
+func PaperRouteSpec() RouteSpec {
+	return RouteSpec{
+		Cities: []City{
+			{Name: "Los Angeles", Pos: LatLon{34.052, -118.244}, Edge: true, RadiusKm: 12},
+			{Name: "Las Vegas", Pos: LatLon{36.170, -115.140}, Edge: true, RadiusKm: 9},
+			{Name: "Salt Lake City", Pos: LatLon{40.761, -111.891}, RadiusKm: 8},
+			{Name: "Denver", Pos: LatLon{39.739, -104.990}, Edge: true, RadiusKm: 10},
+			{Name: "Omaha", Pos: LatLon{41.257, -95.934}, RadiusKm: 7},
+			{Name: "Chicago", Pos: LatLon{41.878, -87.630}, Edge: true, RadiusKm: 12},
+			{Name: "Indianapolis", Pos: LatLon{39.768, -86.158}, RadiusKm: 8},
+			{Name: "Cleveland", Pos: LatLon{41.499, -81.694}, RadiusKm: 8},
+			{Name: "Rochester", Pos: LatLon{43.157, -77.615}, RadiusKm: 7},
+			{Name: "Boston", Pos: LatLon{42.360, -71.058}, Edge: true, RadiusKm: 10},
+		},
+		Legs: []LegSpec{
+			{Day: 1, States: []string{"CA", "NV"}, Towns: 2},
+			{Day: 2, States: []string{"NV", "AZ", "UT"}, Towns: 3},
+			{Day: 3, States: []string{"UT", "WY", "CO"}, Towns: 3},
+			{Day: 4, States: []string{"CO", "NE"}, Towns: 4},
+			{Day: 5, States: []string{"NE", "IA", "IL"}, Towns: 4},
+			{Day: 6, States: []string{"IL", "IN"}, Towns: 2},
+			{Day: 6, States: []string{"IN", "OH"}, Towns: 2},
+			{Day: 7, States: []string{"OH", "PA", "NY"}, Towns: 2},
+			{Day: 8, States: []string{"NY", "MA"}, Towns: 3},
+		},
+		Bands:  PaperRoadBands(),
+		Speeds: PaperSpeedProfile(),
+	}
+}
+
+// NewRoute constructs the paper's route. It is NewRouteFrom over
+// PaperRouteSpec, which is structurally valid by construction.
 func NewRoute() *Route {
-	cities := []City{
-		{Name: "Los Angeles", Pos: LatLon{34.052, -118.244}, Edge: true, RadiusKm: 12},
-		{Name: "Las Vegas", Pos: LatLon{36.170, -115.140}, Edge: true, RadiusKm: 9},
-		{Name: "Salt Lake City", Pos: LatLon{40.761, -111.891}, RadiusKm: 8},
-		{Name: "Denver", Pos: LatLon{39.739, -104.990}, Edge: true, RadiusKm: 10},
-		{Name: "Omaha", Pos: LatLon{41.257, -95.934}, RadiusKm: 7},
-		{Name: "Chicago", Pos: LatLon{41.878, -87.630}, Edge: true, RadiusKm: 12},
-		{Name: "Indianapolis", Pos: LatLon{39.768, -86.158}, RadiusKm: 8},
-		{Name: "Cleveland", Pos: LatLon{41.499, -81.694}, RadiusKm: 8},
-		{Name: "Rochester", Pos: LatLon{43.157, -77.615}, RadiusKm: 7},
-		{Name: "Boston", Pos: LatLon{42.360, -71.058}, Edge: true, RadiusKm: 10},
+	r, err := NewRouteFrom(PaperRouteSpec())
+	if err != nil {
+		panic("geo: paper route spec invalid: " + err.Error())
 	}
-	type legSpec struct {
-		day    int
-		states []string
-		towns  int // intermediate towns on the leg
+	return r
+}
+
+// NewRouteFrom compiles a declarative route spec. The returned route is
+// immutable and safe to share. Structural errors (leg/city count mismatch,
+// degenerate legs, day gaps, inverted bands) are reported rather than
+// silently producing a route whose positional queries misbehave; the
+// scenario layer validates richer semantic constraints before calling this.
+func NewRouteFrom(spec RouteSpec) (*Route, error) {
+	if len(spec.Cities) < 2 {
+		return nil, fmt.Errorf("geo: route needs at least 2 cities, got %d", len(spec.Cities))
 	}
-	specs := []legSpec{
-		{1, []string{"CA", "NV"}, 2},
-		{2, []string{"NV", "AZ", "UT"}, 3},
-		{3, []string{"UT", "WY", "CO"}, 3},
-		{4, []string{"CO", "NE"}, 4},
-		{5, []string{"NE", "IA", "IL"}, 4},
-		{6, []string{"IL", "IN"}, 2},
-		{6, []string{"IN", "OH"}, 2},
-		{7, []string{"OH", "PA", "NY"}, 2},
-		{8, []string{"NY", "MA"}, 3},
+	if len(spec.Legs) != len(spec.Cities)-1 {
+		return nil, fmt.Errorf("geo: %d cities need %d legs, got %d",
+			len(spec.Cities), len(spec.Cities)-1, len(spec.Legs))
 	}
-	r := &Route{Cities: cities}
+	b := spec.Bands
+	if b.WindingFactor < 1 {
+		return nil, fmt.Errorf("geo: winding factor %.3f < 1 (roads cannot be shorter than the great circle)", b.WindingFactor)
+	}
+	if b.CityKm <= 0 || b.TownKm <= 0 || b.SuburbKm < b.CityKm {
+		return nil, fmt.Errorf("geo: road bands city=%.1f suburb=%.1f town=%.1f km malformed (need city > 0, town > 0, suburb ≥ city)", b.CityKm, b.SuburbKm, b.TownKm)
+	}
+	for class, p := range spec.Speeds {
+		if p.SigmaMPH <= 0 || p.TauSec <= 0 || p.LoMPH < 0 || !(p.LoMPH <= p.MeanMPH && p.MeanMPH <= p.HiMPH) {
+			return nil, fmt.Errorf("geo: %s speed profile %+v malformed (need lo ≤ mean ≤ hi, sigma > 0, tau > 0)", RoadClass(class), p)
+		}
+	}
+	seen := map[string]bool{}
+	for _, c := range spec.Cities {
+		if c.Name == "" {
+			return nil, fmt.Errorf("geo: city with empty name")
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("geo: duplicate city name %q (city identity keys the static batteries and edge servers)", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	day := 1
+	for i, l := range spec.Legs {
+		if i == 0 && l.Day != 1 {
+			return nil, fmt.Errorf("geo: first leg is driven on day %d, want day 1", l.Day)
+		}
+		if l.Day != day && l.Day != day+1 {
+			return nil, fmt.Errorf("geo: leg %d jumps from day %d to day %d (days must be contiguous)", i, day, l.Day)
+		}
+		day = l.Day
+		if l.Towns < 0 {
+			return nil, fmt.Errorf("geo: leg %d has %d towns", i, l.Towns)
+		}
+	}
+
+	r := &Route{
+		Cities:    spec.Cities,
+		Bands:     spec.Bands,
+		Speeds:    spec.Speeds,
+		fixedZone: spec.FixedZone,
+	}
 	var cum float64
-	for i, spec := range specs {
-		from, to := cities[i], cities[i+1]
-		road := Haversine(from.Pos, to.Pos) * windingFactor
+	for i, ls := range spec.Legs {
+		from, to := spec.Cities[i], spec.Cities[i+1]
+		road := Haversine(from.Pos, to.Pos) * b.WindingFactor
+		if road <= 2*b.CityKm {
+			return nil, fmt.Errorf("geo: leg %s → %s is %.1f km, shorter than its two %.1f km city bands (zero-length or degenerate leg)",
+				from.Name, to.Name, road, b.CityKm)
+		}
 		leg := Leg{
 			From:    from.Name,
 			To:      to.Name,
 			FromPos: from.Pos,
 			ToPos:   to.Pos,
 			RoadKm:  road,
-			Day:     spec.day,
-			States:  spec.states,
+			Day:     ls.Day,
+			States:  ls.States,
 			startKm: cum,
 		}
 		// Place intermediate towns evenly between the suburban bands.
-		usable := road - 2*suburbKm
-		for t := 1; t <= spec.towns; t++ {
+		usable := road - 2*b.SuburbKm
+		for t := 1; t <= ls.Towns; t++ {
 			leg.MidTownKm = append(leg.MidTownKm,
-				suburbKm+usable*float64(t)/float64(spec.towns+1))
+				b.SuburbKm+usable*float64(t)/float64(ls.Towns+1))
 		}
 		r.Legs = append(r.Legs, leg)
 		cum += road
 	}
 	r.total = cum
-	return r
+	return r, nil
 }
 
 // LengthKm returns the total road length of the route.
@@ -166,19 +299,20 @@ func posOf(leg *Leg, off float64) LatLon {
 	return Lerp(leg.FromPos, leg.ToPos, off/leg.RoadKm)
 }
 
-// roadClassOf classifies offset off into a leg: city within cityKm of a leg
-// endpoint, suburban within suburbKm of an endpoint or townKm/2 of an
-// intermediate town, highway otherwise.
-func roadClassOf(leg *Leg, off float64) RoadClass {
+// roadClassOf classifies offset off into a leg using the route's bands:
+// city within CityKm of a leg endpoint, suburban within SuburbKm of an
+// endpoint or TownKm/2 of an intermediate town, highway otherwise.
+func (r *Route) roadClassOf(leg *Leg, off float64) RoadClass {
+	b := &r.Bands
 	end := leg.RoadKm
 	switch {
-	case off < cityKm || end-off < cityKm:
+	case off < b.CityKm || end-off < b.CityKm:
 		return RoadCity
-	case off < suburbKm || end-off < suburbKm:
+	case off < b.SuburbKm || end-off < b.SuburbKm:
 		return RoadSuburban
 	}
 	for _, t := range leg.MidTownKm {
-		if off > t-townKm/2 && off < t+townKm/2 {
+		if off > t-b.TownKm/2 && off < t+b.TownKm/2 {
 			return RoadSuburban
 		}
 	}
@@ -188,13 +322,21 @@ func roadClassOf(leg *Leg, off float64) RoadClass {
 // cityAreaOf resolves the city whose urban area contains offset off into a
 // leg, together with the route distance at which that area begins.
 func (r *Route) cityAreaOf(leg *Leg, off float64) (City, float64, bool) {
-	if off < cityKm {
+	if off < r.Bands.CityKm {
 		return r.cityByName(leg.From), leg.startKm, true
 	}
-	if leg.RoadKm-off < cityKm {
-		return r.cityByName(leg.To), leg.startKm + leg.RoadKm - cityKm, true
+	if leg.RoadKm-off < r.Bands.CityKm {
+		return r.cityByName(leg.To), leg.startKm + leg.RoadKm - r.Bands.CityKm, true
 	}
 	return City{}, 0, false
+}
+
+// zoneAt maps a position to its timezone under the route's timezone layout.
+func (r *Route) zoneAt(pos LatLon) Timezone {
+	if r.fixedZone != nil {
+		return *r.fixedZone
+	}
+	return timezoneForLon(pos.Lon)
 }
 
 // PosAt returns the coordinate at route distance km, interpolating along the
@@ -206,15 +348,15 @@ func (r *Route) PosAt(km float64) LatLon {
 
 // TimezoneAt returns the timezone at route distance km.
 func (r *Route) TimezoneAt(km float64) Timezone {
-	return timezoneForLon(r.PosAt(km).Lon)
+	return r.zoneAt(r.PosAt(km))
 }
 
 // RoadClassAt returns the road class at route distance km: city within
-// cityKm of a leg endpoint, suburban within suburbKm of an endpoint or
-// townKm/2 of an intermediate town, highway otherwise.
+// Bands.CityKm of a leg endpoint, suburban within Bands.SuburbKm of an
+// endpoint or Bands.TownKm/2 of an intermediate town, highway otherwise.
 func (r *Route) RoadClassAt(km float64) RoadClass {
 	leg, off := r.legAt(km)
-	return roadClassOf(leg, off)
+	return r.roadClassOf(leg, off)
 }
 
 // CityAt returns the city whose urban area contains route distance km, if
@@ -279,13 +421,13 @@ func (c *Cursor) PosAt(km float64) LatLon {
 
 // TimezoneAt returns the timezone at route distance km.
 func (c *Cursor) TimezoneAt(km float64) Timezone {
-	return timezoneForLon(c.PosAt(km).Lon)
+	return c.r.zoneAt(c.PosAt(km))
 }
 
 // RoadClassAt returns the road class at route distance km.
 func (c *Cursor) RoadClassAt(km float64) RoadClass {
 	leg, off := c.legAt(km)
-	return roadClassOf(leg, off)
+	return c.r.roadClassOf(leg, off)
 }
 
 // CityAreaAt returns the city whose urban area contains route distance km

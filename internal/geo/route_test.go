@@ -203,8 +203,8 @@ func TestCityAreaAt(t *testing.T) {
 		if !ok || city.Name != "Las Vegas" {
 			t.Fatalf("CityAreaAt(%v) = %v/%v, want Las Vegas", km, city.Name, ok)
 		}
-		if start > km || km-start > 2*cityKm {
-			t.Errorf("area start %v not within %v km before km %v", start, 2*cityKm, km)
+		if start > km || km-start > 2*r.Bands.CityKm {
+			t.Errorf("area start %v not within %v km before km %v", start, 2*r.Bands.CityKm, km)
 		}
 	}
 	// Mid-leg positions are not in any city.

@@ -1,15 +1,56 @@
-// Package pathtest provides shared transport.Path fixtures for tests and
-// benchmarks: a constant path, an outage-injecting path, and a driving
-// radio-link adapter. The transport package's own in-package tests keep
-// local copies (importing this package there would cycle through
+// Package pathtest provides shared test fixtures: transport.Path
+// implementations (a constant path, an outage-injecting path, a driving
+// radio-link adapter) and the dataset export-byte helper the byte-identity
+// tests hash. The transport package's own in-package tests keep local
+// copies (importing this package there would cycle through
 // transport.PathState); every other package should use these.
 package pathtest
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"wheels/internal/dataset"
 	"wheels/internal/geo"
 	"wheels/internal/radio"
 	"wheels/internal/transport"
 )
+
+// ExportBytes saves the dataset under a temp dir and returns the
+// concatenation of "<basename>\0<bytes>" for every CSV file in sorted name
+// order — the byte-level identity the sharding contract and the seed-23
+// golden promise. Every byte-identity test must hash exactly this form, so
+// the campaign goldens and the scenario guard agree on what "identical
+// output" means.
+func ExportBytes(t *testing.T, ds *dataset.Dataset) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	if err := ds.Save(dir); err != nil {
+		t.Fatalf("saving dataset: %v", err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatal("export produced no CSV files")
+	}
+	var buf bytes.Buffer
+	for _, name := range names {
+		b, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.WriteString(filepath.Base(name))
+		buf.WriteByte(0)
+		buf.Write(b)
+	}
+	return buf.Bytes()
+}
 
 // Const is a fixed-capacity, fixed-RTT path.
 type Const struct {

@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"wheels/internal/campaign"
+	"wheels/internal/pathtest"
+)
+
+// campaignGoldenHash is the campaign package's committed seed-23 golden.
+// The scenario guard reads the same file rather than keeping a copy: there
+// is exactly one definition of "the paper's output bytes" in the repo.
+const campaignGoldenHash = "../campaign/testdata/golden_seed23.sha256"
+
+// TestPaperScenarioGoldenSeed23 is the byte-identity guard for the whole
+// scenario layer: compiling the `paper` scenario and running the campaign
+// golden config over the resulting testbed must reproduce the exact
+// committed seed-23 dataset hash. If this fails while the campaign
+// package's own golden test passes, the scenario compile pipeline changed
+// the route, deployments, or draw order — never "fix" it by regenerating
+// the golden.
+func TestPaperScenarioGoldenSeed23(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden campaign run is slow")
+	}
+	tb, err := MustLoad("paper").Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mirror the campaign package's goldenConfig: serial seed-23, first
+	// 120 km, passive loggers and static batteries on.
+	cfg := campaign.QuickConfig(23, 120)
+	cfg.EnablePassive = true
+	cfg.EnableStatic = true
+	cfg = MustLoad("paper").ApplySchedule(cfg) // must be a no-op
+
+	ds := campaign.NewWithTestbed(cfg, tb).Run()
+	got := fmt.Sprintf("%x", sha256.Sum256(pathtest.ExportBytes(t, ds)))
+
+	want, err := os.ReadFile(campaignGoldenHash)
+	if err != nil {
+		t.Fatalf("reading campaign golden hash: %v", err)
+	}
+	if got != strings.TrimSpace(string(want)) {
+		t.Errorf("paper-scenario seed-23 hash = %s, want %s\n"+
+			"the scenario compile pipeline no longer reproduces the paper route byte-for-byte",
+			got, strings.TrimSpace(string(want)))
+	}
+}

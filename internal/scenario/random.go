@@ -1,0 +1,252 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"wheels/internal/geo"
+	"wheels/internal/sim"
+)
+
+// Procedural scenario generation: `-scenario random:<seed>` builds a
+// scenario as a pure function of the scenario seed. The generator draws
+// from its own RNG stream namespace — sim.NewRNG(scenarioSeed) with the
+// "scenario" label — which is disjoint by construction from every campaign
+// stream (those derive from the campaign seed's root), so adding the
+// generator changes no existing per-seed draw order. Every generated
+// config must validate: TestGenerateAlwaysValid sweeps seeds to hold the
+// generator to that.
+
+// archetypeNames lists the four route archetypes in draw order.
+var archetypeNames = []string{"urban-loop", "commuter-corridor", "rural-spoke", "interstate-chain"}
+
+// Generate builds the procedural scenario for the given scenario seed.
+func Generate(seed int64) (*Scenario, error) {
+	rng := sim.NewRNG(seed).Stream("scenario")
+	arch := rng.Intn(len(archetypeNames))
+	name := fmt.Sprintf("random-%d-%s", seed, archetypeNames[arch])
+	var cfg Config
+	switch arch {
+	case 0:
+		cfg = genUrbanLoop(rng, name)
+	case 1:
+		cfg = genCommuterCorridor(rng, name)
+	case 2:
+		cfg = genRuralSpoke(rng, name)
+	default:
+		cfg = genInterstateChain(rng, name)
+	}
+	return New(cfg)
+}
+
+// anchor draws a metro anchor point in the continental US.
+func anchor(rng *sim.RNG) (lat, lon float64) {
+	return rng.Uniform(33, 45), rng.Uniform(-118, -78)
+}
+
+// offsetKm displaces a coordinate by (east, north) kilometres, clamped to
+// the continental box so generated cities always validate.
+func offsetKm(lat, lon, eastKm, northKm float64) (float64, float64) {
+	nlat := lat + northKm/111.0
+	nlon := lon + eastKm/(111.0*math.Cos(nlat*math.Pi/180))
+	return clamp(nlat, 30, 47), clamp(nlon, -124, -70)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// minLegRoadKm returns the shortest leg's road distance under the winding
+// factor; band widths are derived from it so no leg is ever degenerate.
+func minLegRoadKm(cities []CityConfig, winding float64) float64 {
+	min := math.Inf(1)
+	for i := 0; i+1 < len(cities); i++ {
+		a, b := cities[i], cities[i+1]
+		road := geo.Haversine(geo.LatLon{Lat: a.Lat, Lon: a.Lon}, geo.LatLon{Lat: b.Lat, Lon: b.Lon}) * winding
+		if road < min {
+			min = road
+		}
+	}
+	return min
+}
+
+// bandsFor derives safe road bands from the route's shortest leg: the city
+// band stays under a quarter of it (so every leg clears its two city
+// bands), the suburban band under half.
+func bandsFor(rng *sim.RNG, minRoad, winding float64) RoadConfig {
+	city := clamp(minRoad/4*rng.Uniform(0.5, 0.9), 0.5, 6)
+	suburb := clamp(city*rng.Uniform(1.5, 2.5), city, minRoad/2*0.95)
+	town := clamp(city*0.6, 0.3, 8)
+	return RoadConfig{WindingFactor: winding, CityKm: city, SuburbKm: suburb, TownKm: town}
+}
+
+// assignDays walks the legs assigning contiguous trip days, starting a new
+// day whenever the running distance passes the per-day budget.
+func assignDays(cities []CityConfig, legs []LegConfig, winding, dayBudgetKm float64) {
+	day, runKm := 1, 0.0
+	for i := range legs {
+		a, b := cities[i], cities[i+1]
+		road := geo.Haversine(geo.LatLon{Lat: a.Lat, Lon: a.Lon}, geo.LatLon{Lat: b.Lat, Lon: b.Lon}) * winding
+		if runKm > 0 && runKm+road > dayBudgetKm {
+			day++
+			runKm = 0
+		}
+		legs[i].Day = day
+		runKm += road
+	}
+}
+
+// townsFor draws a town count a leg can actually hold (zero when the leg
+// doesn't clear its suburban bands).
+func townsFor(rng *sim.RNG, cities []CityConfig, i int, roads RoadConfig, max int) int {
+	a, b := cities[i], cities[i+1]
+	road := geo.Haversine(geo.LatLon{Lat: a.Lat, Lon: a.Lon}, geo.LatLon{Lat: b.Lat, Lon: b.Lon}) * roads.WindingFactor
+	if road <= 2*roads.SuburbKm*1.1 {
+		return 0
+	}
+	return rng.Intn(max + 1)
+}
+
+// randomShapes returns deliberately wide shape bounds: a random route has
+// no calibrated expectations, so its checks answer "is the shape sane at
+// all", not "does it match the paper's numbers".
+func randomShapes() *ShapeConfig {
+	return &ShapeConfig{
+		StaticOverDriving: 2, HOsPerMileLo: 0.2, HOsPerMileHi: 15,
+		TMobileLead: 1.05, VzAttBand: 5,
+	}
+}
+
+// genUrbanLoop rings 5-7 waypoints around a metro anchor: short legs, all
+// city/suburban driving, mid-band and mmWave density boosted.
+func genUrbanLoop(rng *sim.RNG, name string) Config {
+	lat, lon := anchor(rng)
+	n := 5 + rng.Intn(3)
+	radius := rng.Uniform(10, 22)
+	start := rng.Uniform(0, 2*math.Pi)
+	var cities []CityConfig
+	for i := 0; i < n; i++ {
+		theta := start + 2*math.Pi*float64(i)/float64(n) + rng.Uniform(-0.15, 0.15)
+		clat, clon := offsetKm(lat, lon, radius*math.Cos(theta), radius*math.Sin(theta))
+		cities = append(cities, CityConfig{
+			Name: fmt.Sprintf("wp-%d", i+1), Lat: clat, Lon: clon,
+			Edge: i == 0 || i == n-1, RadiusKm: rng.Uniform(2, 5),
+		})
+	}
+	winding := rng.Uniform(1.3, 1.5)
+	roads := bandsFor(rng, minLegRoadKm(cities, winding), winding)
+	legs := make([]LegConfig, n-1)
+	assignDays(cities, legs, winding, rng.Uniform(40, 90))
+	return Config{
+		Name: name, Cities: cities, Legs: legs, Roads: roads,
+		Density: map[string]DensityConfig{
+			"Verizon":  {Avail: map[string]float64{"5G-mid": rng.Uniform(1, 2.5), "5G-mmWave": rng.Uniform(1, 6)}},
+			"T-Mobile": {Avail: map[string]float64{"5G-mid": rng.Uniform(1, 2), "5G-mmWave": rng.Uniform(1, 4)}},
+			"AT&T":     {Avail: map[string]float64{"5G-mid": rng.Uniform(1, 2.5), "5G-mmWave": rng.Uniform(1, 4)}},
+		},
+		Shapes: randomShapes(),
+	}
+}
+
+// genCommuterCorridor chains 5-8 waypoints stepping one direction with
+// lateral jitter: a metro commute at suburban scale.
+func genCommuterCorridor(rng *sim.RNG, name string) Config {
+	lat, lon := anchor(rng)
+	n := 5 + rng.Intn(4)
+	heading := rng.Uniform(0, 2*math.Pi)
+	var cities []CityConfig
+	clat, clon := lat, lon
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			step := rng.Uniform(15, 40)
+			drift := heading + rng.Uniform(-0.5, 0.5)
+			clat, clon = offsetKm(clat, clon, step*math.Cos(drift), step*math.Sin(drift))
+		}
+		cities = append(cities, CityConfig{
+			Name: fmt.Sprintf("wp-%d", i+1), Lat: clat, Lon: clon,
+			Edge: i == 0 || i == n-1, RadiusKm: rng.Uniform(3, 6),
+		})
+	}
+	winding := rng.Uniform(1.2, 1.4)
+	roads := bandsFor(rng, minLegRoadKm(cities, winding), winding)
+	legs := make([]LegConfig, n-1)
+	for i := range legs {
+		legs[i].Towns = townsFor(rng, cities, i, roads, 1)
+	}
+	assignDays(cities, legs, winding, rng.Uniform(80, 160))
+	return Config{Name: name, Cities: cities, Legs: legs, Roads: roads, Shapes: randomShapes()}
+}
+
+// genRuralSpoke chains 4-6 waypoints at rural spacing with 5G availability
+// scaled down and LTE coverage runs stretched.
+func genRuralSpoke(rng *sim.RNG, name string) Config {
+	lat, lon := anchor(rng)
+	n := 4 + rng.Intn(3)
+	heading := rng.Uniform(0, 2*math.Pi)
+	var cities []CityConfig
+	clat, clon := lat, lon
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			step := rng.Uniform(60, 150)
+			drift := heading + rng.Uniform(-0.7, 0.7)
+			clat, clon = offsetKm(clat, clon, step*math.Cos(drift), step*math.Sin(drift))
+		}
+		cities = append(cities, CityConfig{
+			Name: fmt.Sprintf("wp-%d", i+1), Lat: clat, Lon: clon,
+			Edge: i == 0 || i == n-1, RadiusKm: rng.Uniform(2, 5),
+		})
+	}
+	winding := rng.Uniform(1.25, 1.5)
+	roads := bandsFor(rng, minLegRoadKm(cities, winding), winding)
+	legs := make([]LegConfig, n-1)
+	for i := range legs {
+		legs[i].Towns = townsFor(rng, cities, i, roads, 2)
+	}
+	assignDays(cities, legs, winding, rng.Uniform(200, 400))
+	sparse := DensityConfig{
+		Avail: map[string]float64{
+			"5G-low": rng.Uniform(0.2, 0.6), "5G-mid": rng.Uniform(0.1, 0.5), "5G-mmWave": rng.Uniform(0.02, 0.2),
+		},
+		RunLen: map[string]float64{"LTE": rng.Uniform(1, 2)},
+	}
+	return Config{
+		Name: name, Cities: cities, Legs: legs, Roads: roads,
+		Density: map[string]DensityConfig{"Verizon": sparse, "T-Mobile": sparse, "AT&T": sparse},
+		Shapes:  randomShapes(),
+	}
+}
+
+// genInterstateChain chains 4-6 waypoints at interstate spacing: one leg
+// per day, tiny city bands, mostly highway driving.
+func genInterstateChain(rng *sim.RNG, name string) Config {
+	lat := rng.Uniform(33, 45)
+	lon := rng.Uniform(-118, -95)
+	n := 4 + rng.Intn(3)
+	var cities []CityConfig
+	clat, clon := lat, lon
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			step := rng.Uniform(150, 350)
+			// Mostly eastward, the jitter keeping legs off a single parallel.
+			clat, clon = offsetKm(clat, clon, step*rng.Uniform(0.8, 1), step*rng.Uniform(-0.35, 0.35))
+		}
+		cities = append(cities, CityConfig{
+			Name: fmt.Sprintf("wp-%d", i+1), Lat: clat, Lon: clon,
+			Edge: i == 0 || i == n-1, RadiusKm: rng.Uniform(4, 7),
+		})
+	}
+	winding := rng.Uniform(1.1, 1.25)
+	roads := bandsFor(rng, minLegRoadKm(cities, winding), winding)
+	legs := make([]LegConfig, n-1)
+	for i := range legs {
+		legs[i].Day = i + 1
+		legs[i].Towns = townsFor(rng, cities, i, roads, 3)
+	}
+	return Config{Name: name, Cities: cities, Legs: legs, Roads: roads, Shapes: randomShapes()}
+}
