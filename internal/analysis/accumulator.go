@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"wheels/internal/dataset"
+	"wheels/internal/geo"
 	"wheels/internal/radio"
 )
 
@@ -18,7 +19,8 @@ import (
 // first read (Headline, ShapeResults, Fig2a).
 type Accumulator struct {
 	seed   int64
-	ops    []opAccum // indexed by operator
+	ops    []opAccum                     // indexed by operator
+	roads  [geo.NumRoadClasses]roadAccum // driving samples split by road class
 	n      Counts
 	params ShapeParams
 }
@@ -101,6 +103,12 @@ func (a *Accumulator) Reset(seed int64) {
 		o.fiveDrive, o.videoRuns, o.gamingRuns = 0, 0, 0
 		clear(o.techMiles)
 	}
+	for i := range a.roads {
+		r := &a.roads[i]
+		r.dl = r.dl[:0]
+		r.ul = r.ul[:0]
+		r.miles, r.fiveGMiles, r.samples, r.hos = 0, 0, 0, 0
+	}
 }
 
 // Counts returns the per-table record counts seen so far.
@@ -111,6 +119,7 @@ func (a *Accumulator) EmitThr(s dataset.ThroughputSample) {
 	op := &a.ops[s.Op]
 	if !s.Static {
 		op.techMiles[s.Tech] += sampleMiles(s.MPH)
+		a.roadEmit(s.Road, s.Dir, s.Mbps(), s.MPH, s.Tech.Is5G(), s.HOs)
 	}
 	switch {
 	case s.Dir == radio.Uplink && !s.Static:

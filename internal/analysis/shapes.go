@@ -180,10 +180,21 @@ func evalShapes(st shapeStats, p ShapeParams) []ShapeResult {
 // ShapeMedian is the sorted-middle median the shape checks use (0 for an
 // empty slice — callers gate on sample counts, not NaN).
 func ShapeMedian(v []float64) float64 {
+	return ShapeQuantile(v, 0.5)
+}
+
+// ShapeQuantile is the same sorted-index quantile generalized: the element
+// at floor(q·n), so ShapeQuantile(v, 0.5) is exactly ShapeMedian (0 for an
+// empty slice).
+func ShapeQuantile(v []float64, q float64) float64 {
 	if len(v) == 0 {
 		return 0
 	}
 	c := append([]float64(nil), v...)
 	sort.Float64s(c)
-	return c[len(c)/2]
+	i := int(q * float64(len(c)))
+	if i >= len(c) {
+		i = len(c) - 1
+	}
+	return c[i]
 }

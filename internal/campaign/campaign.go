@@ -124,6 +124,11 @@ type Campaign struct {
 	rng    *sim.RNG
 	phones []*phone
 
+	// hoCfg is the per-operator handover policy resolved from the testbed
+	// (nil entries mean the default policy); the passive handover loggers
+	// read it so every UE in the campaign runs the same policy.
+	hoCfg [radio.NumOperators]*ran.HandoverConfig
+
 	// Shard bounds; zero values mean the full route. stopKm composes with
 	// Cfg.KmLimit through endKm().
 	startKm float64

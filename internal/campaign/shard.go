@@ -29,6 +29,7 @@ type sharedTestbed struct {
 	trace *geo.Trace
 	reg   *servers.Registry
 	deps  []*deploy.Deployment // indexed by operator
+	ho    [radio.NumOperators]*ran.HandoverConfig
 }
 
 func newSharedTestbed(cfg Config, tb *Testbed) *sharedTestbed {
@@ -42,6 +43,7 @@ func newSharedTestbed(cfg Config, tb *Testbed) *sharedTestbed {
 	depKm := deployKmBound(sh.trace, cfg)
 	for _, op := range radio.Operators() {
 		sh.deps[op] = deploy.NewUpToDensity(tb.Route, op, rng.Stream("deploy"), depKm, tb.densityFor(op))
+		sh.ho[op] = tb.handoverFor(op)
 	}
 	return sh
 }
@@ -66,10 +68,11 @@ func newShardWorker(cfg Config, sh *sharedTestbed, shard int, startKm, stopKm fl
 	}
 	for _, op := range radio.Operators() {
 		dep := sh.deps[op]
+		c.hoCfg[op] = sh.ho[op]
 		c.phones = append(c.phones, &phone{
 			op:  op,
 			dep: dep,
-			ue:  ran.NewUE(rng.Stream("test-phone"), dep),
+			ue:  ran.NewUEWithConfig(rng.Stream("test-phone"), dep, sh.ho[op]),
 			lat: transport.NewLatencyModel(rng.Stream("latency"), op),
 		})
 	}

@@ -35,6 +35,12 @@ type Testbed struct {
 	// tables. The zero value of an entry means the identity scaling, so a
 	// hand-built Testbed{Route: ..., Reg: ...} behaves exactly as before.
 	Density [radio.NumOperators]deploy.Density
+
+	// Handover carries each operator's handover/elevation policy. The zero
+	// value of an entry means the operator's default (paper-measured)
+	// policy, mirroring Density, so testbeds built before policies existed
+	// behave exactly as before.
+	Handover [radio.NumOperators]ran.HandoverConfig
 }
 
 // NewTestbed builds the shared substrate once.
@@ -50,6 +56,42 @@ func (tb *Testbed) densityFor(op radio.Operator) deploy.Density {
 		return deploy.DefaultDensity()
 	}
 	return tb.Density[op]
+}
+
+// handoverFor resolves the operator's handover policy, mapping the zero
+// value to the operator's default. The returned pointer aliases either the
+// testbed (immutable by contract) or the package-level default table, so it
+// is safe to share across every UE of the fleet.
+func (tb *Testbed) handoverFor(op radio.Operator) *ran.HandoverConfig {
+	if tb.Handover[op] == (ran.HandoverConfig{}) {
+		return ran.DefaultPolicy(op)
+	}
+	return &tb.Handover[op]
+}
+
+// PolicyDigest identifies the testbed's resolved handover-policy tuple: ""
+// when every operator runs its default policy (so pre-policy checkpoints
+// and reports keep their exact keys and bytes), otherwise the operators'
+// config digests joined in operator order.
+func (tb *Testbed) PolicyDigest() string {
+	allDefault := true
+	for _, op := range radio.Operators() {
+		if !tb.handoverFor(op).IsDefault(op) {
+			allDefault = false
+			break
+		}
+	}
+	if allDefault {
+		return ""
+	}
+	var s string
+	for _, op := range radio.Operators() {
+		if s != "" {
+			s += "+"
+		}
+		s += tb.handoverFor(op).Digest()
+	}
+	return s
 }
 
 // NewWithTestbed builds a campaign on a pre-built shared testbed. The
@@ -68,10 +110,11 @@ func NewWithTestbed(cfg Config, tb *Testbed) *Campaign {
 	depKm := deployKmBound(c.Trace, cfg)
 	for _, op := range radio.Operators() {
 		dep := deploy.NewUpToDensity(tb.Route, op, rng.Stream("deploy"), depKm, tb.densityFor(op))
+		c.hoCfg[op] = tb.handoverFor(op)
 		c.phones = append(c.phones, &phone{
 			op:  op,
 			dep: dep,
-			ue:  ran.NewUE(rng.Stream("test-phone"), dep),
+			ue:  ran.NewUEWithConfig(rng.Stream("test-phone"), dep, c.hoCfg[op]),
 			lat: transport.NewLatencyModel(rng.Stream("latency"), op),
 		})
 	}

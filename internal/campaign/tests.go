@@ -354,7 +354,7 @@ func (c *Campaign) runPassiveLogger(op radio.Operator, end float64) []dataset.Pa
 	var out []dataset.PassiveSample
 	{
 		dep := deployFor(c, op)
-		ue := ran.NewUE(c.rng.Stream("ho-logger"), dep)
+		ue := ran.NewUEWithConfig(c.rng.Stream("ho-logger"), dep, c.hoCfg[op])
 		step := c.Cfg.PassiveSampleSec
 		if step <= 0 {
 			step = 2

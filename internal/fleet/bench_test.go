@@ -7,6 +7,8 @@ import (
 	"wheels/internal/analysis"
 	"wheels/internal/campaign"
 	"wheels/internal/dataset"
+	"wheels/internal/radio"
+	"wheels/internal/ran"
 )
 
 // BenchmarkFleet runs a reduced three-seed fleet per iteration and reports
@@ -80,6 +82,49 @@ func BenchmarkFleetBatch(b *testing.B) {
 		growth = 0
 	}
 	b.ReportMetric(float64(growth)/seeds/1e6, "live-MB/seed")
+}
+
+// BenchmarkSweep runs a two-policy grid (default + a sticky variant) over
+// a reduced seed range per iteration and reports configs/hour: completed
+// (scenario, policy) cells per hour, the capacity number cmd/sweep grid
+// planning divides by. The policy axis shares one testbed's route and
+// registry across cells — only the Handover array differs — so the
+// marginal cost of a grid row over a plain fleet is the campaigns
+// themselves, which is exactly what this benchmark pins.
+func BenchmarkSweep(b *testing.B) {
+	tb := campaign.NewTestbed()
+	sticky := *tb
+	for _, op := range radio.Operators() {
+		hc := ran.DefaultHandoverConfig(op)
+		hc.HysteresisFrac = 0.20
+		hc.EvalMinSec, hc.EvalMaxSec = 14, 24
+		sticky.Handover[op] = hc
+	}
+	cfg := Config{
+		Base: campaign.QuickConfig(0, 40),
+		Scenarios: []Scenario{
+			{Name: "paper", PolicyName: "baseline", Testbed: tb},
+			{Name: "paper", PolicyName: "sticky", Testbed: &sticky},
+		},
+		StartSeed: 23,
+		Seeds:     2,
+		Workers:   2,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.PolicySweeps()) != 1 {
+			b.Fatalf("expected one policy sweep in the report, got %d", len(rep.PolicySweeps()))
+		}
+	}
+	b.StopTimer()
+	cells := float64(len(cfg.Scenarios) * b.N)
+	b.ReportMetric(cells/b.Elapsed().Hours(), "configs/hour")
+	b.ReportMetric(float64(cfg.Seeds)*cells/b.Elapsed().Hours(), "seeds/hour")
 }
 
 // benchSeedConfig is the per-seed campaign the streaming-vs-materialized

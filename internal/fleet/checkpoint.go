@@ -27,10 +27,13 @@ import (
 const maxCheckpointLine = 1 << 20
 
 // SeedKey identifies one checkpoint row: a seed is only "already done" for
-// the scenario it ran over, so a multi-scenario sweep never mistakes one
-// route's summary for another's.
+// the scenario AND handover-policy digest it ran under, so a multi-scenario
+// or policy-grid sweep never mistakes one cell's summary for another's. The
+// empty policy is the default policy, which is what every row written
+// before policies existed ran.
 type SeedKey struct {
 	Scenario string
+	Policy   string
 	Seed     int64
 }
 
@@ -63,7 +66,7 @@ func ParseCheckpoint(r io.Reader) (map[SeedKey]SeedSummary, error) {
 		if sum.Scenario == "" {
 			sum.Scenario = "paper" // pre-scenario checkpoint line
 		}
-		key := SeedKey{Scenario: sum.Scenario, Seed: sum.Seed}
+		key := SeedKey{Scenario: sum.Scenario, Policy: sum.Policy, Seed: sum.Seed}
 		if _, dup := out[key]; dup {
 			continue // first occurrence wins; never double-count a seed
 		}

@@ -73,16 +73,12 @@ func (cfg Config) scenarios() ([]Scenario, error) {
 		list = []Scenario{{}}
 	}
 	out := make([]Scenario, len(list))
-	seen := map[string]bool{}
+	seen := map[SeedKey]bool{}
 	var paperTB *campaign.Testbed
 	for i, sn := range list {
 		if sn.Name == "" {
 			sn.Name = "paper"
 		}
-		if seen[sn.Name] {
-			return nil, fmt.Errorf("scenario %q listed twice — its checkpoint rows would be indistinguishable", sn.Name)
-		}
-		seen[sn.Name] = true
 		if sn.Shapes == (analysis.ShapeParams{}) {
 			sn.Shapes = analysis.DefaultShapeParams()
 		}
@@ -92,6 +88,14 @@ func (cfg Config) scenarios() ([]Scenario, error) {
 			}
 			sn.Testbed = paperTB
 		}
+		if sn.Policy == "" {
+			sn.Policy = sn.Testbed.PolicyDigest()
+		}
+		key := SeedKey{Scenario: sn.Name, Policy: sn.Policy}
+		if seen[key] {
+			return nil, fmt.Errorf("scenario %q with policy %q listed twice — its checkpoint rows would be indistinguishable", sn.Name, sn.Policy)
+		}
+		seen[key] = true
 		out[i] = sn
 	}
 	return out, nil
@@ -100,6 +104,8 @@ func (cfg Config) scenarios() ([]Scenario, error) {
 // Event reports one seed's completion to Config.Progress.
 type Event struct {
 	Scenario    string
+	Policy      string // handover-policy digest ("" = default policy)
+	PolicyName  string // display label for Policy, when the sweep named it
 	Seed        int64
 	Done, Total int  // completed campaigns after this event, across scenarios
 	Resumed     bool // loaded from the checkpoint, not re-run
@@ -130,11 +136,16 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fleet: %w", err)
 	}
+	// Report groups and sweep order key on the scenario label (name, or
+	// name@policy in a policy sweep); resume keys on the (scenario, policy)
+	// cell itself.
 	names := make([]string, len(scenarios))
 	order := map[string]int{}
+	swept := map[SeedKey]bool{}
 	for i, sn := range scenarios {
-		names[i] = sn.Name
-		order[sn.Name] = i
+		names[i] = sn.label()
+		order[sn.label()] = i
+		swept[SeedKey{Scenario: sn.Name, Policy: sn.Policy}] = true
 	}
 	total := len(scenarios) * cfg.Seeds
 	workers := cfg.Workers
@@ -170,8 +181,8 @@ func Run(cfg Config) (*Report, error) {
 			return nil, fmt.Errorf("fleet: reading checkpoint: %w", err)
 		}
 		for key, sum := range prev {
-			_, swept := order[key.Scenario]
-			if swept && key.Seed >= cfg.StartSeed && key.Seed < cfg.StartSeed+int64(cfg.Seeds) && sum.Shards == shards {
+			cell := SeedKey{Scenario: key.Scenario, Policy: key.Policy}
+			if swept[cell] && key.Seed >= cfg.StartSeed && key.Seed < cfg.StartSeed+int64(cfg.Seeds) && sum.Shards == shards {
 				done[key] = sum
 			}
 		}
@@ -199,8 +210,8 @@ func Run(cfg Config) (*Report, error) {
 			}
 		}
 		cfg.Progress(Event{
-			Scenario: sum.Scenario,
-			Seed:     sum.Seed, Done: completed, Total: total, Resumed: resumed,
+			Scenario: sum.Scenario, Policy: sum.Policy, PolicyName: sum.PolicyName,
+			Seed: sum.Seed, Done: completed, Total: total, Resumed: resumed,
 			ShapesPass: pass, ShapesTotal: len(sum.Shapes),
 			HashMismatch: mismatch,
 		})
@@ -220,7 +231,7 @@ func Run(cfg Config) (*Report, error) {
 	var jobs []job
 	for i, sn := range scenarios {
 		for seed := cfg.StartSeed; seed < cfg.StartSeed+int64(cfg.Seeds); seed++ {
-			if stored, ok := done[SeedKey{Scenario: sn.Name, Seed: seed}]; ok {
+			if stored, ok := done[SeedKey{Scenario: sn.Name, Policy: sn.Policy, Seed: seed}]; ok {
 				if cfg.VerifyResume {
 					jobs = append(jobs, job{sn: i, seed: seed, stored: stored, verify: true})
 				} else {
@@ -290,7 +301,7 @@ func Run(cfg Config) (*Report, error) {
 					continue
 				}
 				mu.Lock()
-				done[SeedKey{Scenario: sn.Name, Seed: jb.seed}] = sum
+				done[SeedKey{Scenario: sn.Name, Policy: sn.Policy, Seed: jb.seed}] = sum
 				if ckpt != nil {
 					if err := appendSummary(ckpt, sum); err != nil && runErr == nil {
 						runErr = fmt.Errorf("fleet: writing checkpoint: %w", err)
@@ -317,7 +328,7 @@ func Run(cfg Config) (*Report, error) {
 		sums = append(sums, sum)
 	}
 	sort.Slice(sums, func(i, j int) bool {
-		if oi, oj := order[sums[i].Scenario], order[sums[j].Scenario]; oi != oj {
+		if oi, oj := order[sums[i].group()], order[sums[j].group()]; oi != oj {
 			return oi < oj
 		}
 		return sums[i].Seed < sums[j].Seed

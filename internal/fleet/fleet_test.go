@@ -180,9 +180,9 @@ func TestFleetScenarioSweep(t *testing.T) {
 	}
 	// Summaries group by sweep order, seeds ascending within a scenario.
 	wantOrder := []SeedKey{
-		{"paper", 23}, {"paper", 24},
-		{"dense-urban", 23}, {"dense-urban", 24},
-		{"commuter-loop", 23}, {"commuter-loop", 24},
+		{Scenario: "paper", Seed: 23}, {Scenario: "paper", Seed: 24},
+		{Scenario: "dense-urban", Seed: 23}, {Scenario: "dense-urban", Seed: 24},
+		{Scenario: "commuter-loop", Seed: 23}, {Scenario: "commuter-loop", Seed: 24},
 	}
 	for i, want := range wantOrder {
 		s := rep.Summaries[i]

@@ -1,0 +1,216 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"wheels/internal/analysis"
+	"wheels/internal/geo"
+	"wheels/internal/radio"
+)
+
+// Policy-sweep report: when one scenario ran under two or more handover
+// policies, the per-road-class reductions (SeedSummary.Roads) are compared
+// across policies — the sweep's whole point is "which config dominates on
+// which road class". Everything here derives from the sorted Summaries
+// slice, so the rendered tables are as deterministic as the rest of the
+// report.
+
+// PolicyRoadBand is one policy's cross-seed medians on one road class: the
+// four axes the dominance verdict compares (handover rate and interruption
+// lower-is-better, 5G dwell and DL throughput higher-is-better).
+// Interruption is the operator-averaged handover duration median — the
+// handover stream carries no road position, so it is a per-policy number
+// repeated across road classes, not a per-road one.
+type PolicyRoadBand struct {
+	Policy     string // display label
+	Seeds      int
+	HOsPerMile float64
+	HODurMedMs float64
+	FiveGShare float64
+	DLMedMbps  float64
+}
+
+// PolicyRoadTable compares every policy on one road class.
+type PolicyRoadTable struct {
+	Road    string
+	Rows    []PolicyRoadBand // sweep order; the first row is the baseline
+	Verdict string
+}
+
+// PolicySweep is one scenario's full policy comparison.
+type PolicySweep struct {
+	Scenario string
+	Policies []string // display labels in sweep order
+	Roads    []PolicyRoadTable
+}
+
+// policyLabel is the display name of a summary's policy.
+func (s SeedSummary) policyLabel() string {
+	switch {
+	case s.PolicyName != "":
+		return s.PolicyName
+	case s.Policy != "":
+		return s.Policy
+	default:
+		return "default"
+	}
+}
+
+// PolicySweeps returns the per-scenario policy comparisons, one entry per
+// scenario name that ran under at least two distinct policies; nil when the
+// report holds no policy sweep at all.
+func (r *Report) PolicySweeps() []PolicySweep {
+	// Group labels arrive in sweep order; fold them back to scenario names
+	// while keeping both orders.
+	type cell struct {
+		label string
+		sums  []SeedSummary
+	}
+	var scenarioOrder []string
+	cells := map[string][]cell{} // scenario name -> policy cells in sweep order
+	for _, label := range r.scenarioNames() {
+		sums := r.summariesFor(label)
+		if len(sums) == 0 {
+			continue
+		}
+		name := sums[0].Scenario
+		if name == "" {
+			name = "paper"
+		}
+		if _, seen := cells[name]; !seen {
+			scenarioOrder = append(scenarioOrder, name)
+		}
+		cells[name] = append(cells[name], cell{label: sums[0].policyLabel(), sums: sums})
+	}
+
+	var out []PolicySweep
+	for _, name := range scenarioOrder {
+		pcs := cells[name]
+		if len(pcs) < 2 {
+			continue // no policy axis for this scenario
+		}
+		sweep := PolicySweep{Scenario: name}
+		for _, pc := range pcs {
+			sweep.Policies = append(sweep.Policies, pc.label)
+		}
+		for road := geo.RoadClass(0); road < geo.NumRoadClasses; road++ {
+			tbl := PolicyRoadTable{Road: road.String()}
+			for _, pc := range pcs {
+				band, ok := roadBand(pc.label, road.String(), pc.sums)
+				if !ok {
+					continue // no samples on this road class under this policy
+				}
+				tbl.Rows = append(tbl.Rows, band)
+			}
+			if len(tbl.Rows) < 2 {
+				continue
+			}
+			tbl.Verdict = dominanceVerdict(tbl.Rows)
+			sweep.Roads = append(sweep.Roads, tbl)
+		}
+		if len(sweep.Roads) > 0 {
+			out = append(out, sweep)
+		}
+	}
+	return out
+}
+
+// roadBand reduces one policy cell on one road class: the median across
+// seeds of each per-seed road metric. ok is false when no seed saw samples
+// on that road class.
+func roadBand(label, road string, sums []SeedSummary) (PolicyRoadBand, bool) {
+	var hpm, dur, fiveg, dl []float64
+	for _, s := range sums {
+		rs, ok := s.Roads[road]
+		if !ok || rs.Samples == 0 {
+			continue
+		}
+		hpm = append(hpm, rs.HOsPerMile)
+		fiveg = append(fiveg, rs.FiveGShare)
+		dl = append(dl, rs.DLMedMbps)
+		var d float64
+		for _, op := range radio.Operators() {
+			d += s.Ops[op.Short()].HODurMedMs
+		}
+		dur = append(dur, d/float64(radio.NumOperators))
+	}
+	if len(hpm) == 0 {
+		return PolicyRoadBand{}, false
+	}
+	return PolicyRoadBand{
+		Policy:     label,
+		Seeds:      len(hpm),
+		HOsPerMile: analysis.MedianStat(hpm),
+		HODurMedMs: analysis.MedianStat(dur),
+		FiveGShare: analysis.MedianStat(fiveg),
+		DLMedMbps:  analysis.MedianStat(dl),
+	}, true
+}
+
+// dominates reports whether a is at least as good as b on all four axes and
+// strictly better on at least one.
+func dominates(a, b PolicyRoadBand) bool {
+	if a.HOsPerMile > b.HOsPerMile || a.HODurMedMs > b.HODurMedMs ||
+		a.FiveGShare < b.FiveGShare || a.DLMedMbps < b.DLMedMbps {
+		return false
+	}
+	return a.HOsPerMile < b.HOsPerMile || a.HODurMedMs < b.HODurMedMs ||
+		a.FiveGShare > b.FiveGShare || a.DLMedMbps > b.DLMedMbps
+}
+
+// dominanceVerdict names the Pareto-dominant policy for one road class, or
+// falls back to the per-axis winners when no policy dominates outright.
+func dominanceVerdict(rows []PolicyRoadBand) string {
+	for _, cand := range rows {
+		all := true
+		for _, other := range rows {
+			if other.Policy == cand.Policy {
+				continue
+			}
+			if !dominates(cand, other) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return cand.Policy + " dominates"
+		}
+	}
+	best := func(better func(a, b PolicyRoadBand) bool) string {
+		w := rows[0]
+		for _, x := range rows[1:] {
+			if better(x, w) {
+				w = x
+			}
+		}
+		return w.Policy
+	}
+	return fmt.Sprintf("no dominator (fewest HOs: %s, best 5G dwell: %s, best DL: %s)",
+		best(func(a, b PolicyRoadBand) bool { return a.HOsPerMile < b.HOsPerMile }),
+		best(func(a, b PolicyRoadBand) bool { return a.FiveGShare > b.FiveGShare }),
+		best(func(a, b PolicyRoadBand) bool { return a.DLMedMbps > b.DLMedMbps }))
+}
+
+// renderPolicySweeps prints the per-road-class dominance tables, empty when
+// the report holds no policy sweep.
+func (r *Report) renderPolicySweeps() string {
+	sweeps := r.PolicySweeps()
+	if len(sweeps) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("\nPolicy dominance per road class (cross-seed medians; interruption is route-wide per policy):\n")
+	for _, sw := range sweeps {
+		fmt.Fprintf(&b, "  scenario %s — policies %s\n", sw.Scenario, strings.Join(sw.Policies, ", "))
+		for _, tbl := range sw.Roads {
+			fmt.Fprintf(&b, "   %s:\n", tbl.Road)
+			for _, row := range tbl.Rows {
+				fmt.Fprintf(&b, "     %-16s HOs/mi=%6.3f  interrupt=%6.1f ms  5G dwell=%5.1f%%  DL med=%8.2f Mbps  (%d seeds)\n",
+					row.Policy, row.HOsPerMile, row.HODurMedMs, 100*row.FiveGShare, row.DLMedMbps, row.Seeds)
+			}
+			fmt.Fprintf(&b, "     verdict: %s\n", tbl.Verdict)
+		}
+	}
+	return b.String()
+}

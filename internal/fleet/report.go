@@ -23,10 +23,11 @@ type Report struct {
 	Summaries []SeedSummary // sorted by (scenario sweep position, seed)
 }
 
-// scenarioNames returns the report's scenario grouping: the recorded sweep
-// order, or (for hand-built and pre-scenario reports) the scenarios present
-// in the summaries in order of first appearance, with the empty name
-// reading as "paper".
+// scenarioNames returns the report's grouping labels: the recorded sweep
+// order, or (for hand-built and pre-scenario reports) the groups present in
+// the summaries in order of first appearance. A group is a scenario name,
+// or scenario@policy when a non-default handover policy ran — a policy
+// sweep groups exactly like a scenario sweep.
 func (r *Report) scenarioNames() []string {
 	if len(r.Scenarios) > 0 {
 		return r.Scenarios
@@ -34,10 +35,7 @@ func (r *Report) scenarioNames() []string {
 	var names []string
 	seen := map[string]bool{}
 	for _, s := range r.Summaries {
-		name := s.Scenario
-		if name == "" {
-			name = "paper"
-		}
+		name := s.group()
 		if !seen[name] {
 			seen[name] = true
 			names = append(names, name)
@@ -49,16 +47,12 @@ func (r *Report) scenarioNames() []string {
 	return names
 }
 
-// summariesFor returns the summaries belonging to one scenario, in seed
+// summariesFor returns the summaries belonging to one group label, in seed
 // order (Summaries is already sorted).
 func (r *Report) summariesFor(scenario string) []SeedSummary {
 	var out []SeedSummary
 	for _, s := range r.Summaries {
-		name := s.Scenario
-		if name == "" {
-			name = "paper"
-		}
-		if name == scenario {
+		if s.group() == scenario {
 			out = append(out, s)
 		}
 	}
@@ -343,6 +337,7 @@ func (r *Report) RenderText() string {
 	}
 	fmt.Fprintf(&b, "\nInvariant robustness across routes (replicated = rate >= %.0f%% within a scenario):\n", 100*robustThreshold)
 	b.WriteString(r.renderRobustness())
+	b.WriteString(r.renderPolicySweeps())
 	for _, name := range names {
 		fmt.Fprintf(&b, "\n=== scenario %s (%d seeds) ===\n", name, len(r.summariesFor(name)))
 		b.WriteString("\nShape invariant replication:\n" + renderRates(r.RatesFor(name)))
@@ -378,6 +373,9 @@ func (r *Report) HTML() ([]byte, error) {
 	default:
 		sections = []report.Section{
 			{Title: "Invariant robustness across routes", Pre: r.renderRobustness()},
+		}
+		if ps := r.renderPolicySweeps(); ps != "" {
+			sections = append(sections, report.Section{Title: "Policy dominance per road class", Pre: ps})
 		}
 		for _, name := range names {
 			sections = append(sections, report.Section{

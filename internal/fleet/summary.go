@@ -21,6 +21,7 @@ import (
 	"wheels/internal/analysis"
 	"wheels/internal/campaign"
 	"wheels/internal/dataset"
+	"wheels/internal/geo"
 	"wheels/internal/radio"
 )
 
@@ -33,6 +34,19 @@ type Scenario struct {
 	// "paper", matching the checkpoint decoder's default for files written
 	// before scenarios existed.
 	Name string
+
+	// Policy is the handover-policy digest of this scenario's testbed
+	// (campaign.Testbed.PolicyDigest). Empty means every operator runs its
+	// default policy — the digest of every pre-policy fleet — and Run fills
+	// it from the testbed, so callers only set it to override. Checkpoint
+	// rows carry it alongside the scenario name: the same scenario swept
+	// under two policies yields distinguishable rows.
+	Policy string
+
+	// PolicyName is the human label for Policy in reports and progress
+	// lines ("baseline", "sticky", ...). Purely presentational: keys and
+	// resume use the digest.
+	PolicyName string
 
 	// Testbed is the seed-independent substrate (route, server registry,
 	// deployment densities) every seed of this scenario shares read-only.
@@ -49,6 +63,35 @@ type Scenario struct {
 	// schedule (e.g. commuter-loop disables app tests) use to override the
 	// fleet-wide Base without the fleet knowing why.
 	Configure func(campaign.Config) campaign.Config
+}
+
+// label is the report-grouping name for this scenario: the bare name under
+// the default policy (so pre-policy fleets render the exact bytes they
+// always did), or name@policy when a non-default handover policy is in
+// play. sn must be normalized (see Config.scenarios).
+func (sn Scenario) label() string {
+	return groupLabel(sn.Name, sn.Policy, sn.PolicyName)
+}
+
+// group is the report-grouping name for the scenario×policy cell this
+// summary belongs to; see Scenario.label.
+func (s SeedSummary) group() string {
+	name := s.Scenario
+	if name == "" {
+		name = "paper"
+	}
+	return groupLabel(name, s.Policy, s.PolicyName)
+}
+
+func groupLabel(name, policy, policyName string) string {
+	switch {
+	case policy == "":
+		return name
+	case policyName != "":
+		return name + "@" + policyName
+	default:
+		return name + "@" + policy
+	}
 }
 
 // OpSummary is one operator's headline numbers for one seed — the compact
@@ -81,11 +124,24 @@ type SeedSummary struct {
 	// "paper" (the only scenario those builds could run).
 	Scenario string `json:"scenario,omitempty"`
 
+	// Policy is the scenario's handover-policy digest, and PolicyName its
+	// display label. Both are omitted when empty (the default policy), so
+	// pre-policy checkpoint lines are a strict subset of current ones and
+	// default-policy fleets keep writing the exact bytes they always did.
+	Policy     string `json:"policy,omitempty"`
+	PolicyName string `json:"policy_name,omitempty"`
+
 	Seed   int64 `json:"seed"`
 	Shards int   `json:"shards"`
 
 	Ops    map[string]OpSummary `json:"ops"`    // keyed by radio.Operator.Short()
 	Shapes map[string]bool      `json:"shapes"` // analysis.CheckShapes verdicts
+
+	// Roads is the per-road-class reduction (handover rate, 5G dwell,
+	// throughput quantiles) the policy-sweep report compares configs on,
+	// keyed by geo.RoadClass.String(). Road classes with no samples are
+	// omitted; fleets run before the field existed resume with a nil map.
+	Roads map[string]analysis.RoadSummary `json:"roads,omitempty"`
 
 	ThrSamples     int `json:"thr_samples"`
 	RTTSamples     int `json:"rtt_samples"`
@@ -155,7 +211,10 @@ func runSeed(c campaign.Config, sn Scenario, shards int, sc *seedScratch, extra 
 		campaign.NewWithTestbed(c, sn.Testbed).RunTo(sink)
 	}
 	err := sink.Flush()
-	return summarize(sc.acc, sc.h.Sum(), shards, sn.Name), err
+	sum := summarize(sc.acc, sc.h.Sum(), shards, sn.Name)
+	sum.Policy = sn.Policy
+	sum.PolicyName = sn.PolicyName
+	return sum, err
 }
 
 // summarize projects a fully-fed accumulator into the SeedSummary record.
@@ -180,6 +239,15 @@ func summarize(acc *analysis.Accumulator, sha string, shards int, scenario strin
 	}
 	for _, r := range acc.ShapeResults() {
 		sum.Shapes[r.Name] = r.Pass
+	}
+	for i, rs := range acc.RoadSummaries() {
+		if rs.Samples == 0 {
+			continue
+		}
+		if sum.Roads == nil {
+			sum.Roads = map[string]analysis.RoadSummary{}
+		}
+		sum.Roads[geo.RoadClass(i).String()] = rs
 	}
 	for _, op := range radio.Operators() {
 		h := acc.Headline(op)

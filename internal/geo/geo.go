@@ -51,6 +51,9 @@ const (
 	RoadSuburban
 	// RoadHighway is inter-state highway driving.
 	RoadHighway
+
+	// NumRoadClasses sizes arrays indexed by RoadClass.
+	NumRoadClasses = 3
 )
 
 // String returns the road class name.

@@ -93,6 +93,7 @@ type UE struct {
 	Op  radio.Operator
 	Dep *deploy.Deployment
 
+	cfg      *HandoverConfig
 	rng      *sim.RNG
 	links    [radio.NumTechs]radio.Link // by value: one contiguous block of channel state
 	tech     radio.Tech
@@ -106,11 +107,27 @@ type UE struct {
 	wasOut   bool                    // last step ended in an outage
 }
 
-// NewUE returns a UE for the operator over the given deployment.
+// NewUE returns a UE for the operator over the given deployment, running
+// the operator's default (paper-measured) handover policy.
 func NewUE(rng *sim.RNG, dep *deploy.Deployment) *UE {
+	return NewUEWithConfig(rng, dep, nil)
+}
+
+// NewUEWithConfig returns a UE running the given handover policy. A nil cfg
+// selects the operator's default policy; a non-nil cfg must outlive the UE
+// and must not be mutated while the UE runs. The config only changes which
+// numbers feed each RNG draw, never how many draws occur per decision, so
+// two UEs on the same streams but different policies stay draw-aligned
+// until their first divergent decision — the property the fixed-trace
+// counterfactual sweeps rely on.
+func NewUEWithConfig(rng *sim.RNG, dep *deploy.Deployment, cfg *HandoverConfig) *UE {
+	if cfg == nil {
+		cfg = DefaultPolicy(dep.Op)
+	}
 	u := &UE{
 		Op:    dep.Op,
 		Dep:   dep,
+		cfg:   cfg,
 		rng:   rng.Stream("ue", dep.Op.String()),
 		cells: map[deploy.CellKey]bool{},
 	}
@@ -143,13 +160,13 @@ func (u *UE) ServingTech() (radio.Tech, bool) { return u.tech, u.attached }
 // mask so the evaluation draws no memory at all.
 func (u *UE) chooseTech(avail deploy.TechMask, tr Traffic, zone geo.Timezone) radio.Tech {
 	for _, t := range [...]radio.Tech{radio.NRmmW, radio.NRMid, radio.NRLow} {
-		if avail.Has(t) && u.rng.Bool(elevationProb(u.Op, t, tr, zone)) {
+		if avail.Has(t) && u.rng.Bool(u.cfg.ElevProb(t, tr, zone)) {
 			return t
 		}
 	}
 	switch {
 	case avail.Has(radio.LTEA) && avail.Has(radio.LTE):
-		if u.rng.Bool(lteaProb(u.Op)) {
+		if u.rng.Bool(u.cfg.LTEAProb) {
 			return radio.LTEA
 		}
 		return radio.LTE
@@ -170,7 +187,7 @@ func (u *UE) chooseTech(avail deploy.TechMask, tr Traffic, zone geo.Timezone) ra
 // the serving technology's coverage, which skip the measurement report (the
 // network reacts to a radio-link problem, not to a UE measurement).
 func (u *UE) handover(t float64, to deploy.Cell, tr Traffic, forced bool) {
-	dur := u.rng.LogNormalMedian(hoDurationMedianMs(u.Op, tr.Direction()), hoDurationSigma) / 1000
+	dur := u.rng.LogNormalMedian(u.cfg.HOMedianMs(tr.Direction()), u.cfg.HOSigma) / 1000
 	u.events = append(u.events, HandoverEvent{T: t, DurSec: dur, From: u.cell, To: to, Traffic: tr})
 	key := to.Key()
 	if !forced {
@@ -196,7 +213,7 @@ func (u *UE) attach(t float64, km float64, avail deploy.TechMask, tr Traffic, zo
 	u.links[tech].Reset()
 	key := cell.Key()
 	u.cells[key] = true
-	u.nextEval = t + u.rng.Uniform(evalMinSec, evalMaxSec)
+	u.nextEval = t + u.rng.Uniform(u.cfg.EvalMinSec, u.cfg.EvalMaxSec)
 	if u.wasOut {
 		u.emit(t, MsgRRCReestablishment, key, "service recovered")
 	} else {
@@ -283,7 +300,7 @@ func (u *UE) StepControl(snap *Snapshot, t, km float64, tr Traffic, zone geo.Tim
 		u.handover(t, cell, tr, true)
 	} else if t >= u.nextEval {
 		// Periodic policy evaluation: the operator reconsiders elevation.
-		u.nextEval = t + u.rng.Uniform(evalMinSec, evalMaxSec)
+		u.nextEval = t + u.rng.Uniform(u.cfg.EvalMinSec, u.cfg.EvalMaxSec)
 		if tech := u.chooseTech(avail, tr, zone); tech != u.tech {
 			cell, _ := u.Dep.CellAt(km, tech)
 			u.handover(t, cell, tr, false)
@@ -299,7 +316,7 @@ func (u *UE) StepControl(snap *Snapshot, t, km float64, tr Traffic, zone geo.Tim
 	servDist = nd
 	if nearest.Index != u.cell.Index {
 		servDist = math.Hypot(km-u.cell.CenterKm, u.cell.LateralKm)
-		if nd < servDist-hoHysteresisFrac*u.Dep.SpacingKm(u.tech) {
+		if nd < servDist-u.cfg.HysteresisFrac*u.Dep.SpacingKm(u.tech) {
 			u.handover(t, nearest, tr, false)
 			servDist = nd
 		}

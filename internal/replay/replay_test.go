@@ -113,7 +113,7 @@ func TestNetLoopsTrace(t *testing.T) {
 	}
 }
 
-func TestWhatIfScenarios(t *testing.T) {
+func TestWhatIfCounterfactuals(t *testing.T) {
 	ds := syntheticDS()
 	dl := Extract(ds, radio.Downlink)
 
@@ -143,7 +143,7 @@ func TestWhatIfScenarios(t *testing.T) {
 	table := WhatIf(ds, 30, 20)
 	for _, want := range []string{"baseline", "edge everywhere", "no outages"} {
 		if !contains(table, want) {
-			t.Errorf("what-if table missing scenario %q:\n%s", want, table)
+			t.Errorf("what-if table missing counterfactual %q:\n%s", want, table)
 		}
 	}
 }

@@ -12,16 +12,18 @@ import (
 	"wheels/internal/radio"
 )
 
-// Scenario is a named counterfactual.
-type Scenario struct {
+// Counterfactual is a named what-if transform set. (Renamed from
+// "Scenario": route scenarios are internal/scenario.Config; this type is a
+// counterfactual over a fixed, already-recorded trace.)
+type Counterfactual struct {
 	Name       string
 	Transforms []Transform
 }
 
-// Scenarios returns the standard what-if set, keyed to the paper's §8
+// Counterfactuals returns the standard what-if set, keyed to the paper's §8
 // recommendations.
-func Scenarios() []Scenario {
-	return []Scenario{
+func Counterfactuals() []Counterfactual {
+	return []Counterfactual{
 		{Name: "baseline"},
 		{Name: "2x bandwidth", Transforms: []Transform{ScaleCapacity(2)}},
 		{Name: "half RTT", Transforms: []Transform{ScaleRTT(0.5)}},
@@ -101,7 +103,7 @@ func frac(n, d int) float64 {
 	return float64(n) / float64(d)
 }
 
-// WhatIf runs the standard scenario set for the three replayable apps and
+// WhatIf runs the standard counterfactual set for the three replayable apps and
 // renders a comparison table.
 func WhatIf(ds *dataset.Dataset, videoSec, gamingSec float64) string {
 	dl := Extract(ds, radio.Downlink)
@@ -109,8 +111,8 @@ func WhatIf(ds *dataset.Dataset, videoSec, gamingSec float64) string {
 	var b strings.Builder
 	b.WriteString("What-if replay over recorded traces (paper §8 recommendations)\n")
 	fmt.Fprintf(&b, "  %d DL traces, %d UL traces\n", len(dl), len(ul))
-	b.WriteString("  scenario            video QoE (neg%)   gaming Mbps (<10%)   AR E2E ms (bad%)\n")
-	for _, sc := range Scenarios() {
+	b.WriteString("  counterfactual          video QoE (neg%)   gaming Mbps (<10%)   AR E2E ms (bad%)\n")
+	for _, sc := range Counterfactuals() {
 		v := ReplayVideo(dl, videoSec, sc.Transforms...)
 		g := ReplayGaming(dl, gamingSec, sc.Transforms...)
 		a := ReplayAR(ul, sc.Transforms...)

@@ -137,6 +137,7 @@ func (s *Scenario) Compile() (*campaign.Testbed, error) {
 		Reg:      servers.NewRegistry(route),
 		Scenario: s.cfg.Name,
 		Density:  s.Densities(),
+		Handover: s.HandoverConfigs(),
 	}, nil
 }
 

@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"wheels/internal/radio"
+	"wheels/internal/ran"
+)
+
+// ElevationConfig overrides one traffic class's elevation probabilities.
+// Nil fields keep the operator's default for that tier.
+type ElevationConfig struct {
+	MmWave *float64 `json:"mmwave,omitempty"`
+	Mid    *float64 `json:"mid,omitempty"`
+	Low    *float64 `json:"low,omitempty"`
+}
+
+// PolicyConfig is a partial per-operator handover policy: every field is a
+// pointer, and nil fields keep the operator's default (paper-measured)
+// value, so a scenario only pins the knobs it cares about — the same
+// overlay idiom ScheduleConfig uses for the test schedule.
+//
+// Elevation is keyed by traffic class ("idle", "probe", "bulk-dl",
+// "bulk-ul"), optionally suffixed ":west" or ":east" to override one
+// country half only; an unsuffixed key sets both halves.
+type PolicyConfig struct {
+	HysteresisFrac *float64                   `json:"hysteresis_frac,omitempty"`
+	EvalMinSec     *float64                   `json:"eval_min_sec,omitempty"`
+	EvalMaxSec     *float64                   `json:"eval_max_sec,omitempty"`
+	HOMedianDLMs   *float64                   `json:"ho_median_dl_ms,omitempty"`
+	HOMedianULMs   *float64                   `json:"ho_median_ul_ms,omitempty"`
+	HOSigma        *float64                   `json:"ho_sigma,omitempty"`
+	LTEAProb       *float64                   `json:"ltea_prob,omitempty"`
+	Elevation      map[string]ElevationConfig `json:"elevation,omitempty"`
+}
+
+// parseElevationKey resolves an Elevation map key to its traffic class and
+// the zone halves it addresses (both when unsuffixed).
+func parseElevationKey(key string) (cls ran.TrafficClass, halves []int, ok bool) {
+	name, suffix, hasSuffix := strings.Cut(key, ":")
+	switch name {
+	case "idle":
+		cls = ran.ClassIdle
+	case "probe":
+		cls = ran.ClassProbe
+	case "bulk-dl":
+		cls = ran.ClassBulkDL
+	case "bulk-ul":
+		cls = ran.ClassBulkUL
+	default:
+		return 0, nil, false
+	}
+	if !hasSuffix {
+		return cls, []int{ran.ZoneWest, ran.ZoneEast}, true
+	}
+	switch suffix {
+	case "west":
+		return cls, []int{ran.ZoneWest}, true
+	case "east":
+		return cls, []int{ran.ZoneEast}, true
+	default:
+		return 0, nil, false
+	}
+}
+
+// Apply overlays the partial policy onto cfg in place. It resolves key
+// syntax only; range checking is HandoverConfig.Validate's job, which the
+// caller runs on the overlaid result. Exported because cmd/sweep's grid
+// files reuse this exact overlay schema for their policy axis.
+func (p PolicyConfig) Apply(cfg *ran.HandoverConfig) error {
+	set := func(dst *float64, v *float64) {
+		if v != nil {
+			*dst = *v
+		}
+	}
+	set(&cfg.HysteresisFrac, p.HysteresisFrac)
+	set(&cfg.EvalMinSec, p.EvalMinSec)
+	set(&cfg.EvalMaxSec, p.EvalMaxSec)
+	set(&cfg.HOMedianDLMs, p.HOMedianDLMs)
+	set(&cfg.HOMedianULMs, p.HOMedianULMs)
+	set(&cfg.HOSigma, p.HOSigma)
+	set(&cfg.LTEAProb, p.LTEAProb)
+	for key, e := range p.Elevation {
+		cls, halves, ok := parseElevationKey(key)
+		if !ok {
+			return fmt.Errorf(`unknown elevation key %q (want "idle"/"probe"/"bulk-dl"/"bulk-ul", optionally ":west"/":east")`, key)
+		}
+		for _, half := range halves {
+			set(&cfg.Elev[cls][half][ran.TiermmW], e.MmWave)
+			set(&cfg.Elev[cls][half][ran.TierMid], e.Mid)
+			set(&cfg.Elev[cls][half][ran.TierLow], e.Low)
+		}
+	}
+	return nil
+}
+
+// HandoverConfigs resolves the scenario's per-operator handover policies:
+// each operator's default overlaid with the config's partial overrides.
+// Operators the config does not mention keep the zero value, which the
+// campaign testbed resolves to the default policy — so a scenario without a
+// handover section compiles to a testbed with an empty policy digest,
+// exactly as before policies existed.
+func (s *Scenario) HandoverConfigs() [radio.NumOperators]ran.HandoverConfig {
+	var out [radio.NumOperators]ran.HandoverConfig
+	for opName, p := range s.cfg.Handover {
+		op, _ := parseOperator(opName) // validated
+		cfg := ran.DefaultHandoverConfig(op)
+		p.Apply(&cfg) // validated
+		out[op] = cfg
+	}
+	return out
+}
+
+// validatePolicies checks the handover section: known operator names, known
+// elevation keys, and an overlaid config each operator's ran layer accepts.
+func validatePolicies(cfg Config) error {
+	for opName, p := range cfg.Handover {
+		op, ok := parseOperator(opName)
+		if !ok {
+			return fmt.Errorf("scenario %s: handover policy for unknown operator %q", cfg.Name, opName)
+		}
+		ho := ran.DefaultHandoverConfig(op)
+		if err := p.Apply(&ho); err != nil {
+			return fmt.Errorf("scenario %s: %s handover policy: %w", cfg.Name, opName, err)
+		}
+		if err := ho.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %s %w", cfg.Name, opName, err)
+		}
+	}
+	return nil
+}

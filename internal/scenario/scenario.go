@@ -110,6 +110,10 @@ type Config struct {
 	Timezone string          `json:"timezone,omitempty"`
 	Schedule *ScheduleConfig `json:"schedule,omitempty"`
 	Shapes   *ShapeConfig    `json:"shapes,omitempty"`
+	// Handover maps operator name to a partial handover-policy override
+	// (see PolicyConfig); operators not mentioned keep their default
+	// (paper-measured) policy.
+	Handover map[string]PolicyConfig `json:"handover,omitempty"`
 }
 
 // maxDensityScale bounds density knobs: a scale above this turns the
@@ -294,6 +298,10 @@ func validate(cfg Config) error {
 
 	if _, ok := parseTimezone(cfg.Timezone); !ok {
 		return fmt.Errorf("scenario %s: unknown timezone %q (want empty, \"lon\", or a zone name)", cfg.Name, cfg.Timezone)
+	}
+
+	if err := validatePolicies(cfg); err != nil {
+		return err
 	}
 
 	s := cfg.Shapes

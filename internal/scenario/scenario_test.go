@@ -296,6 +296,8 @@ func FuzzScenarioConfig(f *testing.F) {
 	}
 	f.Add(`{"name":"x"}`)
 	f.Add(`{"name":"x","cities":[{"name":"a","lat":1,"lon":2,"radius_km":3}]}`)
+	f.Add(`{"name":"x","handover":{"verizon":{"hysteresis_frac":0.2,"elevation":{"idle:east":{"low":0.9}}}}}`)
+	f.Add(`{"name":"x","handover":{"tmobile":{"eval_min_sec":16,"eval_max_sec":9}}}`)
 	f.Fuzz(func(t *testing.T, raw string) {
 		s, err := Parse(strings.NewReader(raw))
 		if err != nil {
