@@ -115,6 +115,9 @@ func main() {
 		if err := pprof.StartCPUProfile(f); err != nil {
 			log.Fatalf("starting CPU profile: %v", err)
 		}
+		// Tag the engine's phases (control/kernel/emit/hash) in the profile.
+		campaign.ProfilePhases = true
+		dataset.ProfilePhases = true
 	}
 
 	rt := tb.Route

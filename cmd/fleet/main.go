@@ -9,7 +9,7 @@
 //	fleet [-scenario LIST] [-seeds N] [-start-seed S] [-workers W] [-shards K]
 //	      [-checkpoint FILE] [-verify-resume] [-out FILE] [-html FILE]
 //	      [-dump-dir DIR] [-quick] [-km N] [-apps=false] [-engine scalar|batch]
-//	      [-cpuprofile FILE] [-memprofile FILE]
+//	      [-procs N] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -scenario takes a comma-separated list of route scenarios (library names
 // like "paper" or "dense-urban", or "random:<seed>" for a procedurally
@@ -37,6 +37,16 @@
 // -dump-dir DIR additionally streams each freshly-run seed's full dataset
 // to DIR/<scenario>/seed-N/ as gzip CSVs (parallel chunked compression);
 // resumed seeds are not re-run, so they leave no dump.
+//
+// -procs N partitions the sweep across N spawned fleet worker processes
+// (requires -checkpoint): each worker runs its residue class of the sweep
+// against its own checkpoint shard "<checkpoint>.shard<i>", the
+// coordinator merges the shards back into the main checkpoint, and the
+// final report is rendered by a resume-only pass over the merged file —
+// byte-identical to a -procs 1 run, including after killing the
+// coordinator or a worker mid-sweep and re-running (see README
+// "Multi-process fleets"). -coord-shard is the internal worker-mode flag
+// the coordinator passes to its own binary; it is not for direct use.
 package main
 
 import (
@@ -44,13 +54,16 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"wheels/internal/campaign"
+	"wheels/internal/coord"
 	"wheels/internal/dataset"
 	"wheels/internal/fleet"
 	"wheels/internal/scenario"
@@ -74,10 +87,26 @@ func main() {
 		km         = flag.Float64("km", 0, "truncate each campaign to the first N km (0 = full trip)")
 		apps       = flag.Bool("apps", true, "run the four killer apps in each campaign")
 		engine     = flag.String("engine", campaign.EngineScalar, "tick engine: scalar (per-phone goroutines, the oracle) or batch (lockstep struct-of-arrays; byte-identical output)")
+		procs      = flag.Int("procs", 1, "partition the sweep across N spawned fleet processes (requires -checkpoint; output is byte-identical to -procs 1)")
+		coordShard = flag.String("coord-shard", "", "internal: run as coordinator worker i/N against checkpoint shard i (set by -procs, not by hand)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the fleet run to this file")
 		memProf    = flag.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	flag.Parse()
+
+	// Worker mode: -coord-shard i/N narrows this process to its residue
+	// class of the sweep (Stride/Offset) and retargets it at its own
+	// checkpoint shard. The coordinator merges and reports; a worker only
+	// computes, so its report is discarded and -out/-html are never passed.
+	shard, shardOf := 0, 0
+	if *coordShard != "" {
+		if _, err := fmt.Sscanf(*coordShard, "%d/%d", &shard, &shardOf); err != nil || shardOf < 1 || shard < 0 || shard >= shardOf {
+			log.Fatalf("bad -coord-shard %q (want i/N with 0 <= i < N)", *coordShard)
+		}
+		if *checkpoint == "" {
+			log.Fatal("-coord-shard needs -checkpoint")
+		}
+	}
 
 	base := campaign.DefaultConfig(0) // Seed is set per fleet job
 	base.EnableApps = *apps
@@ -124,6 +153,12 @@ func main() {
 	}
 
 	start := time.Now()
+	// Worker progress lines interleave with the coordinator's and the other
+	// workers' on the shared stderr, so each carries its shard tag.
+	tag := " "
+	if *coordShard != "" {
+		tag = fmt.Sprintf(" [shard %d] ", shard)
+	}
 	cfg := fleet.Config{
 		Base:         base,
 		Scenarios:    sweep,
@@ -141,8 +176,8 @@ func main() {
 					state = "resumed, hash verified"
 				}
 			}
-			fmt.Fprintf(os.Stderr, "  %s seed %d %s (%d/%d, shapes %d/%d, %s)\n",
-				ev.Scenario, ev.Seed, state, ev.Done, ev.Total, ev.ShapesPass, ev.ShapesTotal,
+			fmt.Fprintf(os.Stderr, " %s%s seed %d %s (%d/%d, shapes %d/%d, %s)\n",
+				tag, ev.Scenario, ev.Seed, state, ev.Done, ev.Total, ev.ShapesPass, ev.ShapesTotal,
 				time.Since(start).Round(time.Second))
 			if ev.HashMismatch {
 				fmt.Fprintf(os.Stderr, "  WARNING: %s seed %d checkpoint hash disagrees with this build's recomputed dataset hash — the checkpoint was written by different code\n", ev.Scenario, ev.Seed)
@@ -155,12 +190,72 @@ func main() {
 			return dataset.NewParallelCSVWriter(filepath.Join(dir, scn, fmt.Sprintf("seed-%d", seed)), 0, 0)
 		}
 	}
+
+	if *coordShard != "" {
+		cfg.Stride = shardOf
+		cfg.Offset = shard
+		cfg.Checkpoint = coord.ShardPath(*checkpoint, shard)
+		if _, err := fleet.Run(cfg); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	names := make([]string, len(sweep))
 	for i, sn := range sweep {
 		names[i] = sn.Name
 	}
 	fmt.Fprintf(os.Stderr, "fleet: scenarios %s, %d seeds from %d, %d shard(s) per campaign...\n",
 		strings.Join(names, ","), *seeds, *startSeed, *shards)
+
+	if *procs > 1 {
+		// Coordinator phase: partition the sweep across -procs re-invocations
+		// of this binary, each a worker on its own checkpoint shard, then
+		// merge the shards back into -checkpoint. The ordinary fleet.Run
+		// below then finds every pair already checkpointed: it is a
+		// resume-only pass that renders the report — the same code path, and
+		// so the same bytes, as a -procs 1 run.
+		if *checkpoint == "" {
+			log.Fatalf("-procs %d needs -checkpoint: the shards are checkpoint files", *procs)
+		}
+		exe, err := os.Executable()
+		if err != nil {
+			log.Fatalf("locating own binary for workers: %v", err)
+		}
+		err = coord.Run(coord.Config{
+			Checkpoint: *checkpoint,
+			Procs:      *procs,
+			Spawn: func(shard, procs int) (*exec.Cmd, error) {
+				args := []string{
+					"-coord-shard", fmt.Sprintf("%d/%d", shard, procs),
+					"-scenario", *scenarios,
+					"-seeds", strconv.Itoa(*seeds),
+					"-start-seed", strconv.FormatInt(*startSeed, 10),
+					"-workers", strconv.Itoa(*workers),
+					"-shards", strconv.Itoa(*shards),
+					"-checkpoint", *checkpoint,
+					"-engine", *engine,
+					"-km", strconv.FormatFloat(*km, 'g', -1, 64),
+					fmt.Sprintf("-apps=%t", *apps),
+					fmt.Sprintf("-quick=%t", *quick),
+					fmt.Sprintf("-verify-resume=%t", *verify),
+				}
+				if *dumpDir != "" {
+					args = append(args, "-dump-dir", *dumpDir)
+				}
+				cmd := exec.Command(exe, args...)
+				cmd.Stderr = os.Stderr
+				return cmd, nil
+			},
+			Merge: cfg.MergeShards,
+			Logf: func(format string, a ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", a...)
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -171,6 +266,11 @@ func main() {
 		if err := pprof.StartCPUProfile(f); err != nil {
 			log.Fatalf("starting CPU profile: %v", err)
 		}
+		// Phase labels (control/kernel/emit/hash) cost a little per phase,
+		// so they ride the profiling flag rather than being always on. See
+		// the README profiling walkthrough for reading them.
+		campaign.ProfilePhases = true
+		dataset.ProfilePhases = true
 	}
 
 	rep, err := fleet.Run(cfg)

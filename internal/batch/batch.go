@@ -80,6 +80,11 @@ type Lane struct {
 	Pings  []Ping
 	Bulk   transport.BulkRunner
 
+	// Bank stages the phase's dataset records for batched sink dispatch.
+	// It rides on the lane so every execution context — a pooled scalar
+	// adapter, a lockstep group lane — gets its own scratch for free.
+	Bank EmitBank
+
 	// 500 ms KPI accumulation window.
 	accDur  float64
 	accRSRP float64

@@ -51,20 +51,24 @@ func (c *Campaign) runCycleBatch(t float64) float64 {
 
 	for _, dir := range [...]radio.Direction{radio.Downlink, radio.Uplink} {
 		profile, _ := bulkProfile(dir)
-		c.startBatchPhase(g, t, profile, dir)
-		g.RunBulk(cfg.BulkSec)
-		for i := range g.Lanes {
-			ln := &g.Lanes[i]
-			c.emitBulk(c.sink, ln, t, dir, false, ln.Bulk.Finish())
-		}
+		phaseDo("control", func() { c.startBatchPhase(g, t, profile, dir) })
+		phaseDo("kernel", func() { g.RunBulk(cfg.BulkSec) })
+		phaseDo("emit", func() {
+			for i := range g.Lanes {
+				ln := &g.Lanes[i]
+				c.emitBulk(c.sink, ln, t, dir, false, ln.Bulk.Finish())
+			}
+		})
 		t += cfg.BulkSec + cfg.GapSec
 	}
 
-	c.startBatchPhase(g, t, ran.RTTProbe, radio.Downlink)
-	g.RunRTT(cfg.RTTSec, rttIntervalSec)
-	for i := range g.Lanes {
-		c.emitRTT(c.sink, &g.Lanes[i], t, false)
-	}
+	phaseDo("control", func() { c.startBatchPhase(g, t, ran.RTTProbe, radio.Downlink) })
+	phaseDo("kernel", func() { g.RunRTT(cfg.RTTSec, rttIntervalSec) })
+	phaseDo("emit", func() {
+		for i := range g.Lanes {
+			c.emitRTT(c.sink, &g.Lanes[i], t, false)
+		}
+	})
 	t += cfg.RTTSec + cfg.GapSec
 
 	if cfg.EnableSpeedTest {

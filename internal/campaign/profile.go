@@ -1,0 +1,28 @@
+package campaign
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// ProfilePhases enables runtime/pprof phase labels on the batched engine's
+// cycle: "control" covers phase setup and bookkeeping, "kernel" the lockstep
+// tick passes, and "emit" the record staging and sink dispatch (the dataset
+// package adds a "hash" label at its digest folds when its own flag is set).
+// Profiling front-ends group samples by the `phase` label, so a CPU profile
+// splits cleanly along the engine's control/kernel/emit/hash boundaries.
+//
+// Off by default: label maps are attached per goroutine and per region, and
+// the fleet's hot loop should not pay for them unless a profile is actually
+// being taken. cmd/fleet and cmd/drivesim set it alongside -cpuprofile.
+var ProfilePhases bool
+
+// phaseDo runs f under the given `phase` pprof label when ProfilePhases is
+// set, and calls it directly otherwise.
+func phaseDo(name string, f func()) {
+	if !ProfilePhases {
+		f()
+		return
+	}
+	pprof.Do(context.Background(), pprof.Labels("phase", name), func(context.Context) { f() })
+}

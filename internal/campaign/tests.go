@@ -50,7 +50,9 @@ func (c *Campaign) runBulk(sink dataset.Sink, id int, ph *phone, t float64, dir 
 // shared by both engines, so the batched engine cannot drift from the
 // scalar one in what it writes. The per-table emission order (throughput
 // rows, handovers, summary) matches the order the pre-streaming merge
-// appended them.
+// appended them. Rows stage into the lane's bank and reach the sink as one
+// batch per table, which every sink consumes in the same per-table order as
+// the former per-record calls.
 func (c *Campaign) emitBulk(sink dataset.Sink, ln *batch.Lane, t float64, dir radio.Direction, static bool, res transport.BulkResult) {
 	_, kind := bulkProfile(dir)
 	n := len(res.SamplesBps)
@@ -59,20 +61,23 @@ func (c *Campaign) emitBulk(sink dataset.Sink, ln *batch.Lane, t float64, dir ra
 	}
 	// Rows are km-ordered, so one route cursor serves the whole KPI join.
 	cur := c.Route.Cursor()
+	thr := ln.Bank.Thr[:0]
 	for i := 0; i < n; i++ {
 		r := ln.Rows[i]
 		cc := r.CCDL
 		if dir == radio.Uplink {
 			cc = r.CCUL
 		}
-		sink.EmitThr(dataset.ThroughputSample{
+		thr = append(thr, dataset.ThroughputSample{
 			TestID: ln.TestID, Op: ln.Op, Dir: dir, TimeUTC: utc(r.T), Bps: res.SamplesBps[i],
 			Tech: r.Tech, RSRPdBm: r.RSRP, SINRdB: r.SINR, MCS: r.MCS, BLER: r.BLER, CC: cc,
 			MPH: r.MPH, Km: r.Km, Zone: cur.TimezoneAt(r.Km), Road: cur.RoadClassAt(r.Km),
 			Server: ln.Server.Kind, Static: static, HOs: r.HOs,
 		})
 	}
-	emitHandovers(sink, ln.HORecs)
+	ln.Bank.Thr = thr
+	dataset.EmitThrAll(sink, thr)
+	dataset.EmitHandoverAll(sink, ln.HORecs)
 
 	if c.Cfg.RawLogDir != "" {
 		if err := c.exportRaw(ln, string(kind), t, res.SamplesBps, n); err != nil {
@@ -95,13 +100,6 @@ func (c *Campaign) emitBulk(sink dataset.Sink, ln *batch.Lane, t float64, dir ra
 		sum.TxBytes = res.DeliveredBytes
 	}
 	sink.EmitTest(sum)
-}
-
-// emitHandovers streams an adapter's handover records into the sink.
-func emitHandovers(sink dataset.Sink, recs []dataset.HandoverRecord) {
-	for _, h := range recs {
-		sink.EmitHandover(h)
-	}
 }
 
 // rttIntervalSec is the ping cadence of the RTT test (one echo per 200 ms,
@@ -131,16 +129,20 @@ func (c *Campaign) runRTT(sink dataset.Sink, id int, ph *phone, t float64, stati
 
 // emitRTT streams a finished ping test's records — the emit half shared by
 // both engines. Ping rows land in the rtt table in probe order, exactly as
-// the scalar engine's former inline emission did.
+// the scalar engine's former inline emission did, staged through the lane's
+// bank like emitBulk's throughput rows.
 func (c *Campaign) emitRTT(sink dataset.Sink, ln *batch.Lane, t float64, static bool) {
+	rtt := ln.Bank.RTT[:0]
 	for _, p := range ln.Pings {
-		sink.EmitRTT(dataset.RTTSample{
+		rtt = append(rtt, dataset.RTTSample{
 			TestID: ln.TestID, Op: ln.Op, TimeUTC: utc(p.T), Ms: p.Ms, Tech: p.Tech,
 			MPH: p.MPH, Km: p.Km, Zone: p.Zone, Server: ln.Server.Kind,
 			Static: static,
 		})
 	}
-	emitHandovers(sink, ln.HORecs)
+	ln.Bank.RTT = rtt
+	dataset.EmitRTTAll(sink, rtt)
+	dataset.EmitHandoverAll(sink, ln.HORecs)
 
 	mean, stdFrac := meanStdFracPings(ln.Pings)
 	sum := dataset.TestSummary{
@@ -231,7 +233,7 @@ const speedTestSec = 15.0
 func (c *Campaign) runSpeedTest(sink dataset.Sink, id int, ph *phone, t float64) {
 	a := c.newAdapter(id, ph, t, ran.BacklogDL, radio.Downlink, nil)
 	res := transport.RunSpeedTest(pathAdapter{a}, speedTestSec, transport.SpeedTestConns)
-	emitHandovers(sink, a.HORecs)
+	dataset.EmitHandoverAll(sink, a.HORecs)
 	sink.EmitTest(dataset.TestSummary{
 		ID: a.TestID, Op: ph.op, Kind: dataset.TestSpeed, Dir: radio.Downlink, StartUTC: utc(t),
 		DurSec: speedTestSec, Zone: a.LastS.Zone, Server: a.Server.Kind,
@@ -268,7 +270,7 @@ func (c *Campaign) runAppBattery(t float64) float64 {
 func (c *Campaign) runOffload(sink dataset.Sink, id int, ph *phone, t float64, appCfg offload.Config, kind dataset.TestKind, compressed bool) {
 	a := c.newAdapter(id, ph, t, ran.AppUL, radio.Uplink, nil)
 	res := offload.Run(netAdapter{a}, appCfg, compressed, true)
-	emitHandovers(sink, a.HORecs)
+	dataset.EmitHandoverAll(sink, a.HORecs)
 	sink.EmitApp(dataset.AppRun{
 		ID: a.TestID, Op: ph.op, App: kind, StartUTC: utc(t), DurSec: appCfg.DurSec,
 		Server: a.Server.Kind, Compressed: compressed,
@@ -281,7 +283,7 @@ func (c *Campaign) runOffload(sink dataset.Sink, id int, ph *phone, t float64, a
 func (c *Campaign) runVideo(sink dataset.Sink, id int, ph *phone, t float64) {
 	a := c.newAdapter(id, ph, t, ran.AppDL, radio.Downlink, nil)
 	res := video.Run(netAdapter{a}, c.Cfg.VideoSec)
-	emitHandovers(sink, a.HORecs)
+	dataset.EmitHandoverAll(sink, a.HORecs)
 	sink.EmitApp(dataset.AppRun{
 		ID: a.TestID, Op: ph.op, App: dataset.TestVideo, StartUTC: utc(t), DurSec: c.Cfg.VideoSec,
 		Server: a.Server.Kind, HighSpeedFrac: a.HighSpeedFrac(), HOCount: a.HOCount(),
@@ -293,7 +295,7 @@ func (c *Campaign) runVideo(sink dataset.Sink, id int, ph *phone, t float64) {
 func (c *Campaign) runGaming(sink dataset.Sink, id int, ph *phone, t float64) {
 	a := c.newAdapter(id, ph, t, ran.AppDL, radio.Downlink, nil)
 	res := gaming.Run(netAdapter{a}, c.Cfg.GamingSec)
-	emitHandovers(sink, a.HORecs)
+	dataset.EmitHandoverAll(sink, a.HORecs)
 	sink.EmitApp(dataset.AppRun{
 		ID: a.TestID, Op: ph.op, App: dataset.TestGaming, StartUTC: utc(t), DurSec: c.Cfg.GamingSec,
 		Server: a.Server.Kind, HighSpeedFrac: a.HighSpeedFrac(), HOCount: a.HOCount(),
@@ -342,9 +344,7 @@ func (c *Campaign) runPassiveLoggers() {
 	}
 	wg.Wait()
 	for _, samples := range perOp {
-		for _, s := range samples {
-			c.sink.EmitPassive(s)
-		}
+		dataset.EmitPassiveAll(c.sink, samples)
 	}
 }
 

@@ -1,0 +1,21 @@
+//go:build linux
+
+package coord
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setPdeathsig asks the kernel to SIGKILL the worker when the coordinator
+// thread that spawned it dies, so killing the coordinator kills the whole
+// fleet instead of leaking N orphan workers that keep appending to their
+// shards. Linux-only; elsewhere workers simply outlive a killed
+// coordinator until their sweep finishes, which is safe (shards are
+// idempotent) just untidy.
+func setPdeathsig(cmd *exec.Cmd) {
+	if cmd.SysProcAttr == nil {
+		cmd.SysProcAttr = &syscall.SysProcAttr{}
+	}
+	cmd.SysProcAttr.Pdeathsig = syscall.SIGKILL
+}

@@ -1,0 +1,10 @@
+//go:build !linux
+
+package coord
+
+import "os/exec"
+
+// setPdeathsig is a no-op off Linux: parent-death signals are a Linux
+// prctl feature. Orphaned workers run their partition to completion and
+// exit; the shards they leave behind are picked up by the next run.
+func setPdeathsig(cmd *exec.Cmd) {}

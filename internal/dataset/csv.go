@@ -109,13 +109,6 @@ func appendPassive(dst []string, p PassiveSample) []string {
 		p.Zone.String(), b2s(p.NoSvc))
 }
 
-func encodeThr(s ThroughputSample) []string  { return appendThr(nil, s) }
-func encodeRTT(s RTTSample) []string         { return appendRTT(nil, s) }
-func encodeHO(h HandoverRecord) []string     { return appendHO(nil, h) }
-func encodeTest(t TestSummary) []string      { return appendTest(nil, t) }
-func encodeApp(a AppRun) []string            { return appendApp(nil, a) }
-func encodePassive(p PassiveSample) []string { return appendPassive(nil, p) }
-
 type rowErr struct {
 	file string
 	line int
@@ -284,27 +277,27 @@ func (d *Dataset) Save(dir string) error {
 		return err
 	}
 	if err := writeCSV(dir, fileThr, tableHeaders[tabThr],
-		len(d.Thr), func(i int) []string { return encodeThr(d.Thr[i]) }); err != nil {
+		len(d.Thr), func(i int) []string { return appendThr(nil, d.Thr[i]) }); err != nil {
 		return err
 	}
 	if err := writeCSV(dir, fileRTT, tableHeaders[tabRTT],
-		len(d.RTT), func(i int) []string { return encodeRTT(d.RTT[i]) }); err != nil {
+		len(d.RTT), func(i int) []string { return appendRTT(nil, d.RTT[i]) }); err != nil {
 		return err
 	}
 	if err := writeCSV(dir, fileHO, tableHeaders[tabHO],
-		len(d.Handovers), func(i int) []string { return encodeHO(d.Handovers[i]) }); err != nil {
+		len(d.Handovers), func(i int) []string { return appendHO(nil, d.Handovers[i]) }); err != nil {
 		return err
 	}
 	if err := writeCSV(dir, fileTests, tableHeaders[tabTests],
-		len(d.Tests), func(i int) []string { return encodeTest(d.Tests[i]) }); err != nil {
+		len(d.Tests), func(i int) []string { return appendTest(nil, d.Tests[i]) }); err != nil {
 		return err
 	}
 	if err := writeCSV(dir, fileApps, tableHeaders[tabApps],
-		len(d.Apps), func(i int) []string { return encodeApp(d.Apps[i]) }); err != nil {
+		len(d.Apps), func(i int) []string { return appendApp(nil, d.Apps[i]) }); err != nil {
 		return err
 	}
 	return writeCSV(dir, filePassive, tableHeaders[tabPassive],
-		len(d.Passive), func(i int) []string { return encodePassive(d.Passive[i]) })
+		len(d.Passive), func(i int) []string { return appendPassive(nil, d.Passive[i]) })
 }
 
 // Load reads a dataset previously written with Save.

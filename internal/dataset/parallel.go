@@ -36,6 +36,7 @@ type ParallelCSVWriter struct {
 	files [numTables]*os.File
 	tabs  [numTables]chunkTable
 	row   []byte // reusable row encoding buffer
+	enc   rowEnc
 
 	chunkRows int
 	jobs      chan compressJob
@@ -194,28 +195,69 @@ func (w *ParallelCSVWriter) write(tab int) {
 }
 
 func (w *ParallelCSVWriter) EmitThr(s ThroughputSample) {
-	w.row = csvAppendThr(w.row[:0], s)
+	w.row = w.enc.csvAppendThr(w.row[:0], s)
 	w.write(tabThr)
 }
 func (w *ParallelCSVWriter) EmitRTT(s RTTSample) {
-	w.row = csvAppendRTT(w.row[:0], s)
+	w.row = w.enc.csvAppendRTT(w.row[:0], s)
 	w.write(tabRTT)
 }
 func (w *ParallelCSVWriter) EmitHandover(h HandoverRecord) {
-	w.row = csvAppendHO(w.row[:0], h)
+	w.row = w.enc.csvAppendHO(w.row[:0], h)
 	w.write(tabHO)
 }
 func (w *ParallelCSVWriter) EmitTest(t TestSummary) {
-	w.row = csvAppendTest(w.row[:0], t)
+	w.row = w.enc.csvAppendTest(w.row[:0], t)
 	w.write(tabTests)
 }
 func (w *ParallelCSVWriter) EmitApp(a AppRun) {
-	w.row = csvAppendApp(w.row[:0], a)
+	w.row = w.enc.csvAppendApp(w.row[:0], a)
 	w.write(tabApps)
 }
 func (w *ParallelCSVWriter) EmitPassive(p PassiveSample) {
-	w.row = csvAppendPassive(w.row[:0], p)
+	w.row = w.enc.csvAppendPassive(w.row[:0], p)
 	w.write(tabPassive)
+}
+
+// Batch emits run the per-record encode+write loop without the interface
+// dispatch. Chunk row counting must stay per record — the chunk boundaries
+// define the gzip member bytes — so unlike CSVWriter there is no single
+// flat Write here.
+func (w *ParallelCSVWriter) EmitThrAll(recs []ThroughputSample) {
+	for i := range recs {
+		w.row = w.enc.csvAppendThr(w.row[:0], recs[i])
+		w.write(tabThr)
+	}
+}
+func (w *ParallelCSVWriter) EmitRTTAll(recs []RTTSample) {
+	for i := range recs {
+		w.row = w.enc.csvAppendRTT(w.row[:0], recs[i])
+		w.write(tabRTT)
+	}
+}
+func (w *ParallelCSVWriter) EmitHandoverAll(recs []HandoverRecord) {
+	for i := range recs {
+		w.row = w.enc.csvAppendHO(w.row[:0], recs[i])
+		w.write(tabHO)
+	}
+}
+func (w *ParallelCSVWriter) EmitTestAll(recs []TestSummary) {
+	for i := range recs {
+		w.row = w.enc.csvAppendTest(w.row[:0], recs[i])
+		w.write(tabTests)
+	}
+}
+func (w *ParallelCSVWriter) EmitAppAll(recs []AppRun) {
+	for i := range recs {
+		w.row = w.enc.csvAppendApp(w.row[:0], recs[i])
+		w.write(tabApps)
+	}
+}
+func (w *ParallelCSVWriter) EmitPassiveAll(recs []PassiveSample) {
+	for i := range recs {
+		w.row = w.enc.csvAppendPassive(w.row[:0], recs[i])
+		w.write(tabPassive)
+	}
 }
 
 // Flush submits every partial chunk (the header-only chunk of an empty

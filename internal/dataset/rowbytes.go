@@ -40,6 +40,16 @@ import (
 // bound excludes. TestQuoteFMatchesAppendFloat sweeps every half in range
 // plus the boundaries to pin the equality.
 func quoteF(dst []byte, v float64) []byte {
+	if out, ok := quoteHalf(dst, v); ok {
+		return out
+	}
+	return strconv.AppendFloat(dst, v, 'g', -1, 64)
+}
+
+// quoteHalf is quoteF's exact-half fast path; ok=false means the value does
+// not qualify and the caller must fall back to AppendFloat (or a bit-exact
+// memo of it — see rowEnc.quoteF).
+func quoteHalf(dst []byte, v float64) ([]byte, bool) {
 	if h := v * 2; h == math.Trunc(h) && h != 0 {
 		neg := false
 		if h < 0 {
@@ -54,10 +64,10 @@ func quoteF(dst []byte, v float64) []byte {
 			if u&1 == 1 {
 				dst = append(dst, '.', '5')
 			}
-			return dst
+			return dst, true
 		}
 	}
-	return strconv.AppendFloat(dst, v, 'g', -1, 64)
+	return dst, false
 }
 func quoteI(dst []byte, v int) []byte  { return strconv.AppendInt(dst, int64(v), 10) }
 func quoteB(dst []byte, v bool) []byte { return strconv.AppendBool(dst, v) }
@@ -115,32 +125,32 @@ func csvAppendRow(dst []byte, rec []string) []byte {
 	return append(dst, '\n')
 }
 
-func csvAppendThr(dst []byte, s ThroughputSample) []byte {
+func (e *rowEnc) csvAppendThr(dst []byte, s ThroughputSample) []byte {
 	dst = quoteI(dst, s.TestID)
 	dst = append(dst, ',')
 	dst = quoteS(dst, s.Op.String())
 	dst = append(dst, ',')
 	dst = quoteS(dst, s.Dir.String())
 	dst = append(dst, ',')
-	dst = quoteT(dst, s.TimeUTC)
+	dst = e.quoteT(dst, s.TimeUTC)
 	dst = append(dst, ',')
-	dst = quoteF(dst, s.Bps)
+	dst = e.quoteF(dst, s.Bps)
 	dst = append(dst, ',')
 	dst = quoteS(dst, s.Tech.String())
 	dst = append(dst, ',')
-	dst = quoteF(dst, s.RSRPdBm)
+	dst = e.quoteF(dst, s.RSRPdBm)
 	dst = append(dst, ',')
-	dst = quoteF(dst, s.SINRdB)
+	dst = e.quoteF(dst, s.SINRdB)
 	dst = append(dst, ',')
 	dst = quoteI(dst, s.MCS)
 	dst = append(dst, ',')
-	dst = quoteF(dst, s.BLER)
+	dst = e.quoteF(dst, s.BLER)
 	dst = append(dst, ',')
 	dst = quoteI(dst, s.CC)
 	dst = append(dst, ',')
-	dst = quoteF(dst, s.MPH)
+	dst = e.quoteF(dst, s.MPH)
 	dst = append(dst, ',')
-	dst = quoteF(dst, s.Km)
+	dst = e.quoteF(dst, s.Km)
 	dst = append(dst, ',')
 	dst = quoteS(dst, s.Zone.String())
 	dst = append(dst, ',')
@@ -154,20 +164,20 @@ func csvAppendThr(dst []byte, s ThroughputSample) []byte {
 	return append(dst, '\n')
 }
 
-func csvAppendRTT(dst []byte, s RTTSample) []byte {
+func (e *rowEnc) csvAppendRTT(dst []byte, s RTTSample) []byte {
 	dst = quoteI(dst, s.TestID)
 	dst = append(dst, ',')
 	dst = quoteS(dst, s.Op.String())
 	dst = append(dst, ',')
-	dst = quoteT(dst, s.TimeUTC)
+	dst = e.quoteT(dst, s.TimeUTC)
 	dst = append(dst, ',')
-	dst = quoteF(dst, s.Ms)
+	dst = e.quoteF(dst, s.Ms)
 	dst = append(dst, ',')
 	dst = quoteS(dst, s.Tech.String())
 	dst = append(dst, ',')
-	dst = quoteF(dst, s.MPH)
+	dst = e.quoteF(dst, s.MPH)
 	dst = append(dst, ',')
-	dst = quoteF(dst, s.Km)
+	dst = e.quoteF(dst, s.Km)
 	dst = append(dst, ',')
 	dst = quoteS(dst, s.Zone.String())
 	dst = append(dst, ',')
@@ -177,14 +187,14 @@ func csvAppendRTT(dst []byte, s RTTSample) []byte {
 	return append(dst, '\n')
 }
 
-func csvAppendHO(dst []byte, h HandoverRecord) []byte {
+func (e *rowEnc) csvAppendHO(dst []byte, h HandoverRecord) []byte {
 	dst = quoteI(dst, h.TestID)
 	dst = append(dst, ',')
 	dst = quoteS(dst, h.Op.String())
 	dst = append(dst, ',')
-	dst = quoteT(dst, h.TimeUTC)
+	dst = e.quoteT(dst, h.TimeUTC)
 	dst = append(dst, ',')
-	dst = quoteF(dst, h.DurSec)
+	dst = e.quoteF(dst, h.DurSec)
 	dst = append(dst, ',')
 	dst = quoteS(dst, h.FromTech.String())
 	dst = append(dst, ',')
@@ -198,7 +208,7 @@ func csvAppendHO(dst []byte, h HandoverRecord) []byte {
 	return append(dst, '\n')
 }
 
-func csvAppendTest(dst []byte, t TestSummary) []byte {
+func (e *rowEnc) csvAppendTest(dst []byte, t TestSummary) []byte {
 	dst = quoteI(dst, t.ID)
 	dst = append(dst, ',')
 	dst = quoteS(dst, t.Op.String())
@@ -207,9 +217,9 @@ func csvAppendTest(dst []byte, t TestSummary) []byte {
 	dst = append(dst, ',')
 	dst = quoteS(dst, t.Dir.String())
 	dst = append(dst, ',')
-	dst = quoteT(dst, t.StartUTC)
+	dst = e.quoteT(dst, t.StartUTC)
 	dst = append(dst, ',')
-	dst = quoteF(dst, t.DurSec)
+	dst = e.quoteF(dst, t.DurSec)
 	dst = append(dst, ',')
 	dst = quoteS(dst, t.Zone.String())
 	dst = append(dst, ',')
@@ -217,36 +227,36 @@ func csvAppendTest(dst []byte, t TestSummary) []byte {
 	dst = append(dst, ',')
 	dst = quoteB(dst, t.Static)
 	dst = append(dst, ',')
-	dst = quoteF(dst, t.MeanBps)
+	dst = e.quoteF(dst, t.MeanBps)
 	dst = append(dst, ',')
-	dst = quoteF(dst, t.StdFracBps)
+	dst = e.quoteF(dst, t.StdFracBps)
 	dst = append(dst, ',')
-	dst = quoteF(dst, t.MeanRTTms)
+	dst = e.quoteF(dst, t.MeanRTTms)
 	dst = append(dst, ',')
-	dst = quoteF(dst, t.StdFracRTT)
+	dst = e.quoteF(dst, t.StdFracRTT)
 	dst = append(dst, ',')
-	dst = quoteF(dst, t.HighSpeedFrac)
+	dst = e.quoteF(dst, t.HighSpeedFrac)
 	dst = append(dst, ',')
-	dst = quoteF(dst, t.Miles)
+	dst = e.quoteF(dst, t.Miles)
 	dst = append(dst, ',')
 	dst = quoteI(dst, t.HOCount)
 	dst = append(dst, ',')
-	dst = quoteF(dst, t.RxBytes)
+	dst = e.quoteF(dst, t.RxBytes)
 	dst = append(dst, ',')
-	dst = quoteF(dst, t.TxBytes)
+	dst = e.quoteF(dst, t.TxBytes)
 	return append(dst, '\n')
 }
 
-func csvAppendApp(dst []byte, a AppRun) []byte {
+func (e *rowEnc) csvAppendApp(dst []byte, a AppRun) []byte {
 	dst = quoteI(dst, a.ID)
 	dst = append(dst, ',')
 	dst = quoteS(dst, a.Op.String())
 	dst = append(dst, ',')
 	dst = quoteS(dst, string(a.App))
 	dst = append(dst, ',')
-	dst = quoteT(dst, a.StartUTC)
+	dst = e.quoteT(dst, a.StartUTC)
 	dst = append(dst, ',')
-	dst = quoteF(dst, a.DurSec)
+	dst = e.quoteF(dst, a.DurSec)
 	dst = append(dst, ',')
 	dst = quoteS(dst, a.Server.String())
 	dst = append(dst, ',')
@@ -254,36 +264,36 @@ func csvAppendApp(dst []byte, a AppRun) []byte {
 	dst = append(dst, ',')
 	dst = quoteB(dst, a.Compressed)
 	dst = append(dst, ',')
-	dst = quoteF(dst, a.HighSpeedFrac)
+	dst = e.quoteF(dst, a.HighSpeedFrac)
 	dst = append(dst, ',')
 	dst = quoteI(dst, a.HOCount)
 	dst = append(dst, ',')
-	dst = quoteF(dst, a.MedianE2EMs)
+	dst = e.quoteF(dst, a.MedianE2EMs)
 	dst = append(dst, ',')
-	dst = quoteF(dst, a.OffloadFPS)
+	dst = e.quoteF(dst, a.OffloadFPS)
 	dst = append(dst, ',')
-	dst = quoteF(dst, a.MAP)
+	dst = e.quoteF(dst, a.MAP)
 	dst = append(dst, ',')
-	dst = quoteF(dst, a.QoE)
+	dst = e.quoteF(dst, a.QoE)
 	dst = append(dst, ',')
-	dst = quoteF(dst, a.RebufFrac)
+	dst = e.quoteF(dst, a.RebufFrac)
 	dst = append(dst, ',')
-	dst = quoteF(dst, a.AvgBitrate)
+	dst = e.quoteF(dst, a.AvgBitrate)
 	dst = append(dst, ',')
-	dst = quoteF(dst, a.SendBitrate)
+	dst = e.quoteF(dst, a.SendBitrate)
 	dst = append(dst, ',')
-	dst = quoteF(dst, a.NetLatencyMs)
+	dst = e.quoteF(dst, a.NetLatencyMs)
 	dst = append(dst, ',')
-	dst = quoteF(dst, a.FrameDrop)
+	dst = e.quoteF(dst, a.FrameDrop)
 	return append(dst, '\n')
 }
 
-func csvAppendPassive(dst []byte, p PassiveSample) []byte {
+func (e *rowEnc) csvAppendPassive(dst []byte, p PassiveSample) []byte {
 	dst = quoteS(dst, p.Op.String())
 	dst = append(dst, ',')
-	dst = quoteT(dst, p.TimeUTC)
+	dst = e.quoteT(dst, p.TimeUTC)
 	dst = append(dst, ',')
-	dst = quoteF(dst, p.Km)
+	dst = e.quoteF(dst, p.Km)
 	dst = append(dst, ',')
 	dst = quoteS(dst, p.Tech.String())
 	dst = append(dst, ',')

@@ -47,6 +47,9 @@ var trickyFloats = []float64{
 // byte (golden hashes included).
 func TestRowBytesMatchCSV(t *testing.T) {
 	rng := sim.NewRNG(7)
+	// One encoder across all rows, so the time cache and float memo carry
+	// state between rows exactly as a long-lived sink's encoder does.
+	var enc rowEnc
 	times := []time.Time{
 		sim.TripStart.UTC(),
 		sim.TripStart.UTC().Add(1234567891 * time.Nanosecond),
@@ -65,7 +68,7 @@ func TestRowBytesMatchCSV(t *testing.T) {
 			Km: pickF(i + 5), Zone: geo.Timezone(i % 4), Road: geo.RoadClass(i % 3),
 			Server: servers.Kind(i % 2), Static: i%2 == 0, HOs: i,
 		}
-		if got, want := csvAppendThr(nil, thr), csvLine(t, appendThr(nil, thr)); !bytes.Equal(got, want) {
+		if got, want := enc.csvAppendThr(nil, thr), csvLine(t, appendThr(nil, thr)); !bytes.Equal(got, want) {
 			t.Fatalf("thr row %d:\n got %q\nwant %q", i, got, want)
 		}
 		rtt := RTTSample{
@@ -73,7 +76,7 @@ func TestRowBytesMatchCSV(t *testing.T) {
 			Tech: radio.Tech(i % 5), MPH: pickF(i + 6), Km: pickF(i + 7),
 			Zone: geo.Timezone(i % 4), Server: servers.Kind(i % 2), Static: i%3 == 0,
 		}
-		if got, want := csvAppendRTT(nil, rtt), csvLine(t, appendRTT(nil, rtt)); !bytes.Equal(got, want) {
+		if got, want := enc.csvAppendRTT(nil, rtt), csvLine(t, appendRTT(nil, rtt)); !bytes.Equal(got, want) {
 			t.Fatalf("rtt row %d:\n got %q\nwant %q", i, got, want)
 		}
 		ho := HandoverRecord{
@@ -81,7 +84,7 @@ func TestRowBytesMatchCSV(t *testing.T) {
 			FromTech: radio.Tech(i % 5), ToTech: radio.Tech((i + 1) % 5),
 			FromCell: pickS(i), ToCell: pickS(i + 3), Dir: radio.Direction(i % 2),
 		}
-		if got, want := csvAppendHO(nil, ho), csvLine(t, appendHO(nil, ho)); !bytes.Equal(got, want) {
+		if got, want := enc.csvAppendHO(nil, ho), csvLine(t, appendHO(nil, ho)); !bytes.Equal(got, want) {
 			t.Fatalf("ho row %d:\n got %q\nwant %q", i, got, want)
 		}
 		sum := TestSummary{
@@ -92,7 +95,7 @@ func TestRowBytesMatchCSV(t *testing.T) {
 			HighSpeedFrac: pickF(i + 13), Miles: pickF(i + 14), HOCount: -i,
 			RxBytes: pickF(i + 15), TxBytes: pickF(i + 16),
 		}
-		if got, want := csvAppendTest(nil, sum), csvLine(t, appendTest(nil, sum)); !bytes.Equal(got, want) {
+		if got, want := enc.csvAppendTest(nil, sum), csvLine(t, appendTest(nil, sum)); !bytes.Equal(got, want) {
 			t.Fatalf("test row %d:\n got %q\nwant %q", i, got, want)
 		}
 		app := AppRun{
@@ -103,14 +106,14 @@ func TestRowBytesMatchCSV(t *testing.T) {
 			QoE: pickF(i + 22), RebufFrac: pickF(i + 23), AvgBitrate: pickF(i + 24),
 			SendBitrate: pickF(i + 25), NetLatencyMs: pickF(i + 26), FrameDrop: pickF(i + 27),
 		}
-		if got, want := csvAppendApp(nil, app), csvLine(t, appendApp(nil, app)); !bytes.Equal(got, want) {
+		if got, want := enc.csvAppendApp(nil, app), csvLine(t, appendApp(nil, app)); !bytes.Equal(got, want) {
 			t.Fatalf("app row %d:\n got %q\nwant %q", i, got, want)
 		}
 		pas := PassiveSample{
 			Op: radio.Operator(i % 3), TimeUTC: pickT(i + 4), Km: pickF(i + 28),
 			Tech: radio.Tech(i % 5), Cell: pickS(i + 5), Zone: geo.Timezone(i % 4), NoSvc: i%2 == 0,
 		}
-		if got, want := csvAppendPassive(nil, pas), csvLine(t, appendPassive(nil, pas)); !bytes.Equal(got, want) {
+		if got, want := enc.csvAppendPassive(nil, pas), csvLine(t, appendPassive(nil, pas)); !bytes.Equal(got, want) {
 			t.Fatalf("passive row %d:\n got %q\nwant %q", i, got, want)
 		}
 	}

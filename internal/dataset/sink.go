@@ -1,11 +1,20 @@
 package dataset
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"hash"
 	"io"
+	"runtime/pprof"
 )
+
+// ProfilePhases enables the "hash" runtime/pprof phase label around
+// HashSink's digest folds, complementing the control/kernel/emit labels the
+// campaign engine attaches when its own flag is set. Off by default so the
+// fleet's hot loop pays nothing when no profile is being taken; cmd/fleet
+// and cmd/drivesim set it alongside -cpuprofile.
+var ProfilePhases bool
 
 // Sink consumes campaign records one at a time, in production order. It is
 // the streaming counterpart of Dataset: the campaign engine emits every
@@ -28,30 +37,106 @@ type Sink interface {
 	Flush() error
 }
 
+// BatchSink is the optional bulk interface of a Sink: a sink that also
+// implements it consumes a whole slice of records per call, so a producer
+// with records already staged in a slice pays one interface dispatch per
+// batch instead of one per record (per Tee member). Each EmitXxxAll call is
+// exactly equivalent to emitting the slice's records in order through the
+// scalar method — same records, same per-table order, so the same bytes
+// from every sink. The slice is borrowed for the duration of the call:
+// implementations must neither mutate nor retain it (a Tee hands the same
+// slice to every member).
+type BatchSink interface {
+	EmitThrAll([]ThroughputSample)
+	EmitRTTAll([]RTTSample)
+	EmitHandoverAll([]HandoverRecord)
+	EmitTestAll([]TestSummary)
+	EmitAppAll([]AppRun)
+	EmitPassiveAll([]PassiveSample)
+}
+
+// EmitThrAll emits a batch into sink: one bulk call when sink implements
+// BatchSink, the per-record loop otherwise. The EmitXxxAll helpers are how
+// producers dispatch batches without caring which kind of sink they hold.
+func EmitThrAll(sink Sink, recs []ThroughputSample) {
+	if b, ok := sink.(BatchSink); ok {
+		b.EmitThrAll(recs)
+		return
+	}
+	for _, r := range recs {
+		sink.EmitThr(r)
+	}
+}
+
+// EmitRTTAll emits a batch of RTT samples; see EmitThrAll.
+func EmitRTTAll(sink Sink, recs []RTTSample) {
+	if b, ok := sink.(BatchSink); ok {
+		b.EmitRTTAll(recs)
+		return
+	}
+	for _, r := range recs {
+		sink.EmitRTT(r)
+	}
+}
+
+// EmitHandoverAll emits a batch of handover records; see EmitThrAll.
+func EmitHandoverAll(sink Sink, recs []HandoverRecord) {
+	if b, ok := sink.(BatchSink); ok {
+		b.EmitHandoverAll(recs)
+		return
+	}
+	for _, r := range recs {
+		sink.EmitHandover(r)
+	}
+}
+
+// EmitTestAll emits a batch of test summaries; see EmitThrAll.
+func EmitTestAll(sink Sink, recs []TestSummary) {
+	if b, ok := sink.(BatchSink); ok {
+		b.EmitTestAll(recs)
+		return
+	}
+	for _, r := range recs {
+		sink.EmitTest(r)
+	}
+}
+
+// EmitAppAll emits a batch of app runs; see EmitThrAll.
+func EmitAppAll(sink Sink, recs []AppRun) {
+	if b, ok := sink.(BatchSink); ok {
+		b.EmitAppAll(recs)
+		return
+	}
+	for _, r := range recs {
+		sink.EmitApp(r)
+	}
+}
+
+// EmitPassiveAll emits a batch of passive samples; see EmitThrAll.
+func EmitPassiveAll(sink Sink, recs []PassiveSample) {
+	if b, ok := sink.(BatchSink); ok {
+		b.EmitPassiveAll(recs)
+		return
+	}
+	for _, r := range recs {
+		sink.EmitPassive(r)
+	}
+}
+
 // EmitTo replays every record of d into sink, table by table in the
 // canonical CSV order (throughput, RTT, handovers, tests, apps, passive).
 // Replaying a Collector's dataset reproduces the original per-table emit
 // order, which is what makes streaming and materialized consumers
-// byte-equivalent.
+// byte-equivalent. Each table goes through the batch helpers, so replaying
+// into batch-aware sinks (the fleet reduction, the fan-out merge) costs six
+// dispatches per member, not one per record.
 func (d *Dataset) EmitTo(sink Sink) {
-	for _, r := range d.Thr {
-		sink.EmitThr(r)
-	}
-	for _, r := range d.RTT {
-		sink.EmitRTT(r)
-	}
-	for _, r := range d.Handovers {
-		sink.EmitHandover(r)
-	}
-	for _, r := range d.Tests {
-		sink.EmitTest(r)
-	}
-	for _, r := range d.Apps {
-		sink.EmitApp(r)
-	}
-	for _, r := range d.Passive {
-		sink.EmitPassive(r)
-	}
+	EmitThrAll(sink, d.Thr)
+	EmitRTTAll(sink, d.RTT)
+	EmitHandoverAll(sink, d.Handovers)
+	EmitTestAll(sink, d.Tests)
+	EmitAppAll(sink, d.Apps)
+	EmitPassiveAll(sink, d.Passive)
 }
 
 // Collector is the materializing Sink: it appends every record to an
@@ -89,6 +174,17 @@ func (c *Collector) EmitApp(a AppRun)              { c.D.Apps = append(c.D.Apps,
 func (c *Collector) EmitPassive(p PassiveSample)   { c.D.Passive = append(c.D.Passive, p) }
 func (c *Collector) Flush() error                  { return nil }
 
+// Batch emits: a slice append copies the records, so the borrowed batch
+// slice is never retained.
+func (c *Collector) EmitThrAll(recs []ThroughputSample) { c.D.Thr = append(c.D.Thr, recs...) }
+func (c *Collector) EmitRTTAll(recs []RTTSample)        { c.D.RTT = append(c.D.RTT, recs...) }
+func (c *Collector) EmitHandoverAll(recs []HandoverRecord) {
+	c.D.Handovers = append(c.D.Handovers, recs...)
+}
+func (c *Collector) EmitTestAll(recs []TestSummary)      { c.D.Tests = append(c.D.Tests, recs...) }
+func (c *Collector) EmitAppAll(recs []AppRun)            { c.D.Apps = append(c.D.Apps, recs...) }
+func (c *Collector) EmitPassiveAll(recs []PassiveSample) { c.D.Passive = append(c.D.Passive, recs...) }
+
 // Tee fans every record out to all the given sinks in order. Flush flushes
 // every sink and returns the first error.
 func Tee(sinks ...Sink) Sink { return tee(sinks) }
@@ -123,6 +219,40 @@ func (t tee) EmitApp(a AppRun) {
 func (t tee) EmitPassive(p PassiveSample) {
 	for _, k := range t {
 		k.EmitPassive(p)
+	}
+}
+
+// Batch emits fan the same borrowed slice out through the helpers, so each
+// member takes its fastest path (bulk when it implements BatchSink, the
+// per-record loop otherwise) and none may mutate the records.
+func (t tee) EmitThrAll(recs []ThroughputSample) {
+	for _, k := range t {
+		EmitThrAll(k, recs)
+	}
+}
+func (t tee) EmitRTTAll(recs []RTTSample) {
+	for _, k := range t {
+		EmitRTTAll(k, recs)
+	}
+}
+func (t tee) EmitHandoverAll(recs []HandoverRecord) {
+	for _, k := range t {
+		EmitHandoverAll(k, recs)
+	}
+}
+func (t tee) EmitTestAll(recs []TestSummary) {
+	for _, k := range t {
+		EmitTestAll(k, recs)
+	}
+}
+func (t tee) EmitAppAll(recs []AppRun) {
+	for _, k := range t {
+		EmitAppAll(k, recs)
+	}
+}
+func (t tee) EmitPassiveAll(recs []PassiveSample) {
+	for _, k := range t {
+		EmitPassiveAll(k, recs)
 	}
 }
 func (t tee) Flush() error {
@@ -190,6 +320,11 @@ func (r *Renumber) EmitApp(a AppRun) {
 func (r *Renumber) EmitPassive(p PassiveSample) { r.dst.EmitPassive(p) }
 func (r *Renumber) Flush() error                { return r.dst.Flush() }
 
+// Renumber deliberately does not implement BatchSink: shifting ids in bulk
+// would mean mutating the borrowed batch slice (visible to every other Tee
+// member sharing it) or copying it per call. The per-record fallback in the
+// EmitXxxAll helpers keeps it correct at the old cost.
+
 // HashSink computes a SHA-256 fingerprint of the dataset's canonical CSV
 // encoding without materializing any of it: each record is CSV-encoded
 // through the byte codecs (bit-identical to the encoding Save writes) and
@@ -200,13 +335,15 @@ func (r *Renumber) Flush() error                { return r.dst.Flush() }
 type HashSink struct {
 	h   [numTables]hash.Hash
 	buf [numTables][]byte // rows accumulate here between hash writes
+	enc rowEnc
 }
 
 // hashChunkBytes is how many encoded row bytes accumulate per table before
 // they are folded into the hash. SHA-256 consumes input in 64-byte blocks,
-// so the chunk size only amortizes call overhead; it never changes the
-// digest.
-const hashChunkBytes = 4096
+// so the chunk size only amortizes call overhead — larger chunks keep the
+// hash loop (SHA-NI on amd64) running over long contiguous buffers — and it
+// never changes the digest.
+const hashChunkBytes = 64 * 1024
 
 // NewHashSink returns a HashSink with the table headers already hashed.
 func NewHashSink() *HashSink {
@@ -228,42 +365,126 @@ func (s *HashSink) Reset() {
 	}
 }
 
+// fold feeds one chunk of encoded rows into the table's hash, under the
+// "hash" pprof phase label when ProfilePhases is set. hash.Hash writes never
+// fail. Folds happen once per hashChunkBytes of rows, so the label region
+// overhead is amortized over ~64 KiB of hashing.
+func (s *HashSink) fold(tab int, b []byte) {
+	if !ProfilePhases {
+		s.h[tab].Write(b)
+		return
+	}
+	pprof.Do(context.Background(), pprof.Labels("phase", "hash"), func(context.Context) {
+		s.h[tab].Write(b)
+	})
+}
+
 // sink folds the table's buffer into its hash once enough rows accumulated.
 func (s *HashSink) sink(tab int) {
 	if len(s.buf[tab]) >= hashChunkBytes {
-		s.h[tab].Write(s.buf[tab]) // hash.Hash writes never fail
+		s.fold(tab, s.buf[tab])
 		s.buf[tab] = s.buf[tab][:0]
 	}
 }
 
 func (s *HashSink) EmitThr(r ThroughputSample) {
-	s.buf[tabThr] = csvAppendThr(s.buf[tabThr], r)
+	s.buf[tabThr] = s.enc.csvAppendThr(s.buf[tabThr], r)
 	s.sink(tabThr)
 }
 func (s *HashSink) EmitRTT(r RTTSample) {
-	s.buf[tabRTT] = csvAppendRTT(s.buf[tabRTT], r)
+	s.buf[tabRTT] = s.enc.csvAppendRTT(s.buf[tabRTT], r)
 	s.sink(tabRTT)
 }
 func (s *HashSink) EmitHandover(h HandoverRecord) {
-	s.buf[tabHO] = csvAppendHO(s.buf[tabHO], h)
+	s.buf[tabHO] = s.enc.csvAppendHO(s.buf[tabHO], h)
 	s.sink(tabHO)
 }
 func (s *HashSink) EmitTest(t TestSummary) {
-	s.buf[tabTests] = csvAppendTest(s.buf[tabTests], t)
+	s.buf[tabTests] = s.enc.csvAppendTest(s.buf[tabTests], t)
 	s.sink(tabTests)
 }
 func (s *HashSink) EmitApp(a AppRun) {
-	s.buf[tabApps] = csvAppendApp(s.buf[tabApps], a)
+	s.buf[tabApps] = s.enc.csvAppendApp(s.buf[tabApps], a)
 	s.sink(tabApps)
 }
 func (s *HashSink) EmitPassive(p PassiveSample) {
-	s.buf[tabPassive] = csvAppendPassive(s.buf[tabPassive], p)
+	s.buf[tabPassive] = s.enc.csvAppendPassive(s.buf[tabPassive], p)
 	s.sink(tabPassive)
+}
+
+// Batch emits encode the whole slice into the table buffer, folding full
+// chunks as they fill — one virtual call per batch, and the fold check runs
+// against a register-resident buffer instead of re-loading per record.
+func (s *HashSink) EmitThrAll(recs []ThroughputSample) {
+	b := s.buf[tabThr]
+	for i := range recs {
+		b = s.enc.csvAppendThr(b, recs[i])
+		if len(b) >= hashChunkBytes {
+			s.fold(tabThr, b)
+			b = b[:0]
+		}
+	}
+	s.buf[tabThr] = b
+}
+func (s *HashSink) EmitRTTAll(recs []RTTSample) {
+	b := s.buf[tabRTT]
+	for i := range recs {
+		b = s.enc.csvAppendRTT(b, recs[i])
+		if len(b) >= hashChunkBytes {
+			s.fold(tabRTT, b)
+			b = b[:0]
+		}
+	}
+	s.buf[tabRTT] = b
+}
+func (s *HashSink) EmitHandoverAll(recs []HandoverRecord) {
+	b := s.buf[tabHO]
+	for i := range recs {
+		b = s.enc.csvAppendHO(b, recs[i])
+		if len(b) >= hashChunkBytes {
+			s.fold(tabHO, b)
+			b = b[:0]
+		}
+	}
+	s.buf[tabHO] = b
+}
+func (s *HashSink) EmitTestAll(recs []TestSummary) {
+	b := s.buf[tabTests]
+	for i := range recs {
+		b = s.enc.csvAppendTest(b, recs[i])
+		if len(b) >= hashChunkBytes {
+			s.fold(tabTests, b)
+			b = b[:0]
+		}
+	}
+	s.buf[tabTests] = b
+}
+func (s *HashSink) EmitAppAll(recs []AppRun) {
+	b := s.buf[tabApps]
+	for i := range recs {
+		b = s.enc.csvAppendApp(b, recs[i])
+		if len(b) >= hashChunkBytes {
+			s.fold(tabApps, b)
+			b = b[:0]
+		}
+	}
+	s.buf[tabApps] = b
+}
+func (s *HashSink) EmitPassiveAll(recs []PassiveSample) {
+	b := s.buf[tabPassive]
+	for i := range recs {
+		b = s.enc.csvAppendPassive(b, recs[i])
+		if len(b) >= hashChunkBytes {
+			s.fold(tabPassive, b)
+			b = b[:0]
+		}
+	}
+	s.buf[tabPassive] = b
 }
 func (s *HashSink) Flush() error {
 	for i := range s.buf {
 		if len(s.buf[i]) > 0 {
-			s.h[i].Write(s.buf[i])
+			s.fold(i, s.buf[i])
 			s.buf[i] = s.buf[i][:0]
 		}
 	}

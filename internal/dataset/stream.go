@@ -21,6 +21,7 @@ type CSVWriter struct {
 	files [numTables]*os.File
 	zw    [numTables]*gzip.Writer
 	row   []byte // reusable row encoding buffer
+	enc   rowEnc
 	err   error
 	done  bool
 }
@@ -77,27 +78,99 @@ func (w *CSVWriter) write(tab int) {
 }
 
 func (w *CSVWriter) EmitThr(s ThroughputSample) {
-	w.row = csvAppendThr(w.row[:0], s)
+	w.row = w.enc.csvAppendThr(w.row[:0], s)
 	w.write(tabThr)
 }
 func (w *CSVWriter) EmitRTT(s RTTSample) {
-	w.row = csvAppendRTT(w.row[:0], s)
+	w.row = w.enc.csvAppendRTT(w.row[:0], s)
 	w.write(tabRTT)
 }
 func (w *CSVWriter) EmitHandover(h HandoverRecord) {
-	w.row = csvAppendHO(w.row[:0], h)
+	w.row = w.enc.csvAppendHO(w.row[:0], h)
 	w.write(tabHO)
 }
 func (w *CSVWriter) EmitTest(t TestSummary) {
-	w.row = csvAppendTest(w.row[:0], t)
+	w.row = w.enc.csvAppendTest(w.row[:0], t)
 	w.write(tabTests)
 }
 func (w *CSVWriter) EmitApp(a AppRun) {
-	w.row = csvAppendApp(w.row[:0], a)
+	w.row = w.enc.csvAppendApp(w.row[:0], a)
 	w.write(tabApps)
 }
 func (w *CSVWriter) EmitPassive(p PassiveSample) {
-	w.row = csvAppendPassive(w.row[:0], p)
+	w.row = w.enc.csvAppendPassive(w.row[:0], p)
+	w.write(tabPassive)
+}
+
+// Batch emits encode the whole slice into the row buffer and hand it to the
+// table's gzip stream as one Write. DEFLATE block decisions depend only on
+// the accumulated byte stream, never on Write call boundaries, so the .gz
+// bytes are identical to per-record emission — TestCSVWriterBatchIdentical
+// pins it.
+func (w *CSVWriter) EmitThrAll(recs []ThroughputSample) {
+	if len(recs) == 0 {
+		return
+	}
+	buf := w.row[:0]
+	for i := range recs {
+		buf = w.enc.csvAppendThr(buf, recs[i])
+	}
+	w.row = buf
+	w.write(tabThr)
+}
+func (w *CSVWriter) EmitRTTAll(recs []RTTSample) {
+	if len(recs) == 0 {
+		return
+	}
+	buf := w.row[:0]
+	for i := range recs {
+		buf = w.enc.csvAppendRTT(buf, recs[i])
+	}
+	w.row = buf
+	w.write(tabRTT)
+}
+func (w *CSVWriter) EmitHandoverAll(recs []HandoverRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	buf := w.row[:0]
+	for i := range recs {
+		buf = w.enc.csvAppendHO(buf, recs[i])
+	}
+	w.row = buf
+	w.write(tabHO)
+}
+func (w *CSVWriter) EmitTestAll(recs []TestSummary) {
+	if len(recs) == 0 {
+		return
+	}
+	buf := w.row[:0]
+	for i := range recs {
+		buf = w.enc.csvAppendTest(buf, recs[i])
+	}
+	w.row = buf
+	w.write(tabTests)
+}
+func (w *CSVWriter) EmitAppAll(recs []AppRun) {
+	if len(recs) == 0 {
+		return
+	}
+	buf := w.row[:0]
+	for i := range recs {
+		buf = w.enc.csvAppendApp(buf, recs[i])
+	}
+	w.row = buf
+	w.write(tabApps)
+}
+func (w *CSVWriter) EmitPassiveAll(recs []PassiveSample) {
+	if len(recs) == 0 {
+		return
+	}
+	buf := w.row[:0]
+	for i := range recs {
+		buf = w.enc.csvAppendPassive(buf, recs[i])
+	}
+	w.row = buf
 	w.write(tabPassive)
 }
 

@@ -30,6 +30,20 @@ type Config struct {
 	Workers   int   // max campaigns in flight at once (0 = GOMAXPROCS)
 	Shards    int   // route shards per campaign (<= 1 = serial engine)
 
+	// Stride/Offset partition the sweep across cooperating fleet processes
+	// (the multi-process coordinator in internal/coord). When Stride > 1,
+	// this run executes only the (scenario, seed) pairs whose sweep index —
+	// scenarioIndex*Seeds + (seed − StartSeed), the position a -workers 1
+	// fleet would run the pair at — is ≡ Offset (mod Stride). Checkpoint
+	// rows outside the partition are neither adopted nor re-run; they stay
+	// in the file for the process that owns them. Stride <= 1 (the zero
+	// value) is the whole sweep. Because each partition's summaries are the
+	// same pure functions of (scenario, seed, shards) they always were,
+	// merging the partitions' checkpoints reproduces the single-process
+	// file — see MergeShards.
+	Stride int
+	Offset int
+
 	// Checkpoint, when set, is the JSONL file completed seeds append to
 	// and resume reads from. (Scenario, seed) pairs already present (with a
 	// matching shard count) are not re-run, so one checkpoint file carries
@@ -141,13 +155,33 @@ func Run(cfg Config) (*Report, error) {
 	// cell itself.
 	names := make([]string, len(scenarios))
 	order := map[string]int{}
-	swept := map[SeedKey]bool{}
+	cellIdx := map[SeedKey]int{}
 	for i, sn := range scenarios {
 		names[i] = sn.label()
 		order[sn.label()] = i
-		swept[SeedKey{Scenario: sn.Name, Policy: sn.Policy}] = true
+		cellIdx[SeedKey{Scenario: sn.Name, Policy: sn.Policy}] = i
 	}
-	total := len(scenarios) * cfg.Seeds
+	// inPart reports whether a (scenario index, seed) pair belongs to this
+	// process's Stride/Offset partition. The whole sweep when Stride <= 1.
+	stride := cfg.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	if cfg.Offset < 0 || cfg.Offset >= stride {
+		return nil, fmt.Errorf("fleet: Offset %d outside partition [0,%d)", cfg.Offset, stride)
+	}
+	inPart := func(scnIdx int, seed int64) bool {
+		idx := scnIdx*cfg.Seeds + int(seed-cfg.StartSeed)
+		return idx%stride == cfg.Offset
+	}
+	total := 0
+	for i := range scenarios {
+		for seed := cfg.StartSeed; seed < cfg.StartSeed+int64(cfg.Seeds); seed++ {
+			if inPart(i, seed) {
+				total++
+			}
+		}
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -159,21 +193,22 @@ func Run(cfg Config) (*Report, error) {
 
 	// The checkpoint is exclusive for the whole run: resume reads and
 	// completion appends from two fleets would corrupt each other.
-	var lock *checkpointLock
+	var lock *CheckpointLock
 	if cfg.Checkpoint != "" {
-		l, err := acquireCheckpointLock(cfg.Checkpoint)
+		l, err := AcquireCheckpointLock(cfg.Checkpoint)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: %w", err)
 		}
 		lock = l
-		defer lock.release()
+		defer lock.Release()
 	}
 
 	// Resume: adopt checkpointed summaries for (scenario, seed) pairs in
-	// this fleet's sweep that were reduced under the same shard count (a
+	// this fleet's partition that were reduced under the same shard count (a
 	// different shard count is a different dataset, hence a different
-	// summary). Rows for scenarios this sweep does not run are left alone —
-	// they stay in the file for the fleet that does run them.
+	// summary). Rows for scenarios this sweep does not run — or pairs in
+	// another process's partition — are left alone; they stay in the file
+	// for the fleet that does run them.
 	done := map[SeedKey]SeedSummary{}
 	if cfg.Checkpoint != "" {
 		prev, err := LoadCheckpoint(cfg.Checkpoint)
@@ -182,7 +217,8 @@ func Run(cfg Config) (*Report, error) {
 		}
 		for key, sum := range prev {
 			cell := SeedKey{Scenario: key.Scenario, Policy: key.Policy}
-			if swept[cell] && key.Seed >= cfg.StartSeed && key.Seed < cfg.StartSeed+int64(cfg.Seeds) && sum.Shards == shards {
+			ci, swept := cellIdx[cell]
+			if swept && key.Seed >= cfg.StartSeed && key.Seed < cfg.StartSeed+int64(cfg.Seeds) && inPart(ci, key.Seed) && sum.Shards == shards {
 				done[key] = sum
 			}
 		}
@@ -231,6 +267,9 @@ func Run(cfg Config) (*Report, error) {
 	var jobs []job
 	for i, sn := range scenarios {
 		for seed := cfg.StartSeed; seed < cfg.StartSeed+int64(cfg.Seeds); seed++ {
+			if !inPart(i, seed) {
+				continue
+			}
 			if stored, ok := done[SeedKey{Scenario: sn.Name, Policy: sn.Policy, Seed: seed}]; ok {
 				if cfg.VerifyResume {
 					jobs = append(jobs, job{sn: i, seed: seed, stored: stored, verify: true})

@@ -14,11 +14,11 @@ import (
 // naming the holder, without touching the checkpoint.
 func TestCheckpointLockExcludesSecondRun(t *testing.T) {
 	ck := filepath.Join(t.TempDir(), "fleet.jsonl")
-	lock, err := acquireCheckpointLock(ck)
+	lock, err := AcquireCheckpointLock(ck)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer lock.release()
+	defer lock.Release()
 
 	cfg := testConfig(ck)
 	_, err = Run(cfg)
